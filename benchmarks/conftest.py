@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``benchmarks/test_*.py`` file regenerates one table or figure of the
+paper: it times the characteristic computation with ``pytest-benchmark``,
+prints the regenerated rows/series, and asserts that the result matches what
+the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The expensive class-S criticality analyses are shared through a session
+fixture so each experiment is analysed exactly once per benchmark session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+def pytest_configure(config):
+    # The harness prints every regenerated table/figure so the run log reads
+    # like the paper's evaluation section; -s is not required because the
+    # reports are also attached to the benchmark's extra_info.
+    config.addinivalue_line("markers",
+                            "paper: marks benchmarks that regenerate a "
+                            "specific table or figure of the paper")
+
+
+@pytest.fixture(scope="session")
+def runner_s() -> ExperimentRunner:
+    """Class-S experiment runner shared by every benchmark in the session."""
+    return ExperimentRunner(problem_class="S")
+
+
+@pytest.fixture(scope="session")
+def runner_t() -> ExperimentRunner:
+    """Reduced-size runner for benchmarks that only need the code path."""
+    return ExperimentRunner(problem_class="T")

@@ -1,0 +1,40 @@
+"""Extension -- criticality pruning vs. element-level incremental deltas.
+
+Regenerates the comparison between the paper's reduction (drop uncritical
+elements) and the orthogonal incremental reduction (drop unchanged
+elements), plus their combination, at the paper's class-S scale, and checks
+the qualitative shape: FT's delta collapses to its accumulators, BT/SP/LU
+deltas cover only the rewritten interior, and combining the two reductions
+never stores more than either alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import incremental
+
+
+@pytest.mark.paper
+def test_extension_incremental_vs_pruning(benchmark, runner_s, tmp_path):
+    report = benchmark.pedantic(
+        lambda: incremental.run(runner_s, directory=tmp_path),
+        iterations=1, rounds=1)
+    print("\n" + report.text)
+    assert report.matches_paper, report.text
+
+    data = report.data
+    for name, entry in data.items():
+        assert entry["verified"], f"{name} chain restart failed"
+        # combining with criticality never stores more than the plain delta
+        assert entry["combined_nbytes"] <= entry["incremental_nbytes"] + 64
+    # where an iteration rewrites only part of the state, the combined
+    # reduction also undercuts pruning alone
+    for name in ("BT", "SP", "MG", "LU", "FT"):
+        assert data[name]["combined_nbytes"] < data[name]["pruned_nbytes"]
+    # FT rewrites nothing but its checksum accumulators between iterations
+    assert data["FT"]["incremental_nbytes"] < 0.01 * data["FT"]["full_nbytes"]
+    # CG rewrites its whole (small) iterate, so the delta cannot beat pruning
+    assert data["CG"]["incremental_nbytes"] >= data["CG"]["pruned_nbytes"]
+    benchmark.extra_info["combined_bytes"] = {
+        name: entry["combined_nbytes"] for name, entry in data.items()}

@@ -1,0 +1,93 @@
+"""Ablation -- auxiliary-file encodings and checkpoint I/O cost.
+
+Compares the (start, stop) region records the paper describes against a raw
+bitmap of the criticality mask, and measures the encode/decode and
+pruned-write/restore costs on the paper's largest variable (FT's ``y``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.reader import read_checkpoint
+from repro.ckpt.writer import write_pruned_checkpoint
+from repro.core.regions import aux_record_nbytes, decode_regions, encode_mask
+from repro.experiments import ablation
+
+
+@pytest.mark.paper
+def test_ablation_region_records_vs_bitmap(benchmark, runner_s):
+    report = benchmark.pedantic(lambda: ablation.run_encoding(
+        benchmarks=("BT", "SP", "MG", "CG", "LU", "FT"), problem_class="S"),
+        iterations=1, rounds=1)
+    print("\n" + report.text)
+    rows = report.data["rows"]
+    # the region records never cost more than the payload they save back;
+    # FT's per-row padding is the break-even worst case (one run per row)
+    for (bench_name, var_name), entry in rows.items():
+        assert entry["region_bytes"] <= entry["payload_saved"], \
+            f"{bench_name}({var_name}) region overhead exceeds savings"
+    assert rows[("FT", "y")]["region_bytes"] \
+        == rows[("FT", "y")]["payload_saved"]
+    # MG's striped residual stays cheap: ~1k runs, < 20 KiB of records
+    assert rows[("MG", "r")]["region_bytes"] < 20 * 1024
+
+
+def test_region_encode_decode_cost_mg_r(benchmark, runner_s):
+    """Encode+decode cost of the most fragmented mask in the study."""
+    mask = runner_s.result("MG").variables["r"].mask
+
+    def roundtrip():
+        regions = encode_mask(mask)
+        return decode_regions(regions, mask.size)
+
+    decoded = benchmark(roundtrip)
+    np.testing.assert_array_equal(decoded, mask.reshape(-1))
+
+
+def test_pruned_checkpoint_roundtrip_cost_ft(benchmark, runner_s, tmp_path):
+    """Write + read + materialise cost for the largest variable (FT y)."""
+    bench = runner_s.benchmark("FT")
+    result = runner_s.result("FT")
+    base = bench.initial_state()
+
+    def roundtrip(counter=[0]):
+        counter[0] += 1
+        written = write_pruned_checkpoint(
+            tmp_path / f"ft_{counter[0]}.ckpt", bench, result.state,
+            result.variables, step=result.step)
+        loaded = read_checkpoint(written.path)
+        return loaded.materialize(base)
+
+    state = benchmark.pedantic(roundtrip, iterations=1, rounds=3)
+    mask = result.variables["y"].mask
+    np.testing.assert_array_equal(state["y_re"][mask],
+                                  result.state["y_re"][mask])
+
+
+def test_aux_overhead_never_exceeds_the_savings(runner_s, benchmark):
+    """Per benchmark, the auxiliary records never cost more than the bytes
+    pruning saves, and with 4-byte offsets (enough for every class-S
+    variable) the suite-wide overhead drops below 10% of the savings."""
+
+    def per_benchmark_totals():
+        totals = {}
+        for name in ("BT", "SP", "MG", "CG", "LU", "FT"):
+            overhead8 = overhead4 = saved = 0
+            for crit in runner_s.result(name).variables.values():
+                if crit.n_uncritical == 0:
+                    continue
+                regions = crit.regions()
+                overhead8 += aux_record_nbytes(regions, offset_nbytes=8)
+                overhead4 += aux_record_nbytes(regions, offset_nbytes=4)
+                saved += crit.full_nbytes - crit.critical_nbytes
+            totals[name] = (overhead8, overhead4, saved)
+        return totals
+
+    totals = benchmark(per_benchmark_totals)
+    for name, (overhead8, overhead4, saved) in totals.items():
+        assert overhead8 <= saved, f"{name}: aux records exceed savings"
+    total4 = sum(o4 for _, o4, _ in totals.values())
+    total_saved = sum(s for *_, s in totals.values())
+    assert total4 < 0.2 * total_saved

@@ -1,0 +1,50 @@
+"""AD engine overhead -- what the analysis costs relative to the application.
+
+Not a table of the paper, but the number a practitioner asks first: how much
+slower is a traced (taped) run of the remaining computation than the plain
+NumPy run, and how long does the one-off reverse sweep take?  The analysis
+is performed once per application (offline), so even an order-of-magnitude
+overhead is acceptable; these benchmarks document where this implementation
+actually lands.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ad.reverse import backward
+from repro.npb import registry
+
+
+@pytest.fixture(scope="module", params=["BT", "MG", "CG"])
+def bench_and_state(request):
+    bench = registry.create(request.param, "S")
+    state = bench.checkpoint_state(bench.total_steps // 2)
+    return bench, state
+
+
+def test_plain_restart_run(benchmark, bench_and_state):
+    """Baseline: the remaining computation on plain NumPy state."""
+    bench, state = bench_and_state
+    value = benchmark(lambda: bench.restart_output(state))
+    assert float(value) == float(value)  # finite scalar
+    benchmark.extra_info["benchmark"] = bench.name
+
+
+def test_traced_restart_run(benchmark, bench_and_state):
+    """Forward pass with tape recording (the AD analysis' forward cost)."""
+    bench, state = bench_and_state
+    tape, leaves, out = benchmark(lambda: bench.traced_restart(state))
+    assert len(tape) > 0
+    benchmark.extra_info["benchmark"] = bench.name
+    benchmark.extra_info["tape_nodes"] = len(tape)
+
+
+def test_reverse_sweep(benchmark, bench_and_state):
+    """The reverse sweep that yields every element's derivative at once."""
+    bench, state = bench_and_state
+    tape, leaves, out = bench.traced_restart(state)
+    inputs = list(leaves.values())
+    grads = benchmark(lambda: backward(tape, out, inputs, strict=False))
+    assert len(grads) == len(inputs)
+    benchmark.extra_info["benchmark"] = bench.name

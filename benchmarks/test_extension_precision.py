@@ -1,0 +1,51 @@
+"""Extension -- impact-aware mixed-precision checkpointing.
+
+Not a table of the paper: this regenerates the future-work study described
+in its conclusion ("using lower precision for uncritical or even those
+elements that are of very low impact").  The harness times the
+budget-tuning loop and asserts that (a) every tuned restart still passes its
+benchmark's verification and (b) mixed precision saves strictly more
+storage than element pruning alone wherever the impact distribution allows
+it (MG, LU).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import precision
+
+
+@pytest.mark.paper
+def test_extension_mixed_precision_study(benchmark, runner_s, tmp_path):
+    report = benchmark.pedantic(
+        lambda: precision.run(runner_s, benchmarks=("BT", "MG", "LU"),
+                              directory=tmp_path),
+        iterations=1, rounds=1)
+    print("\n" + report.text)
+    assert report.matches_paper, report.text
+
+    data = report.data
+    for entry in data.values():
+        assert entry["verified"]
+    # where low-impact elements exist, mixed precision beats pure pruning
+    assert data["MG"]["mixed_nbytes"] < data["MG"]["pruned_nbytes"]
+    assert data["LU"]["mixed_nbytes"] < data["LU"]["pruned_nbytes"]
+    benchmark.extra_info["mixed_saved_percent"] = {
+        name: round(100 * (1 - entry["mixed_nbytes"]
+                           / entry["full_nbytes"]), 1)
+        for name, entry in data.items()}
+
+
+@pytest.mark.paper
+def test_extension_aggressive_plan_breaks_verification(benchmark, runner_s,
+                                                       tmp_path):
+    """The negative result that motivates tolerance-driven planning."""
+    report = benchmark.pedantic(
+        lambda: precision.run(runner_s, benchmarks=("MG",),
+                              directory=tmp_path),
+        iterations=1, rounds=1)
+    entry = report.data["MG"]
+    assert entry["verified"]
+    assert entry["aggressive_verified"] is False
+    assert entry["aggressive_nbytes"] < entry["mixed_nbytes"]

@@ -1,0 +1,47 @@
+"""Figure 3 -- the BT/SP critical/uncritical cube pattern.
+
+Regenerates the 12x13x13 component-cube distribution of BT's ``u`` (shared
+by SP and by LU's first four components): uncritical elements exactly on the
+padded ``j == 12`` and ``i == 12`` faces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.masks import uncritical_planes
+from repro.experiments import figures
+
+
+@pytest.mark.paper
+def test_figure3_bt_u_distribution(benchmark, runner_s):
+    report = benchmark.pedantic(lambda: figures.run("figure3", runner_s),
+                                iterations=1, rounds=1)
+    print("\n" + report.text)
+    assert report.matches_paper, report.text
+    result = report.data["figure"]
+    cube = result.mask[..., 0]
+    assert uncritical_planes(cube) == {1: [12], 2: [12]}
+    assert int(np.count_nonzero(~result.mask)) == 1500
+    benchmark.extra_info["uncritical"] = 1500
+
+
+@pytest.mark.paper
+def test_figure3_pattern_shared_by_sp_and_lu_components(runner_s, benchmark):
+    def collect():
+        bt = runner_s.result("BT").variables["u"].mask[..., 0]
+        sp = runner_s.result("SP").variables["u"].mask[..., 0]
+        lu = runner_s.result("LU")
+        return bt, sp, lu
+
+    bt, sp, lu = benchmark.pedantic(collect, iterations=1, rounds=1)
+    np.testing.assert_array_equal(bt, sp)
+    # LU's rho_i / qs / rsd and u components 0-3 follow the same pattern
+    np.testing.assert_array_equal(lu.variables["rho_i"].mask, bt[:, :, :])
+    np.testing.assert_array_equal(lu.variables["qs"].mask, bt)
+    for component in range(4):
+        np.testing.assert_array_equal(lu.variables["u"].mask[..., component],
+                                      bt)
+        np.testing.assert_array_equal(
+            lu.variables["rsd"].mask[..., component], bt)

@@ -1,0 +1,29 @@
+"""Figure 4 -- critical/uncritical distribution of array ``u`` in MG.
+
+Regenerates the flat-array view of MG's solution: a contiguous critical
+prefix of 39304 elements (the 34x34x34 finest level) followed by a 7176
+element uncritical tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.regions import encode_mask
+from repro.experiments import figures
+
+
+@pytest.mark.paper
+def test_figure4_mg_u_distribution(benchmark, runner_s):
+    report = benchmark.pedantic(lambda: figures.run("figure4", runner_s),
+                                iterations=1, rounds=1)
+    print("\n" + report.text)
+    assert report.matches_paper, report.text
+    mask = report.data["figure"].mask
+    regions = encode_mask(mask)
+    # one contiguous critical run covering exactly the finest level
+    assert len(regions) == 1
+    assert (regions[0].start, regions[0].stop) == (0, 34 ** 3)
+    assert int(np.count_nonzero(~mask)) == 7176
+    benchmark.extra_info["critical_prefix"] = 34 ** 3

@@ -1,0 +1,43 @@
+"""Figure 6 -- critical/uncritical distribution of array ``x`` in CG.
+
+Regenerates the iterate-vector view: the first NA = 1400 elements critical,
+the two declared-but-unused trailing slots uncritical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.regions import Region, encode_mask
+from repro.experiments import figures
+
+
+@pytest.mark.paper
+def test_figure6_cg_x_distribution(benchmark, runner_s):
+    report = benchmark.pedantic(lambda: figures.run("figure6", runner_s),
+                                iterations=1, rounds=1)
+    print("\n" + report.text)
+    assert report.matches_paper, report.text
+    mask = report.data["figure"].mask
+    assert encode_mask(mask) == [Region(0, 1400)]
+    assert int(np.count_nonzero(~mask)) == 2
+    benchmark.extra_info["uncritical"] = 2
+
+
+@pytest.mark.paper
+def test_figure6_pattern_is_step_independent(benchmark, runner_s):
+    """The distribution does not depend on when the checkpoint is taken."""
+    from repro.core.analysis import scrutinize
+
+    bench = runner_s.benchmark("CG")
+
+    def analyse_two_steps():
+        early = scrutinize(bench, step=2)
+        late = scrutinize(bench, step=bench.total_steps - 2)
+        return early, late
+
+    early, late = benchmark.pedantic(analyse_two_steps, iterations=1,
+                                     rounds=1)
+    np.testing.assert_array_equal(early.variables["x"].mask,
+                                  late.variables["x"].mask)

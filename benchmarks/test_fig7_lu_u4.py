@@ -1,0 +1,46 @@
+"""Figure 7 -- critical/uncritical distribution of ``u[x][y][z][4]`` in LU.
+
+Regenerates the energy-component view: the union of the three directional
+energy-flux boxes is critical, leaving 128 more uncritical elements than the
+Figure 3 pattern (1628 uncritical in ``u`` overall).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.mark.paper
+def test_figure7_lu_energy_component(benchmark, runner_s):
+    report = benchmark.pedantic(lambda: figures.run("figure7", runner_s),
+                                iterations=1, rounds=1)
+    print("\n" + report.text)
+    assert report.matches_paper, report.text
+    mask = report.data["figure"].mask
+    energy = mask[..., 4]
+    # the three box ranges of the paper's Section IV-B
+    assert energy[1:11, 1:11, 0:12].all()
+    assert energy[1:11, 0:12, 1:11].all()
+    assert energy[0:12, 1:11, 1:11].all()
+    # corners/edges outside the boxes are uncritical (the 128 extras)
+    assert not energy[0, 0, :].any()
+    assert not energy[0, :, 0].any()
+    assert int(np.count_nonzero(~mask)) == 1628
+    benchmark.extra_info["uncritical"] = 1628
+
+
+@pytest.mark.paper
+def test_figure7_differs_from_figure3_only_on_component_4(runner_s,
+                                                          benchmark):
+    lu_mask = benchmark.pedantic(
+        lambda: runner_s.result("LU").variables["u"].mask,
+        iterations=1, rounds=1)
+    bt_mask = runner_s.result("BT").variables["u"].mask
+    for component in range(4):
+        np.testing.assert_array_equal(lu_mask[..., component],
+                                      bt_mask[..., component])
+    assert np.count_nonzero(bt_mask[..., 4]) \
+        - np.count_nonzero(lu_mask[..., 4]) == 128

@@ -1,0 +1,35 @@
+"""Figure 8 -- critical/uncritical distribution of ``y`` in FT.
+
+Regenerates the spectrum view: only the padding plane ``k == 64`` of the
+64x64x65 dcomplex array is uncritical (4096 elements, 1.5%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.masks import uncritical_planes
+from repro.experiments import figures
+
+
+@pytest.mark.paper
+def test_figure8_ft_y_distribution(benchmark, runner_s):
+    report = benchmark.pedantic(lambda: figures.run("figure8", runner_s),
+                                iterations=1, rounds=1)
+    print("\n" + report.text)
+    assert report.matches_paper, report.text
+    mask = report.data["figure"].mask
+    assert uncritical_planes(mask) == {2: [64]}
+    assert int(np.count_nonzero(~mask)) == 4096
+    benchmark.extra_info["uncritical"] = 4096
+
+
+@pytest.mark.paper
+def test_figure8_sums_checkpointed_in_full(runner_s, benchmark):
+    """The companion observation: the checksum accumulator ``sums`` is fully
+    critical because every entry is read-modify-written."""
+    result = benchmark.pedantic(lambda: runner_s.result("FT"),
+                                iterations=1, rounds=1)
+    assert result.variables["sums"].n_uncritical == 0
+    assert result.variables["y"].n_elements == 266240

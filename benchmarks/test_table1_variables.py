@@ -1,0 +1,39 @@
+"""Table I -- checkpoint-variable inventory of the eight NPB ports.
+
+Regenerates the paper's Table I (benchmark -> variables necessary for
+checkpointing, class-S data structures) and times how long enumerating the
+inventory takes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1
+from repro.experiments.runner import ExperimentRunner
+from repro.npb import registry
+
+
+@pytest.mark.paper
+def test_table1_variable_inventory(benchmark, runner_s):
+    report = benchmark.pedantic(
+        lambda: table1.run(ExperimentRunner(problem_class="S")),
+        iterations=1, rounds=3)
+    print("\n" + report.text)
+    assert report.matches_paper
+    assert set(report.data["rows"]) == set(registry.available_benchmarks())
+    benchmark.extra_info["rows"] = report.data["rows"]
+
+
+@pytest.mark.paper
+def test_table1_class_s_element_counts(benchmark):
+    counts = benchmark(lambda: {
+        (entry.name, var.name): var.n_elements
+        for entry in registry.table1_rows("S")
+        for var in entry.variables})
+    assert counts[("BT", "u")] == 10140
+    assert counts[("MG", "u")] == 46480
+    assert counts[("CG", "x")] == 1402
+    assert counts[("LU", "rho_i")] == 2028
+    assert counts[("FT", "y")] == 266240
+    assert counts[("IS", "key_array")] == 65536

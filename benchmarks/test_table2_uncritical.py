@@ -1,0 +1,50 @@
+"""Table II -- number of uncritical elements per checkpoint variable.
+
+Times the AD criticality analysis (the paper's core computation) on one
+benchmark from scratch, then regenerates the whole Table II from the shared
+session analyses and asserts every row matches the paper exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import scrutinize
+from repro.experiments import paper, table2
+from repro.npb import registry
+
+
+@pytest.mark.paper
+def test_ad_analysis_cost_bt_class_s(benchmark):
+    """Cost of one full element-level AD analysis (BT, class S)."""
+    bench = registry.create("BT", "S")
+    state = bench.checkpoint_state(bench.total_steps // 2)
+    result = benchmark.pedantic(lambda: scrutinize(bench, state=state),
+                                iterations=1, rounds=3)
+    assert result.variables["u"].n_uncritical == 1500
+
+
+@pytest.mark.paper
+def test_table2_uncritical_elements(benchmark, runner_s):
+    report = benchmark.pedantic(lambda: table2.run(runner_s),
+                                iterations=1, rounds=1)
+    print("\n" + report.text)
+    assert report.matches_paper, report.text
+    rows = {(r["benchmark"], r["variable"]): r for r in report.data["rows"]}
+    for key, (uncritical, total) in paper.TABLE2_EXPECTED.items():
+        assert rows[key]["uncritical"] == uncritical
+        assert rows[key]["total"] == total
+    benchmark.extra_info["uncritical"] = {
+        f"{b}({v})": rows[(b, v)]["uncritical"]
+        for b, v in paper.TABLE2_EXPECTED}
+
+
+@pytest.mark.paper
+def test_table2_average_uncritical_rate_matches_abstract(runner_s, benchmark):
+    """The abstract claims an average saving of ~13% and up to 20%+."""
+    report = benchmark.pedantic(lambda: table2.run(runner_s),
+                                iterations=1, rounds=1)
+    rates = [row["uncritical_rate"] for row in report.data["rows"]]
+    average = sum(rates) / len(rates)
+    assert 0.10 <= average <= 0.16
+    assert max(rates) >= 0.20

@@ -1,0 +1,71 @@
+"""Table III -- checkpoint storage before/after eliminating uncritical
+elements.
+
+Times the pruned-checkpoint write path of the homemade library and
+regenerates the storage comparison, asserting the saved percentages match
+the paper (within its rounding).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ckpt.writer import write_full_checkpoint, write_pruned_checkpoint
+from repro.experiments import paper, table3
+
+
+@pytest.mark.paper
+def test_pruned_checkpoint_write_cost_mg(benchmark, runner_s, tmp_path):
+    """Cost of writing one pruned checkpoint (MG, the largest saving)."""
+    result = runner_s.result("MG")
+    bench = runner_s.benchmark("MG")
+
+    def write(counter=[0]):
+        counter[0] += 1
+        return write_pruned_checkpoint(
+            tmp_path / f"mg_{counter[0]}.ckpt", bench, result.state,
+            result.variables, step=result.step)
+
+    written = benchmark(write)
+    assert written.nbytes < result.full_nbytes
+
+
+@pytest.mark.paper
+def test_full_checkpoint_write_cost_mg(benchmark, runner_s, tmp_path):
+    """Baseline: cost of writing the conventional full checkpoint."""
+    result = runner_s.result("MG")
+    bench = runner_s.benchmark("MG")
+
+    def write(counter=[0]):
+        counter[0] += 1
+        return write_full_checkpoint(tmp_path / f"mgf_{counter[0]}.ckpt",
+                                     bench, result.state, step=result.step)
+
+    written = benchmark(write)
+    assert written.nbytes >= result.full_nbytes
+
+
+@pytest.mark.paper
+def test_table3_storage_saved(benchmark, runner_s, tmp_path):
+    report = benchmark.pedantic(
+        lambda: table3.run(runner_s, directory=tmp_path),
+        iterations=1, rounds=1)
+    print("\n" + report.text)
+    assert report.matches_paper, report.text
+    rows = {r["benchmark"]: r for r in report.data["rows"]}
+    for name, expectation in paper.TABLE3_EXPECTED.items():
+        assert rows[name]["saved_fraction"] == pytest.approx(
+            expectation.saved_fraction, abs=0.002)
+    benchmark.extra_info["saved_percent"] = {
+        name: round(100 * rows[name]["saved_fraction"], 1) for name in rows}
+
+
+@pytest.mark.paper
+def test_storage_saved_up_to_20_percent(runner_s, benchmark):
+    """The headline claim: storage saved by up to ~20%, 13% on average."""
+    report = benchmark.pedantic(
+        lambda: table3.run(runner_s, measure_on_disk=False),
+        iterations=1, rounds=1)
+    fractions = [r["saved_fraction"] for r in report.data["rows"]]
+    assert max(fractions) >= 0.19
+    assert 0.08 <= sum(fractions) / len(fractions) <= 0.16

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figures and export plot-ready data files.
+
+Produces, for each of Figures 3-8, a terminal rendering plus CSV / JSON /
+PGM artefacts of the underlying criticality masks so the 3-D scatter plots
+of the paper can be rebuilt with any external plotting tool.
+
+Run with::
+
+    python examples/export_figure_data.py --out out/figures
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import ExperimentRunner, figures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="figure_data",
+                        help="output directory for the exported artefacts")
+    parser.add_argument("--class", dest="problem_class", default="S",
+                        choices=("S", "T"))
+    parser.add_argument("--figure", default=None,
+                        choices=sorted(figures.FIGURES),
+                        help="export a single figure only")
+    args = parser.parse_args()
+
+    out = Path(args.out)
+    runner = ExperimentRunner(problem_class=args.problem_class)
+
+    if args.figure:
+        report = figures.run(args.figure, runner, export_dir=out)
+        reports = [report]
+    else:
+        reports = [figures.run(name, runner, export_dir=out)
+                   for name in sorted(figures.FIGURES)]
+
+    for report in reports:
+        print(report.text)
+        print()
+
+    exported = sorted(p.name for p in out.glob("*"))
+    print(f"exported {len(exported)} files to {out}:")
+    for name in exported:
+        print(f"  {name}")
+    return 0 if all(r.matches_paper for r in reports) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation tables on the NPB suite.
+
+Runs the element-level AD analysis on every benchmark the paper evaluates
+and prints Tables I, II and III plus the per-figure distribution summaries,
+comparing every number against what the paper reports.
+
+Run with::
+
+    python examples/scrutinize_npb_suite.py            # class S, the paper
+    python examples/scrutinize_npb_suite.py --class T  # reduced size, fast
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import ExperimentRunner, figures, table1, table2, table3
+from repro.viz import legend
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--class", dest="problem_class", default="S",
+                        choices=("S", "T"),
+                        help="problem class (S reproduces the paper)")
+    parser.add_argument("--skip-figures", action="store_true",
+                        help="only print the three tables")
+    args = parser.parse_args()
+
+    runner = ExperimentRunner(problem_class=args.problem_class)
+
+    reports = [table1.run(runner), table2.run(runner), table3.run(runner)]
+    if not args.skip_figures:
+        reports.append(figures.run_all(runner))
+
+    print(legend())
+    print()
+    for report in reports:
+        print(report.text)
+        print()
+
+    ok = all(r.matches_paper for r in reports)
+    if args.problem_class != "S":
+        print("note: paper comparisons only apply to class S")
+        return 0
+    print("overall:", "every artefact matches the paper" if ok
+          else "some artefact deviates from the paper (see above)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``.  This file exists so
+that environments without the ``wheel`` package (where PEP 660 editable
+installs cannot build) can still install the package in development mode via
+the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""Reverse-mode automatic differentiation engine (the "mini-Enzyme" substrate).
+
+The paper uses Enzyme (LLVM-level reverse-mode AD) to compute the derivative
+of an application's output with respect to every element of its checkpoint
+variables.  This package provides the equivalent capability for the Python
+ports of the NPB benchmarks:
+
+* :class:`~repro.ad.tape.Tape` / :class:`~repro.ad.tensor.ADArray` -- record
+  array-level primitives during a forward run.
+* :mod:`repro.ad.ops` -- the primitive library and numpy-like facade the
+  kernels are written against.
+* :mod:`repro.ad.reverse` -- the reverse sweep (``grad``, ``value_and_grad``).
+* :mod:`repro.ad.forward` -- an independent dual-number forward mode used for
+  cross-validation.
+* :mod:`repro.ad.activity` -- read-set (liveness) analysis over a recorded
+  tape, the conservative baseline and the handler for integer variables.
+* :mod:`repro.ad.checks` -- finite-difference and forward/reverse agreement
+  checks.
+* :mod:`repro.ad.seeding` -- multi-seed probing to separate structural zeros
+  from coincidental zeros.
+
+Quick example::
+
+    import numpy as np
+    from repro import ad
+
+    def f(x):
+        return ad.ops.sum(x[:3] * x[:3])      # only the first 3 elements used
+
+    g = ad.grad(f)(np.arange(5.0))
+    # g == [0, 2, 4, 0, 0]: elements 3 and 4 are "uncritical"
+"""
+
+from . import activity, checks, forward, ops, reverse, seeding
+from .ops import *  # noqa: F401,F403 - re-export the numpy-like facade
+from .reverse import backward, grad, gradient, value_and_grad
+from .tape import Tape, no_tape
+from .tensor import ADArray, is_traced, value_of
+
+__all__ = [
+    "Tape",
+    "ADArray",
+    "no_tape",
+    "is_traced",
+    "value_of",
+    "backward",
+    "grad",
+    "gradient",
+    "value_and_grad",
+    "ops",
+    "reverse",
+    "forward",
+    "activity",
+    "checks",
+    "seeding",
+]

@@ -1,0 +1,223 @@
+"""Activity (read-set) analysis over a recorded AD tape.
+
+The paper determines criticality with derivatives: an element with
+``d(output)/d(element) == 0`` is uncritical.  A cheaper, derivative-free
+criterion is *activity*: an element is live if its value is **read directly
+from the watched leaf** by a computational or indexing primitive between the
+restart point and the end of the run.
+
+This first-touch read set is an approximation of criticality in both
+directions.  It over-approximates when a whole extracted block is marked
+read even though only a sub-slice of it later feeds the output (MG's
+residual), and it under-approximates when a value is only consumed *after*
+travelling through a data-movement primitive (an element copied into the
+next iteration's state and read there), because movement chains are not
+followed.  The AD analysis of :mod:`repro.core.criticality` has neither
+problem, which is exactly the paper's argument for using derivatives; this
+module exists as the cheap baseline the ablation experiments compare
+against.
+
+Because the tape already records every primitive together with its traced
+parents (and, for indexing primitives, the index expression -- see
+``Node.meta``), the activity analysis is a cheap post-processing pass over a
+trace that was recorded anyway.  It also covers the variables reverse-mode AD
+cannot handle, namely integer data (loop counters, permutation arrays in IS):
+those are classified by :mod:`repro.core.criticality` rules, with this module
+supplying the read information when the integer array is traced as float.
+
+Two op categories are distinguished:
+
+``CONSUMING``
+    primitives whose use of a parent's elements constitutes a real read of
+    the *values* (arithmetic, reductions, matmul, comparisons via ``where``,
+    gathers feeding computation).
+
+``MOVEMENT``
+    primitives that merely relocate or duplicate data (``copy``,
+    ``index_update`` of the untouched complement, ``reshape`` ...).  A pure
+    data movement does not, by itself, make an element live; whether the
+    moved value is live depends on what later consumes it, which the
+    element-level analysis intentionally over-approximates by following
+    movements transitively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .tape import Node, Tape
+from .tensor import ADArray
+
+__all__ = [
+    "CONSUMING_OPS",
+    "MOVEMENT_OPS",
+    "read_mask",
+    "read_masks",
+    "ActivityResult",
+]
+
+
+#: primitives that consume the values of their traced parents
+CONSUMING_OPS = frozenset({
+    "add", "subtract", "multiply", "divide", "power", "maximum", "minimum",
+    "mod", "negative", "absolute", "sqrt", "exp", "expm1", "log", "log1p",
+    "sin", "cos", "tan", "tanh", "sign", "square", "reciprocal", "clip",
+    "sum", "mean", "max", "min", "prod", "where",
+    "matmul", "stack", "concatenate",
+})
+
+#: primitives that only move data around
+MOVEMENT_OPS = frozenset({
+    "copy", "reshape", "transpose", "swapaxes", "moveaxis", "broadcast_to",
+    "squeeze", "expand_dims", "flip", "roll", "pad_zero", "astype",
+    "index_update", "index_add", "leaf",
+})
+
+#: indexing primitives: they read only the selected subset of the parent
+INDEXING_OPS = frozenset({"getitem", "take"})
+
+
+class ActivityResult:
+    """Outcome of the activity analysis for one watched leaf.
+
+    Attributes
+    ----------
+    name:
+        The leaf's watch name (may be ``None``).
+    read:
+        Boolean mask, ``True`` where the element was directly read by a
+        consuming or indexing primitive.
+    moved:
+        Boolean mask, ``True`` where the element was touched only by data
+        movement primitives; informational.
+    """
+
+    __slots__ = ("name", "read", "moved")
+
+    def __init__(self, name: str | None, read: np.ndarray, moved: np.ndarray):
+        self.name = name
+        self.read = read
+        self.moved = moved
+
+    @property
+    def n_read(self) -> int:
+        """Number of elements read at least once."""
+        return int(self.read.sum())
+
+    @property
+    def n_unread(self) -> int:
+        """Number of elements never read (candidate uncritical elements)."""
+        return int(self.read.size - self.read.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ActivityResult(name={self.name!r}, read={self.n_read}, "
+                f"unread={self.n_unread})")
+
+
+def _children_by_parent(tape: Tape) -> dict[int, list[Node]]:
+    """Map each node index to the list of nodes that consume it."""
+    children: dict[int, list[Node]] = {}
+    for node in tape.nodes:
+        for parent in node.parents:
+            children.setdefault(parent.index, []).append(node)
+    return children
+
+
+def read_mask(tape: Tape, leaf: ADArray) -> ActivityResult:
+    """Compute the read mask of one watched leaf.
+
+    Parameters
+    ----------
+    tape:
+        The tape on which the program was traced.
+    leaf:
+        A traced array created by :meth:`Tape.watch`.
+
+    Notes
+    -----
+    The analysis is a first-touch read set: any direct appearance of the
+    leaf in a consuming primitive marks the whole accessed region as read,
+    and a ``getitem`` of the leaf marks the selected region as read whether
+    or not the extracted slice later reaches the output.  This matches how a
+    programmer would reason about "participates in computation" in the
+    paper's Section V.  Reads of *copies* of the leaf (values surviving a
+    ``copy`` or the untouched complement of an ``index_update``) are not
+    chased -- see the module docstring for the consequences.  The only
+    movement primitive handled specially is ``index_update`` (the
+    copy-on-write behind ``__setitem__``): the overwritten region is neither
+    read nor moved, because the old values there are destroyed.
+    """
+    return _read_mask_with_children(tape, leaf, _children_by_parent(tape))
+
+
+def _read_mask_with_children(tape: Tape, leaf: ADArray,
+                             children: dict[int, list[Node]]) -> ActivityResult:
+    """Implementation of :func:`read_mask` with a precomputed children map."""
+    if leaf.node is None:
+        raise ValueError("leaf is not traced; use Tape.watch")
+    shape = leaf.node.shape
+    read = np.zeros(shape, dtype=bool)
+    moved = np.zeros(shape, dtype=bool)
+
+    leaf_children = children.get(leaf.node.index, [])
+
+    for child in leaf_children:
+        if child.op in INDEXING_OPS:
+            region = _indexed_region(shape, child)
+            read |= region
+        elif child.op in CONSUMING_OPS:
+            read[...] = True
+        elif child.op in MOVEMENT_OPS:
+            if child.op == "index_update":
+                # the leaf appears as the "old value"; only the complement of
+                # the updated region survives into the copy
+                region = _indexed_region(shape, child)
+                moved |= ~region
+            else:
+                moved[...] = True
+        else:  # unknown primitive: be conservative
+            read[...] = True
+
+    return ActivityResult(tape.watched.get(leaf.node.index), read, moved)
+
+
+def read_masks(tape: Tape, leaves: Iterable[ADArray]) -> list[ActivityResult]:
+    """Vector form of :func:`read_mask` for several watched leaves.
+
+    The children map is built once and shared, so analysing many checkpoint
+    variables over the same (potentially long) tape stays linear in the tape
+    length.
+    """
+    leaves = list(leaves)
+    children = _children_by_parent(tape)
+    return [_read_mask_with_children(tape, leaf, children) for leaf in leaves]
+
+
+def _indexed_region(shape: tuple, node: Node) -> np.ndarray:
+    """Boolean mask of the elements selected by an indexing node."""
+    mask = np.zeros(shape, dtype=bool)
+    meta = node.meta or {}
+    if node.op == "take":
+        idx = meta.get("indices")
+        axis = meta.get("axis")
+        if idx is None:
+            mask[...] = True
+            return mask
+        if axis is None:
+            mask.reshape(-1)[np.asarray(idx).reshape(-1)] = True
+        else:
+            sl = [slice(None)] * len(shape)
+            sl[axis] = np.asarray(idx).reshape(-1)
+            mask[tuple(sl)] = True
+        return mask
+    index = meta.get("index")
+    if index is None:
+        mask[...] = True
+        return mask
+    try:
+        mask[index] = True
+    except (IndexError, TypeError):  # exotic index expression: be conservative
+        mask[...] = True
+    return mask

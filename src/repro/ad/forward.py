@@ -1,0 +1,206 @@
+"""Forward-mode automatic differentiation with dual numbers.
+
+The reproduction's primary engine is the reverse-mode tape in
+:mod:`repro.ad.reverse` (one sweep gives the derivative of the scalar output
+with respect to *every* element, which is what the checkpoint analysis
+needs).  Forward mode is provided as an independent implementation used to
+cross-validate the reverse-mode results on small problems: for a function
+``f`` and direction ``v``, ``jvp(f, x, v)`` must equal ``dot(grad f(x), v)``.
+
+:class:`Dual` carries ``(value, tangent)`` pairs of numpy arrays and
+overloads the arithmetic operators used by the synthetic validation
+functions.  It is intentionally *not* wired into the big NPB kernels -- the
+point is that it shares no code with the reverse-mode engine, so agreement
+between the two is meaningful evidence of correctness, alongside the finite
+difference checks in :mod:`repro.ad.checks`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["Dual", "jvp", "directional_derivative"]
+
+
+def _val(x: Any) -> np.ndarray:
+    return x.value if isinstance(x, Dual) else np.asarray(x)
+
+
+def _tan(x: Any, like: np.ndarray) -> np.ndarray:
+    if isinstance(x, Dual):
+        return x.tangent
+    return np.zeros_like(np.asarray(like, dtype=np.float64))
+
+
+class Dual:
+    """A (value, tangent) pair supporting elementwise arithmetic.
+
+    Both members are numpy arrays of identical shape.  Operations combine the
+    values exactly as numpy would and propagate tangents with the chain rule.
+    """
+
+    __slots__ = ("value", "tangent")
+
+    __array_priority__ = 150.0
+
+    def __init__(self, value, tangent=None) -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        if tangent is None:
+            tangent = np.zeros_like(self.value)
+        self.tangent = np.asarray(tangent, dtype=np.float64)
+        if self.tangent.shape != self.value.shape:
+            self.tangent = np.broadcast_to(self.tangent, self.value.shape).copy()
+
+    # -- metadata --------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Dual(shape={self.value.shape})"
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other):
+        return Dual(self.value + _val(other),
+                    self.tangent + _tan(other, _val(other)))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return Dual(self.value - _val(other),
+                    self.tangent - _tan(other, _val(other)))
+
+    def __rsub__(self, other):
+        return Dual(_val(other) - self.value,
+                    _tan(other, _val(other)) - self.tangent)
+
+    def __mul__(self, other):
+        ov, ot = _val(other), _tan(other, _val(other))
+        return Dual(self.value * ov, self.tangent * ov + self.value * ot)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        ov, ot = _val(other), _tan(other, _val(other))
+        return Dual(self.value / ov,
+                    self.tangent / ov - self.value * ot / (ov * ov))
+
+    def __rtruediv__(self, other):
+        ov, ot = _val(other), _tan(other, _val(other))
+        return Dual(ov / self.value,
+                    ot / self.value - ov * self.tangent / (self.value ** 2))
+
+    def __pow__(self, exponent):
+        if isinstance(exponent, Dual):
+            raise TypeError("dual exponents are not supported in forward mode")
+        e = float(exponent)
+        return Dual(self.value ** e,
+                    e * self.value ** (e - 1.0) * self.tangent)
+
+    def __neg__(self):
+        return Dual(-self.value, -self.tangent)
+
+    def __abs__(self):
+        return Dual(np.abs(self.value), np.sign(self.value) * self.tangent)
+
+    def __matmul__(self, other):
+        ov, ot = _val(other), _tan(other, _val(other))
+        return Dual(self.value @ ov, self.tangent @ ov + self.value @ ot)
+
+    def __rmatmul__(self, other):
+        ov, ot = _val(other), _tan(other, _val(other))
+        return Dual(ov @ self.value, ot @ self.value + ov @ self.tangent)
+
+    # -- indexing and reductions -----------------------------------------
+    def __getitem__(self, index):
+        return Dual(self.value[index], self.tangent[index])
+
+    def sum(self, axis=None):
+        return Dual(self.value.sum(axis=axis), self.tangent.sum(axis=axis))
+
+    def mean(self, axis=None):
+        return Dual(self.value.mean(axis=axis), self.tangent.mean(axis=axis))
+
+    def reshape(self, *shape):
+        return Dual(self.value.reshape(*shape), self.tangent.reshape(*shape))
+
+    def ravel(self):
+        return Dual(self.value.ravel(), self.tangent.ravel())
+
+    # -- elementwise functions -------------------------------------------
+    def sqrt(self):
+        v = np.sqrt(self.value)
+        return Dual(v, 0.5 / v * self.tangent)
+
+    def exp(self):
+        v = np.exp(self.value)
+        return Dual(v, v * self.tangent)
+
+    def log(self):
+        return Dual(np.log(self.value), self.tangent / self.value)
+
+    def sin(self):
+        return Dual(np.sin(self.value), np.cos(self.value) * self.tangent)
+
+    def cos(self):
+        return Dual(np.cos(self.value), -np.sin(self.value) * self.tangent)
+
+
+# module-level helpers so validation functions can be written generically ---
+
+def sqrt(x):
+    """``sqrt`` working on Dual or plain arrays."""
+    return x.sqrt() if isinstance(x, Dual) else np.sqrt(x)
+
+
+def exp(x):
+    """``exp`` working on Dual or plain arrays."""
+    return x.exp() if isinstance(x, Dual) else np.exp(x)
+
+
+def log(x):
+    """``log`` working on Dual or plain arrays."""
+    return x.log() if isinstance(x, Dual) else np.log(x)
+
+
+def sin(x):
+    """``sin`` working on Dual or plain arrays."""
+    return x.sin() if isinstance(x, Dual) else np.sin(x)
+
+
+def cos(x):
+    """``cos`` working on Dual or plain arrays."""
+    return x.cos() if isinstance(x, Dual) else np.cos(x)
+
+
+def sum(x, axis=None):  # noqa: A001 - mirrors numpy naming
+    """``sum`` working on Dual or plain arrays."""
+    return x.sum(axis=axis) if isinstance(x, Dual) else np.sum(x, axis=axis)
+
+
+def jvp(fun: Callable, x: np.ndarray, v: np.ndarray) -> float:
+    """Jacobian-vector product of a scalar function ``fun`` at ``x`` along ``v``.
+
+    ``fun`` must be written against the Dual-compatible helpers of this
+    module (or plain operators).  Returns the scalar directional derivative.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    out = fun(Dual(x, v))
+    if isinstance(out, Dual):
+        if out.value.size != 1:
+            raise ValueError("jvp expects a scalar-valued function")
+        return float(out.tangent)
+    # function ignored its input entirely -> zero derivative
+    return 0.0
+
+
+def directional_derivative(fun: Callable, x: np.ndarray, v: np.ndarray) -> float:
+    """Alias of :func:`jvp` with a name matching the maths literature."""
+    return jvp(fun, x, v)

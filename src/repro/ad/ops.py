@@ -1,0 +1,961 @@
+"""Primitive array operations with their vector-Jacobian products (VJPs).
+
+This module is both
+
+* the **primitive library** of the reverse-mode AD engine -- every function
+  here knows how to compute its value with NumPy *and* how to pull a
+  cotangent back to its inputs -- and
+* the **numpy-like facade** the NPB mini-apps are written against: every
+  function accepts either plain numpy arrays (in which case it behaves
+  exactly like the corresponding :mod:`numpy` function and returns plain
+  numpy data) or traced :class:`~repro.ad.tensor.ADArray` objects (in which
+  case the operation is recorded on the tape of its traced operands).
+
+The design follows the guidance of the HPC-Python coding guides used for
+this project: hot paths stay fully vectorised (the tape records *array*
+operations, never per-element ones), gradient buffers are reused in place
+during the reverse sweep, and no Python-level loop runs over array elements.
+
+Only the primitives required by the NPB kernels and the checkpoint analysis
+are implemented; adding a new primitive means adding one function following
+the ``_record`` pattern below.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .tape import Tape, _TAPES, get_active_tape
+from .tensor import ADArray, value_of
+
+__all__ = [
+    # elementwise binary
+    "add", "subtract", "multiply", "divide", "power", "maximum", "minimum",
+    "mod",
+    # elementwise unary
+    "negative", "absolute", "sqrt", "exp", "log", "log1p", "expm1",
+    "sin", "cos", "tan", "tanh", "sign", "square", "reciprocal", "clip",
+    # reductions
+    "sum", "mean", "max", "min", "prod", "norm",
+    # shape manipulation
+    "reshape", "transpose", "swapaxes", "broadcast_to", "concatenate",
+    "stack", "moveaxis", "squeeze", "expand_dims", "ravel", "flip", "roll",
+    "pad_zero",
+    # selection / indexing
+    "getitem", "take", "index_update", "index_add", "where", "copy",
+    "astype", "detach",
+    # linear algebra
+    "matmul", "dot", "outer",
+    # constructors / passthrough helpers
+    "zeros", "ones", "full", "zeros_like", "ones_like", "arange", "linspace",
+    "asarray", "array",
+    # misc
+    "isnan", "isfinite", "allclose", "to_numpy",
+]
+
+
+# ---------------------------------------------------------------------------
+# recording machinery
+# ---------------------------------------------------------------------------
+
+def _traced_parents(*operands: Any) -> list[ADArray]:
+    """Return the operands that are traced ADArrays, in order."""
+    return [x for x in operands if isinstance(x, ADArray) and x.node is not None]
+
+
+def _target_tape(parents: Sequence[ADArray]) -> Tape | None:
+    """Pick the tape new nodes should be recorded on.
+
+    Preference order: the innermost *active* tape (if any), falling back to
+    the tape of the first traced parent.  When tracing is suspended with
+    :class:`repro.ad.tape.no_tape`, returns ``None`` and the operation is
+    not recorded.
+    """
+    if _TAPES.stack:
+        return _TAPES.stack[-1]  # may be None inside ``no_tape``
+    if parents:
+        return parents[0].tape
+    return None
+
+
+def _record(op: str, value: np.ndarray, parents: Sequence[ADArray],
+            vjp: Callable[[np.ndarray], tuple],
+            meta: dict | None = None) -> Any:
+    """Record one primitive and wrap its output.
+
+    If there are no traced parents, or tracing is suspended, the plain numpy
+    value is returned so untraced code pays no overhead.
+    """
+    parents = list(parents)
+    if not parents:
+        return value
+    tape = _target_tape(parents)
+    if tape is None:
+        return value
+    node = tape.add_node(op, [p.node for p in parents], vjp,
+                         np.shape(value), np.asarray(value).dtype, meta=meta)
+    return ADArray(value, node=node, tape=tape)
+
+
+def _unbroadcast(g: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce a broadcasted cotangent ``g`` back down to ``shape``."""
+    g = np.asarray(g)
+    if g.shape == tuple(shape):
+        return g
+    # sum over leading broadcast dimensions
+    while g.ndim > len(shape):
+        g = g.sum(axis=0)
+    # sum over axes that were size-1 in the original shape
+    for axis, dim in enumerate(shape):
+        if dim == 1 and g.shape[axis] != 1:
+            g = g.sum(axis=axis, keepdims=True)
+    return g.reshape(shape)
+
+
+def to_numpy(x: Any) -> np.ndarray:
+    """Concrete numpy value of ``x`` (identity for plain arrays)."""
+    return value_of(x)
+
+
+# ---------------------------------------------------------------------------
+# elementwise binary primitives
+# ---------------------------------------------------------------------------
+
+def add(a: Any, b: Any) -> Any:
+    """Elementwise ``a + b`` with NumPy broadcasting."""
+    av, bv = value_of(a), value_of(b)
+    out = av + bv
+    parents = _traced_parents(a, b)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        if isinstance(a, ADArray) and a.node is not None:
+            grads.append(_unbroadcast(g, av.shape))
+        if isinstance(b, ADArray) and b.node is not None:
+            grads.append(_unbroadcast(g, bv.shape))
+        return tuple(grads)
+
+    return _record("add", out, parents, vjp)
+
+
+def subtract(a: Any, b: Any) -> Any:
+    """Elementwise ``a - b`` with NumPy broadcasting."""
+    av, bv = value_of(a), value_of(b)
+    out = av - bv
+    parents = _traced_parents(a, b)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        if isinstance(a, ADArray) and a.node is not None:
+            grads.append(_unbroadcast(g, av.shape))
+        if isinstance(b, ADArray) and b.node is not None:
+            grads.append(_unbroadcast(-g, bv.shape))
+        return tuple(grads)
+
+    return _record("subtract", out, parents, vjp)
+
+
+def multiply(a: Any, b: Any) -> Any:
+    """Elementwise ``a * b`` with NumPy broadcasting."""
+    av, bv = value_of(a), value_of(b)
+    out = av * bv
+    parents = _traced_parents(a, b)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        if isinstance(a, ADArray) and a.node is not None:
+            grads.append(_unbroadcast(g * bv, av.shape))
+        if isinstance(b, ADArray) and b.node is not None:
+            grads.append(_unbroadcast(g * av, bv.shape))
+        return tuple(grads)
+
+    return _record("multiply", out, parents, vjp)
+
+
+def divide(a: Any, b: Any) -> Any:
+    """Elementwise true division ``a / b``."""
+    av, bv = value_of(a), value_of(b)
+    out = av / bv
+    parents = _traced_parents(a, b)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        if isinstance(a, ADArray) and a.node is not None:
+            grads.append(_unbroadcast(g / bv, av.shape))
+        if isinstance(b, ADArray) and b.node is not None:
+            grads.append(_unbroadcast(-g * av / (bv * bv), bv.shape))
+        return tuple(grads)
+
+    return _record("divide", out, parents, vjp)
+
+
+def power(a: Any, b: Any) -> Any:
+    """Elementwise ``a ** b``.
+
+    The exponent may be traced, but the usual use in the kernels is a
+    constant scalar exponent, for which the VJP reduces to
+    ``g * b * a**(b-1)``.
+    """
+    av, bv = value_of(a), value_of(b)
+    out = av ** bv
+    parents = _traced_parents(a, b)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        if isinstance(a, ADArray) and a.node is not None:
+            grads.append(_unbroadcast(g * bv * av ** (bv - 1.0), av.shape))
+        if isinstance(b, ADArray) and b.node is not None:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                loga = np.where(av > 0, np.log(np.where(av > 0, av, 1.0)), 0.0)
+            grads.append(_unbroadcast(g * out * loga, np.shape(bv)))
+        return tuple(grads)
+
+    return _record("power", out, parents, vjp)
+
+
+def maximum(a: Any, b: Any) -> Any:
+    """Elementwise maximum; ties send the cotangent to the first operand."""
+    av, bv = value_of(a), value_of(b)
+    out = np.maximum(av, bv)
+    parents = _traced_parents(a, b)
+    mask_a = av >= bv
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        if isinstance(a, ADArray) and a.node is not None:
+            grads.append(_unbroadcast(g * mask_a, np.shape(av)))
+        if isinstance(b, ADArray) and b.node is not None:
+            grads.append(_unbroadcast(g * (~mask_a), np.shape(bv)))
+        return tuple(grads)
+
+    return _record("maximum", out, parents, vjp)
+
+
+def minimum(a: Any, b: Any) -> Any:
+    """Elementwise minimum; ties send the cotangent to the first operand."""
+    av, bv = value_of(a), value_of(b)
+    out = np.minimum(av, bv)
+    parents = _traced_parents(a, b)
+    mask_a = av <= bv
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        if isinstance(a, ADArray) and a.node is not None:
+            grads.append(_unbroadcast(g * mask_a, np.shape(av)))
+        if isinstance(b, ADArray) and b.node is not None:
+            grads.append(_unbroadcast(g * (~mask_a), np.shape(bv)))
+        return tuple(grads)
+
+    return _record("minimum", out, parents, vjp)
+
+
+def mod(a: Any, b: Any) -> Any:
+    """Elementwise ``a % b``; derivative taken w.r.t. ``a`` only."""
+    av, bv = value_of(a), value_of(b)
+    out = np.mod(av, bv)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (_unbroadcast(g, np.shape(av)),)
+
+    return _record("mod", out, parents, vjp)
+
+
+# ---------------------------------------------------------------------------
+# elementwise unary primitives
+# ---------------------------------------------------------------------------
+
+def _unary(op: str, a: Any, out: np.ndarray,
+           dydx: Callable[[], np.ndarray]) -> Any:
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (g * dydx(),)
+
+    return _record(op, out, parents, vjp)
+
+
+def negative(a: Any) -> Any:
+    """Elementwise negation."""
+    av = value_of(a)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (-g,)
+
+    return _record("negative", -av, parents, vjp)
+
+
+def absolute(a: Any) -> Any:
+    """Elementwise absolute value (subgradient ``sign(a)`` at 0)."""
+    av = value_of(a)
+    return _unary("absolute", a, np.abs(av), lambda: np.sign(av))
+
+
+def sqrt(a: Any) -> Any:
+    """Elementwise square root."""
+    av = value_of(a)
+    out = np.sqrt(av)
+    return _unary("sqrt", a, out, lambda: 0.5 / np.where(out == 0, np.inf, out))
+
+
+def exp(a: Any) -> Any:
+    """Elementwise exponential."""
+    av = value_of(a)
+    out = np.exp(av)
+    return _unary("exp", a, out, lambda: out)
+
+
+def expm1(a: Any) -> Any:
+    """Elementwise ``exp(a) - 1``."""
+    av = value_of(a)
+    return _unary("expm1", a, np.expm1(av), lambda: np.exp(av))
+
+
+def log(a: Any) -> Any:
+    """Elementwise natural logarithm."""
+    av = value_of(a)
+    return _unary("log", a, np.log(av), lambda: 1.0 / av)
+
+
+def log1p(a: Any) -> Any:
+    """Elementwise ``log(1 + a)``."""
+    av = value_of(a)
+    return _unary("log1p", a, np.log1p(av), lambda: 1.0 / (1.0 + av))
+
+
+def sin(a: Any) -> Any:
+    """Elementwise sine."""
+    av = value_of(a)
+    return _unary("sin", a, np.sin(av), lambda: np.cos(av))
+
+
+def cos(a: Any) -> Any:
+    """Elementwise cosine."""
+    av = value_of(a)
+    return _unary("cos", a, np.cos(av), lambda: -np.sin(av))
+
+
+def tan(a: Any) -> Any:
+    """Elementwise tangent."""
+    av = value_of(a)
+    return _unary("tan", a, np.tan(av), lambda: 1.0 / np.cos(av) ** 2)
+
+
+def tanh(a: Any) -> Any:
+    """Elementwise hyperbolic tangent."""
+    av = value_of(a)
+    out = np.tanh(av)
+    return _unary("tanh", a, out, lambda: 1.0 - out ** 2)
+
+
+def sign(a: Any) -> Any:
+    """Elementwise sign; derivative is zero almost everywhere."""
+    av = value_of(a)
+    return _unary("sign", a, np.sign(av), lambda: np.zeros_like(av))
+
+
+def square(a: Any) -> Any:
+    """Elementwise square."""
+    av = value_of(a)
+    return _unary("square", a, av * av, lambda: 2.0 * av)
+
+
+def reciprocal(a: Any) -> Any:
+    """Elementwise ``1 / a``."""
+    av = value_of(a)
+    return _unary("reciprocal", a, 1.0 / av, lambda: -1.0 / (av * av))
+
+
+def clip(a: Any, lo: float, hi: float) -> Any:
+    """Clamp values to ``[lo, hi]``; cotangent passes only inside the range."""
+    av = value_of(a)
+    out = np.clip(av, lo, hi)
+    inside = (av >= lo) & (av <= hi)
+    return _unary("clip", a, out, lambda: inside.astype(av.dtype))
+
+
+def isnan(a: Any) -> np.ndarray:
+    """Non-differentiable NaN test on the concrete value."""
+    return np.isnan(value_of(a))
+
+
+def isfinite(a: Any) -> np.ndarray:
+    """Non-differentiable finiteness test on the concrete value."""
+    return np.isfinite(value_of(a))
+
+
+def allclose(a: Any, b: Any, rtol: float = 1e-5, atol: float = 1e-8) -> bool:
+    """Non-differentiable closeness test on concrete values."""
+    return bool(np.allclose(value_of(a), value_of(b), rtol=rtol, atol=atol))
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+def sum(a: Any, axis=None, keepdims: bool = False) -> Any:
+    """Sum of elements over the given axis."""
+    av = value_of(a)
+    out = np.sum(av, axis=axis, keepdims=keepdims)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        g = np.asarray(g)
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (np.broadcast_to(g, av.shape).copy(),)
+
+    return _record("sum", out, parents, vjp)
+
+
+def mean(a: Any, axis=None, keepdims: bool = False) -> Any:
+    """Arithmetic mean over the given axis."""
+    av = value_of(a)
+    out = np.mean(av, axis=axis, keepdims=keepdims)
+    parents = _traced_parents(a)
+    count = av.size if axis is None else np.prod(
+        [av.shape[ax] for ax in np.atleast_1d(axis)], dtype=np.int64)
+
+    def vjp(g: np.ndarray) -> tuple:
+        g = np.asarray(g) / count
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (np.broadcast_to(g, av.shape).copy(),)
+
+    return _record("mean", out, parents, vjp)
+
+
+def _minmax_vjp(av: np.ndarray, out: np.ndarray, axis, keepdims: bool):
+    def vjp(g: np.ndarray) -> tuple:
+        g = np.asarray(g)
+        out_k = out
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+            out_k = np.expand_dims(out, axis=axis)
+        mask = (av == out_k)
+        # split the cotangent equally across ties to keep the VJP a linear map
+        denom = mask.sum(axis=axis, keepdims=True) if axis is not None \
+            else mask.sum()
+        return (mask * g / denom,)
+
+    return vjp
+
+
+def max(a: Any, axis=None, keepdims: bool = False) -> Any:
+    """Maximum over the given axis (ties share the cotangent equally)."""
+    av = value_of(a)
+    out = np.max(av, axis=axis, keepdims=keepdims)
+    parents = _traced_parents(a)
+    return _record("max", out, parents, _minmax_vjp(av, out, axis, keepdims))
+
+
+def min(a: Any, axis=None, keepdims: bool = False) -> Any:
+    """Minimum over the given axis (ties share the cotangent equally)."""
+    av = value_of(a)
+    out = np.min(av, axis=axis, keepdims=keepdims)
+    parents = _traced_parents(a)
+    return _record("min", out, parents, _minmax_vjp(av, out, axis, keepdims))
+
+
+def prod(a: Any, axis=None, keepdims: bool = False) -> Any:
+    """Product over the given axis (assumes no exact zeros for the VJP)."""
+    av = value_of(a)
+    out = np.prod(av, axis=axis, keepdims=keepdims)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        g = np.asarray(g)
+        out_k = out
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+            out_k = np.expand_dims(out, axis=axis)
+        safe = np.where(av == 0, 1.0, av)
+        return (g * out_k / safe,)
+
+    return _record("prod", out, parents, vjp)
+
+
+def norm(a: Any, ord: int = 2) -> Any:
+    """Flattened vector norm built from differentiable primitives.
+
+    Only ``ord in (1, 2)`` is supported; the NPB verification norms are
+    2-norms and max-norms (use :func:`max` with :func:`absolute` for the
+    latter).
+    """
+    flat = reshape(a, (-1,))
+    if ord == 1:
+        return sum(absolute(flat))
+    if ord == 2:
+        return sqrt(sum(flat * flat))
+    raise ValueError(f"unsupported norm order: {ord!r}")
+
+
+# ---------------------------------------------------------------------------
+# shape manipulation
+# ---------------------------------------------------------------------------
+
+def reshape(a: Any, shape) -> Any:
+    """Reshape to ``shape`` (a view-like differentiable operation)."""
+    av = value_of(a)
+    out = np.reshape(av, shape)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (np.reshape(g, av.shape),)
+
+    return _record("reshape", out, parents, vjp)
+
+
+def ravel(a: Any) -> Any:
+    """Flatten to one dimension."""
+    return reshape(a, (-1,))
+
+
+def transpose(a: Any, axes=None) -> Any:
+    """Permute array axes."""
+    av = value_of(a)
+    out = np.transpose(av, axes)
+    parents = _traced_parents(a)
+    if axes is None:
+        inv_axes = None
+    else:
+        inv_axes = np.argsort(axes)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (np.transpose(g, inv_axes),)
+
+    return _record("transpose", out, parents, vjp)
+
+
+def swapaxes(a: Any, axis1: int, axis2: int) -> Any:
+    """Interchange two axes."""
+    av = value_of(a)
+    out = np.swapaxes(av, axis1, axis2)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (np.swapaxes(g, axis1, axis2),)
+
+    return _record("swapaxes", out, parents, vjp)
+
+
+def moveaxis(a: Any, source, destination) -> Any:
+    """Move array axes to new positions."""
+    av = value_of(a)
+    out = np.moveaxis(av, source, destination)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (np.moveaxis(g, destination, source),)
+
+    return _record("moveaxis", out, parents, vjp)
+
+
+def broadcast_to(a: Any, shape) -> Any:
+    """Broadcast to a new shape."""
+    av = value_of(a)
+    out = np.broadcast_to(av, shape)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (_unbroadcast(g, av.shape),)
+
+    return _record("broadcast_to", np.array(out), parents, vjp)
+
+
+def squeeze(a: Any, axis=None) -> Any:
+    """Remove size-1 dimensions."""
+    av = value_of(a)
+    out = np.squeeze(av, axis=axis)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (np.reshape(g, av.shape),)
+
+    return _record("squeeze", out, parents, vjp)
+
+
+def expand_dims(a: Any, axis) -> Any:
+    """Insert a size-1 dimension at ``axis``."""
+    av = value_of(a)
+    out = np.expand_dims(av, axis)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (np.reshape(g, av.shape),)
+
+    return _record("expand_dims", out, parents, vjp)
+
+
+def concatenate(arrays: Sequence[Any], axis: int = 0) -> Any:
+    """Join arrays along an existing axis."""
+    values = [value_of(a) for a in arrays]
+    out = np.concatenate(values, axis=axis)
+    parents = _traced_parents(*arrays)
+    # offsets of every *traced* input along the concat axis
+    sizes = [v.shape[axis] for v in values]
+    offsets = np.cumsum([0] + sizes)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        for arr, val, start, stop in zip(arrays, values, offsets[:-1], offsets[1:]):
+            if isinstance(arr, ADArray) and arr.node is not None:
+                index = [slice(None)] * g.ndim
+                index[axis] = slice(start, stop)
+                grads.append(g[tuple(index)])
+        return tuple(grads)
+
+    return _record("concatenate", out, parents, vjp)
+
+
+def stack(arrays: Sequence[Any], axis: int = 0) -> Any:
+    """Join arrays along a new axis."""
+    values = [value_of(a) for a in arrays]
+    out = np.stack(values, axis=axis)
+    parents = _traced_parents(*arrays)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        for i, arr in enumerate(arrays):
+            if isinstance(arr, ADArray) and arr.node is not None:
+                grads.append(np.take(g, i, axis=axis))
+        return tuple(grads)
+
+    return _record("stack", out, parents, vjp)
+
+
+def flip(a: Any, axis=None) -> Any:
+    """Reverse element order along the given axis."""
+    av = value_of(a)
+    out = np.flip(av, axis=axis)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (np.flip(g, axis=axis),)
+
+    return _record("flip", out, parents, vjp)
+
+
+def roll(a: Any, shift, axis=None) -> Any:
+    """Circularly shift elements along an axis (periodic stencils)."""
+    av = value_of(a)
+    out = np.roll(av, shift, axis=axis)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (np.roll(g, -np.asarray(shift) if np.ndim(shift) else -shift,
+                        axis=axis),)
+
+    return _record("roll", out, parents, vjp)
+
+
+def pad_zero(a: Any, pad_width) -> Any:
+    """Zero-pad an array (``numpy.pad`` with constant zeros)."""
+    av = value_of(a)
+    out = np.pad(av, pad_width, mode="constant")
+    parents = _traced_parents(a)
+    norm_pad = np.asarray(np.broadcast_to(np.asarray(pad_width, dtype=np.int64)
+                                          .reshape(-1, 2) if np.ndim(pad_width) > 0
+                                          else [[pad_width, pad_width]],
+                                          (av.ndim, 2)))
+
+    def vjp(g: np.ndarray) -> tuple:
+        index = tuple(slice(before, before + size)
+                      for (before, _after), size in zip(norm_pad, av.shape))
+        return (g[index],)
+
+    return _record("pad_zero", out, parents, vjp)
+
+
+# ---------------------------------------------------------------------------
+# selection and indexing
+# ---------------------------------------------------------------------------
+
+def _index_values(index: Any) -> Any:
+    """Strip ADArray wrappers from an index expression (indices are data)."""
+    if isinstance(index, ADArray):
+        return index.value
+    if isinstance(index, tuple):
+        return tuple(_index_values(i) for i in index)
+    return index
+
+
+def _is_advanced(index: Any) -> bool:
+    """True when the index expression uses integer/boolean array indexing."""
+    if isinstance(index, (np.ndarray, list)):
+        return True
+    if isinstance(index, tuple):
+        return builtins.any(isinstance(i, (np.ndarray, list)) for i in index)
+    return False
+
+
+def getitem(a: Any, index: Any) -> Any:
+    """Differentiable ``a[index]`` (basic slicing or advanced indexing)."""
+    av = value_of(a)
+    idx = _index_values(index)
+    out = av[idx]
+    parents = _traced_parents(a)
+    advanced = _is_advanced(idx)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grad = np.zeros(av.shape, dtype=np.result_type(g, np.float64))
+        if advanced:
+            np.add.at(grad, idx, g)
+        else:
+            grad[idx] += g
+        return (grad,)
+
+    return _record("getitem", out, parents, vjp, meta={"index": idx})
+
+
+def take(a: Any, indices: Any, axis=None) -> Any:
+    """Differentiable ``numpy.take``."""
+    av = value_of(a)
+    idx = _index_values(indices)
+    out = np.take(av, idx, axis=axis)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grad = np.zeros(av.shape, dtype=np.result_type(g, np.float64))
+        if axis is None:
+            np.add.at(grad.reshape(-1), np.asarray(idx).reshape(-1),
+                      np.asarray(g).reshape(-1))
+        else:
+            grad_moved = np.moveaxis(grad, axis, 0)
+            g_moved = np.moveaxis(np.asarray(g), axis, 0) \
+                if np.ndim(idx) > 0 else np.asarray(g)[None]
+            np.add.at(grad_moved, np.asarray(idx).reshape(-1),
+                      g_moved.reshape((-1,) + grad_moved.shape[1:]))
+        return (grad,)
+
+    return _record("take", out, parents, vjp,
+                   meta={"indices": np.asarray(idx), "axis": axis})
+
+
+def index_update(a: Any, index: Any, b: Any) -> Any:
+    """Functional update: a copy of ``a`` with ``a[index] = b``.
+
+    This is the primitive behind ``ADArray.__setitem__``.  The cotangent of
+    ``a`` is the incoming cotangent with the updated region zeroed out (those
+    elements of ``a`` were overwritten, so they no longer influence the
+    output); the cotangent of ``b`` is the cotangent of the updated region.
+    """
+    av, bv = value_of(a), value_of(b)
+    idx = _index_values(index)
+    out = np.array(av, copy=True)
+    out[idx] = bv
+    parents = _traced_parents(a, b)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        if isinstance(a, ADArray) and a.node is not None:
+            ga = np.array(g, copy=True)
+            ga[idx] = 0.0
+            grads.append(ga)
+        if isinstance(b, ADArray) and b.node is not None:
+            gb = np.asarray(g)[idx]
+            grads.append(_unbroadcast(gb, np.shape(bv)))
+        return tuple(grads)
+
+    return _record("index_update", out, parents, vjp, meta={"index": idx})
+
+
+def index_add(a: Any, index: Any, b: Any) -> Any:
+    """Functional scatter-add: a copy of ``a`` with ``a[index] += b``
+    (unbuffered, i.e. repeated indices accumulate as ``np.add.at`` does)."""
+    av, bv = value_of(a), value_of(b)
+    idx = _index_values(index)
+    out = np.array(av, copy=True)
+    np.add.at(out, idx, bv)
+    parents = _traced_parents(a, b)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        if isinstance(a, ADArray) and a.node is not None:
+            grads.append(np.asarray(g))
+        if isinstance(b, ADArray) and b.node is not None:
+            gb = np.asarray(g)[idx]
+            grads.append(_unbroadcast(gb, np.shape(bv)))
+        return tuple(grads)
+
+    return _record("index_add", out, parents, vjp, meta={"index": idx})
+
+
+def where(cond: Any, a: Any, b: Any) -> Any:
+    """Elementwise select; the condition is treated as non-differentiable."""
+    cv = value_of(cond).astype(bool)
+    av, bv = value_of(a), value_of(b)
+    out = np.where(cv, av, bv)
+    parents = _traced_parents(a, b)
+
+    def vjp(g: np.ndarray) -> tuple:
+        grads = []
+        if isinstance(a, ADArray) and a.node is not None:
+            grads.append(_unbroadcast(g * cv, np.shape(av)))
+        if isinstance(b, ADArray) and b.node is not None:
+            grads.append(_unbroadcast(g * (~cv), np.shape(bv)))
+        return tuple(grads)
+
+    return _record("where", out, parents, vjp)
+
+
+def copy(a: Any) -> Any:
+    """Differentiable identity copy."""
+    av = value_of(a)
+    out = np.array(av, copy=True)
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (g,)
+
+    return _record("copy", out, parents, vjp)
+
+
+def astype(a: Any, dtype) -> Any:
+    """Cast to ``dtype``.
+
+    Casting to a floating dtype keeps the trace (identity VJP); casting to an
+    integer or boolean dtype detaches the result, because derivatives through
+    integer data are identically zero.
+    """
+    av = value_of(a)
+    dtype = np.dtype(dtype)
+    out = av.astype(dtype)
+    if not np.issubdtype(dtype, np.floating):
+        return out
+    parents = _traced_parents(a)
+
+    def vjp(g: np.ndarray) -> tuple:
+        return (np.asarray(g, dtype=av.dtype),)
+
+    return _record("astype", out, parents, vjp)
+
+
+def detach(a: Any) -> np.ndarray:
+    """Return the concrete value, cutting the AD graph."""
+    return np.array(value_of(a), copy=True)
+
+
+# ---------------------------------------------------------------------------
+# linear algebra
+# ---------------------------------------------------------------------------
+
+def matmul(a: Any, b: Any) -> Any:
+    """Matrix product following :func:`numpy.matmul` semantics.
+
+    Supports 1-D and 2-D operands and batched stacks of matrices (the cases
+    exercised by the NPB kernels: DFT matrices, block solves and dot
+    products).
+    """
+    av, bv = value_of(a), value_of(b)
+    out = np.matmul(av, bv)
+    parents = _traced_parents(a, b)
+
+    def vjp(g: np.ndarray) -> tuple:
+        g = np.asarray(g)
+        grads = []
+        if isinstance(a, ADArray) and a.node is not None:
+            grads.append(_matmul_grad_a(g, av, bv))
+        if isinstance(b, ADArray) and b.node is not None:
+            grads.append(_matmul_grad_b(g, av, bv))
+        return tuple(grads)
+
+    return _record("matmul", out, parents, vjp)
+
+
+def _matmul_grad_a(g: np.ndarray, av: np.ndarray, bv: np.ndarray) -> np.ndarray:
+    if av.ndim == 1 and bv.ndim == 1:          # vector . vector -> scalar
+        return g * bv
+    if av.ndim == 1:                            # (k,) @ (..., k, n)
+        ga = np.matmul(np.expand_dims(g, -2), np.swapaxes(bv, -1, -2))
+        ga = np.squeeze(ga, axis=-2)
+        return _unbroadcast(ga, av.shape)
+    if bv.ndim == 1:                            # (..., m, k) @ (k,)
+        ga = np.matmul(np.expand_dims(g, -1), np.expand_dims(bv, 0))
+        return _unbroadcast(ga, av.shape)
+    ga = np.matmul(g, np.swapaxes(bv, -1, -2))
+    return _unbroadcast(ga, av.shape)
+
+
+def _matmul_grad_b(g: np.ndarray, av: np.ndarray, bv: np.ndarray) -> np.ndarray:
+    if av.ndim == 1 and bv.ndim == 1:
+        return g * av
+    if av.ndim == 1:                            # (k,) @ (..., k, n)
+        gb = np.matmul(np.expand_dims(av, -1), np.expand_dims(g, -2))
+        return _unbroadcast(gb, bv.shape)
+    if bv.ndim == 1:                            # (..., m, k) @ (k,)
+        gb = np.matmul(np.swapaxes(av, -1, -2), np.expand_dims(g, -1))
+        gb = np.squeeze(gb, axis=-1)
+        return _unbroadcast(gb, bv.shape)
+    gb = np.matmul(np.swapaxes(av, -1, -2), g)
+    return _unbroadcast(gb, bv.shape)
+
+
+def dot(a: Any, b: Any) -> Any:
+    """Alias of :func:`matmul` for 1-D/2-D operands."""
+    return matmul(a, b)
+
+
+def outer(a: Any, b: Any) -> Any:
+    """Outer product of two vectors."""
+    a2 = reshape(a, (-1, 1))
+    b2 = reshape(b, (1, -1))
+    return multiply(a2, b2)
+
+
+# ---------------------------------------------------------------------------
+# constructors / passthrough helpers (never traced on their own)
+# ---------------------------------------------------------------------------
+
+def zeros(shape, dtype=np.float64) -> np.ndarray:
+    """Plain ``numpy.zeros`` (constants are never traced)."""
+    return np.zeros(shape, dtype=dtype)
+
+
+def ones(shape, dtype=np.float64) -> np.ndarray:
+    """Plain ``numpy.ones``."""
+    return np.ones(shape, dtype=dtype)
+
+
+def full(shape, fill_value, dtype=np.float64) -> np.ndarray:
+    """Plain ``numpy.full``."""
+    return np.full(shape, fill_value, dtype=dtype)
+
+
+def zeros_like(a: Any) -> np.ndarray:
+    """Zeros with the shape/dtype of ``a``'s concrete value."""
+    return np.zeros_like(value_of(a))
+
+
+def ones_like(a: Any) -> np.ndarray:
+    """Ones with the shape/dtype of ``a``'s concrete value."""
+    return np.ones_like(value_of(a))
+
+
+def arange(*args, **kwargs) -> np.ndarray:
+    """Plain ``numpy.arange``."""
+    return np.arange(*args, **kwargs)
+
+
+def linspace(*args, **kwargs) -> np.ndarray:
+    """Plain ``numpy.linspace``."""
+    return np.linspace(*args, **kwargs)
+
+
+def asarray(a: Any, dtype=None) -> Any:
+    """Identity on ADArrays; ``numpy.asarray`` otherwise."""
+    if isinstance(a, ADArray):
+        return a if dtype is None else astype(a, dtype)
+    return np.asarray(a, dtype=dtype)
+
+
+def array(a: Any, dtype=None) -> Any:
+    """Copying variant of :func:`asarray`."""
+    if isinstance(a, ADArray):
+        out = copy(a)
+        return out if dtype is None else astype(out, dtype)
+    return np.array(a, dtype=dtype)

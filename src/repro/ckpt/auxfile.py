@@ -1,0 +1,99 @@
+"""The auxiliary region file of pruned checkpoints.
+
+The paper (Section III-B): *"We save the location of critical elements in an
+auxiliary file ... The auxiliary file only records the start and end
+locations of the region of continuous critical elements."*
+
+This module serialises exactly that: for every pruned state key, the sorted
+list of half-open ``[start, stop)`` runs of critical elements over the
+flattened array.  Layout::
+
+    +-----------------+---------------------+-------------+---------------+
+    | magic (8 bytes) | header length (u64) | JSON header | int64 pairs   |
+    +-----------------+---------------------+-------------+---------------+
+
+The header maps each key to the number of its runs; the payload is the
+concatenation of all runs as little-endian ``int64`` (start, stop) pairs in
+header order.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.regions import (Region, regions_from_array, regions_to_array,
+                                validate_regions)
+
+from .format import CheckpointFormatError
+
+__all__ = [
+    "AUX_MAGIC",
+    "write_aux_file",
+    "read_aux_file",
+    "aux_payload_nbytes",
+]
+
+
+#: file magic of auxiliary region files
+AUX_MAGIC = b"RPAUX001"
+
+_LENGTH_STRUCT = struct.Struct("<Q")
+
+
+def aux_payload_nbytes(regions_by_key: Mapping[str, Sequence[Region]]) -> int:
+    """Payload bytes of the (start, stop) records (16 bytes per run)."""
+    return 16 * sum(len(regions) for regions in regions_by_key.values())
+
+
+def write_aux_file(path: str | Path,
+                   regions_by_key: Mapping[str, Sequence[Region]]) -> int:
+    """Write the auxiliary file and return its total byte size."""
+    path = Path(path)
+    keys = list(regions_by_key)
+    header = {
+        "keys": [{"key": key, "n_regions": len(regions_by_key[key])}
+                 for key in keys],
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(AUX_MAGIC)
+        fh.write(_LENGTH_STRUCT.pack(len(header_bytes)))
+        fh.write(header_bytes)
+        for key in keys:
+            regions = list(regions_by_key[key])
+            validate_regions(regions)
+            fh.write(regions_to_array(regions).astype("<i8").tobytes())
+    return path.stat().st_size
+
+
+def read_aux_file(path: str | Path) -> dict[str, list[Region]]:
+    """Read an auxiliary file back into per-key region lists."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        magic = fh.read(len(AUX_MAGIC))
+        if magic != AUX_MAGIC:
+            raise CheckpointFormatError(
+                f"{path} is not an auxiliary region file (bad magic "
+                f"{magic!r})")
+        (header_len,) = _LENGTH_STRUCT.unpack(fh.read(_LENGTH_STRUCT.size))
+        header_bytes = fh.read(header_len)
+        if len(header_bytes) != header_len:
+            raise CheckpointFormatError(f"{path} is truncated in the header")
+        header = json.loads(header_bytes)
+        out: dict[str, list[Region]] = {}
+        for entry in header["keys"]:
+            key = str(entry["key"])
+            count = int(entry["n_regions"])
+            blob = fh.read(16 * count)
+            if len(blob) != 16 * count:
+                raise CheckpointFormatError(
+                    f"{path} is truncated in the regions of {key!r}")
+            pairs = np.frombuffer(blob, dtype="<i8").reshape(count, 2)
+            out[key] = regions_from_array(pairs)
+    return out

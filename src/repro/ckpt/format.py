@@ -1,0 +1,231 @@
+"""On-disk container format of the homemade checkpoint library.
+
+A checkpoint file is a self-describing binary container::
+
+    +------------------+----------------------+------------------------+
+    | magic (8 bytes)  | header length (u64)  | JSON header | payloads |
+    +------------------+----------------------+------------------------+
+
+The JSON header carries the benchmark metadata (name, problem class, step,
+full/pruned mode) and one :class:`RecordSpec` per state-dict entry: its key,
+dtype, logical shape, whether it was pruned and where its payload bytes live
+in the file.  Payloads are raw little-endian array bytes -- the full C-order
+array for full records, or the concatenation of the critical runs for pruned
+records (whose run boundaries live in the auxiliary file, see
+:mod:`repro.ckpt.auxfile`).
+
+The format is deliberately simple: everything needed to reason about storage
+(Table III) is a byte count of this file plus the auxiliary file.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "CheckpointFormatError",
+    "RecordSpec",
+    "CheckpointHeader",
+    "write_container",
+    "read_container",
+    "read_header",
+]
+
+
+#: file magic of checkpoint containers
+MAGIC = b"RPCKPT01"
+
+#: bumped whenever the header schema changes
+FORMAT_VERSION = 1
+
+_LENGTH_STRUCT = struct.Struct("<Q")
+
+
+class CheckpointFormatError(RuntimeError):
+    """Raised when a checkpoint file is truncated, corrupt or mismatched."""
+
+
+@dataclass(frozen=True)
+class RecordSpec:
+    """Description of one state-dict entry stored in a checkpoint file."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    pruned: bool
+    offset: int
+    nbytes: int
+    n_stored: int
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "key": self.key,
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "pruned": self.pruned,
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+            "n_stored": self.n_stored,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "RecordSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls(key=str(data["key"]), dtype=str(data["dtype"]),
+                   shape=tuple(int(s) for s in data["shape"]),
+                   pruned=bool(data["pruned"]), offset=int(data["offset"]),
+                   nbytes=int(data["nbytes"]),
+                   n_stored=int(data["n_stored"]))
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The record's numpy dtype."""
+        return np.dtype(self.dtype)
+
+    @property
+    def n_elements(self) -> int:
+        """Logical element count of the full array."""
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+
+@dataclass
+class CheckpointHeader:
+    """Metadata block of a checkpoint container."""
+
+    benchmark: str
+    problem_class: str
+    step: int
+    mode: str  # "full" or "pruned"
+    records: list[RecordSpec] = field(default_factory=list)
+    version: int = FORMAT_VERSION
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def record(self, key: str) -> RecordSpec:
+        """Look up a record by state-dict key."""
+        for rec in self.records:
+            if rec.key == key:
+                return rec
+        raise KeyError(f"checkpoint has no record for state key {key!r}")
+
+    @property
+    def keys(self) -> list[str]:
+        """State-dict keys stored in the checkpoint, in file order."""
+        return [rec.key for rec in self.records]
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "version": self.version,
+            "benchmark": self.benchmark,
+            "problem_class": self.problem_class,
+            "step": self.step,
+            "mode": self.mode,
+            "records": [rec.to_json() for rec in self.records],
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "CheckpointHeader":
+        """Inverse of :meth:`to_json`."""
+        version = int(data.get("version", -1))
+        if version != FORMAT_VERSION:
+            raise CheckpointFormatError(
+                f"unsupported checkpoint format version {version} "
+                f"(this library writes version {FORMAT_VERSION})")
+        return cls(
+            benchmark=str(data["benchmark"]),
+            problem_class=str(data["problem_class"]),
+            step=int(data["step"]),
+            mode=str(data["mode"]),
+            records=[RecordSpec.from_json(r) for r in data["records"]],
+            version=version,
+            extra=dict(data.get("extra", {})),
+        )
+
+
+def write_container(path: str | Path, header: CheckpointHeader,
+                    payloads: Mapping[str, bytes]) -> int:
+    """Write a checkpoint container and return its total byte size.
+
+    ``payloads`` maps state keys to raw bytes; record offsets in ``header``
+    are (re)computed here so callers only need to fill in sizes-agnostic
+    metadata.
+    """
+    path = Path(path)
+    ordered = list(header.records)
+    missing = [rec.key for rec in ordered if rec.key not in payloads]
+    if missing:
+        raise ValueError(f"payloads missing for records: {missing}")
+
+    # recompute offsets relative to the start of the payload section
+    cursor = 0
+    fixed_records: list[RecordSpec] = []
+    for rec in ordered:
+        blob = payloads[rec.key]
+        fixed_records.append(RecordSpec(rec.key, rec.dtype, rec.shape,
+                                        rec.pruned, cursor, len(blob),
+                                        rec.n_stored))
+        cursor += len(blob)
+    header.records = fixed_records
+
+    header_bytes = json.dumps(header.to_json(), sort_keys=True).encode("utf-8")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(_LENGTH_STRUCT.pack(len(header_bytes)))
+        fh.write(header_bytes)
+        for rec in fixed_records:
+            fh.write(payloads[rec.key])
+    return path.stat().st_size
+
+
+def read_header(path: str | Path) -> tuple[CheckpointHeader, int]:
+    """Read only the header; returns ``(header, payload_start_offset)``."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise CheckpointFormatError(
+                f"{path} is not a checkpoint file (bad magic {magic!r})")
+        (header_len,) = _LENGTH_STRUCT.unpack(fh.read(_LENGTH_STRUCT.size))
+        header_bytes = fh.read(header_len)
+        if len(header_bytes) != header_len:
+            raise CheckpointFormatError(f"{path} is truncated in the header")
+        header = CheckpointHeader.from_json(json.loads(header_bytes))
+        payload_start = len(MAGIC) + _LENGTH_STRUCT.size + header_len
+    return header, payload_start
+
+
+def read_container(path: str | Path
+                   ) -> tuple[CheckpointHeader, dict[str, np.ndarray]]:
+    """Read a checkpoint container into flat per-key arrays.
+
+    Full records come back with their logical shape; pruned records come
+    back as the flat array of stored (critical) values -- reassembly into
+    the full array is the reader's job (:mod:`repro.ckpt.reader`), because
+    it needs the auxiliary region file.
+    """
+    header, payload_start = read_header(path)
+    arrays: dict[str, np.ndarray] = {}
+    with open(path, "rb") as fh:
+        for rec in header.records:
+            fh.seek(payload_start + rec.offset)
+            blob = fh.read(rec.nbytes)
+            if len(blob) != rec.nbytes:
+                raise CheckpointFormatError(
+                    f"{path} is truncated in record {rec.key!r}")
+            flat = np.frombuffer(blob, dtype=rec.numpy_dtype).copy()
+            if rec.pruned:
+                arrays[rec.key] = flat
+            else:
+                arrays[rec.key] = flat.reshape(rec.shape)
+    return header, arrays

@@ -1,0 +1,203 @@
+"""Mixed-precision checkpoints (the paper's future-work extension).
+
+A mixed-precision checkpoint is a pruned checkpoint whose stored elements
+are additionally down-converted according to a
+:class:`~repro.core.impact.PrecisionPlan`: high-impact elements keep full
+double precision, low-impact elements are stored as single or half
+precision, and uncritical elements are dropped entirely.  Every variable
+contributes one payload record per storable tier; the per-tier critical
+regions go to the same auxiliary file format the pruned checkpoints use,
+under the key ``"<state key>@<tier>"``.
+
+Restoring casts every tier back to the state's working precision, so the
+restart path of the rest of the library is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.impact import (TIER_DOUBLE, TIER_DTYPES, TIER_HALF,
+                               TIER_SINGLE, PrecisionPlan)
+from repro.core.regions import Region, encode_mask
+
+from .auxfile import read_aux_file, write_aux_file
+from .format import (CheckpointFormatError, CheckpointHeader, RecordSpec,
+                     read_container, write_container)
+from .writer import WrittenCheckpoint, _as_array, _header_meta, gather_regions
+
+__all__ = [
+    "STORABLE_TIERS",
+    "tier_key",
+    "write_mixed_precision_checkpoint",
+    "read_mixed_precision_checkpoint",
+    "MixedPrecisionCheckpoint",
+]
+
+
+#: tiers that occupy payload bytes, cheapest first
+STORABLE_TIERS = (TIER_HALF, TIER_SINGLE, TIER_DOUBLE)
+
+
+def tier_key(state_key: str, tier: int) -> str:
+    """Record / auxiliary-file key of one (state key, tier) payload."""
+    return f"{state_key}@{tier}"
+
+
+def write_mixed_precision_checkpoint(
+        path: str | Path, bench, state: Mapping[str, Any],
+        plans: Mapping[str, PrecisionPlan],
+        aux_path: str | Path | None = None,
+        step: int | None = None) -> WrittenCheckpoint:
+    """Write a checkpoint whose elements are stored per the precision plan.
+
+    Variables without a plan (or whose plan keeps every element in double
+    precision with nothing dropped) are stored verbatim, like the pruned
+    writer does for fully critical variables.
+    """
+    path = Path(path)
+    aux_path = Path(aux_path) if aux_path is not None \
+        else path.with_name(path.name + ".aux")
+    meta = _header_meta(bench, state, step)
+
+    key_plans: dict[str, PrecisionPlan] = {}
+    for plan in plans.values():
+        counts = plan.tier_counts()
+        lossless_full = (counts[TIER_HALF] == 0 and counts[TIER_SINGLE] == 0
+                         and counts[0] == 0)
+        if lossless_full:
+            continue
+        for key in plan.variable.state_keys():
+            key_plans[key] = plan
+
+    records: list[RecordSpec] = []
+    payloads: dict[str, bytes] = {}
+    regions_by_key: dict[str, list[Region]] = {}
+
+    for key, value in state.items():
+        arr = _as_array(value)
+        plan = key_plans.get(key)
+        if plan is None:
+            records.append(RecordSpec(key=key, dtype=arr.dtype.str,
+                                      shape=tuple(arr.shape), pruned=False,
+                                      offset=0, nbytes=arr.nbytes,
+                                      n_stored=int(arr.size)))
+            payloads[key] = arr.tobytes()
+            continue
+        if plan.tiers.shape != arr.shape:
+            raise ValueError(
+                f"precision plan shape {plan.tiers.shape} does not match "
+                f"state entry {key!r} of shape {arr.shape}")
+        for tier in STORABLE_TIERS:
+            mask = plan.tier_mask(tier)
+            if not mask.any():
+                continue
+            regions = encode_mask(mask)
+            values = gather_regions(arr, regions).astype(TIER_DTYPES[tier])
+            record_name = tier_key(key, tier)
+            regions_by_key[record_name] = regions
+            records.append(RecordSpec(key=record_name,
+                                      dtype=values.dtype.str,
+                                      shape=tuple(arr.shape), pruned=True,
+                                      offset=0, nbytes=values.nbytes,
+                                      n_stored=int(values.size)))
+            payloads[record_name] = values.tobytes()
+
+    header = CheckpointHeader(mode="mixed", records=records, **meta)
+    header.extra["aux_file"] = aux_path.name
+    header.extra["planned_keys"] = sorted(key_plans)
+    nbytes = write_container(path, header, payloads)
+    aux_nbytes = write_aux_file(aux_path, regions_by_key)
+    return WrittenCheckpoint(path, "mixed", meta["step"], nbytes, aux_path,
+                             aux_nbytes)
+
+
+@dataclass
+class MixedPrecisionCheckpoint:
+    """A mixed-precision checkpoint read back from disk."""
+
+    header: CheckpointHeader
+    arrays: dict[str, np.ndarray]
+    regions: dict[str, list[Region]]
+    path: Path
+    aux_path: Path
+
+    @property
+    def step(self) -> int:
+        """Main-loop step the checkpoint was taken at."""
+        return self.header.step
+
+    def materialize(self, base_state: Mapping[str, Any]) -> dict[str, Any]:
+        """Rebuild a state dict on top of ``base_state``.
+
+        Stored tiers are cast back to the base entry's dtype; dropped
+        elements keep the base values (they are uncritical by construction).
+        """
+        state: dict[str, Any] = {}
+        seen_planned: set[str] = set()
+        for rec in self.header.records:
+            if not rec.pruned:
+                flat = self.arrays[rec.key]
+                if rec.shape == ():
+                    value = flat.reshape(())[()]
+                    state[rec.key] = int(value) if np.issubdtype(
+                        rec.numpy_dtype, np.integer) else np.float64(value)
+                else:
+                    state[rec.key] = flat.reshape(rec.shape)
+                continue
+            key, _, tier_str = rec.key.rpartition("@")
+            if key not in base_state:
+                raise ValueError(
+                    f"materialising mixed-precision record {rec.key!r} "
+                    f"needs a base state providing {key!r}")
+            if key not in seen_planned:
+                base = np.array(np.asarray(base_state[key],
+                                           dtype=np.float64), copy=True)
+                if tuple(base.shape) != rec.shape:
+                    raise ValueError(
+                        f"base state entry {key!r} has shape {base.shape}, "
+                        f"checkpoint expects {rec.shape}")
+                state[key] = base
+                seen_planned.add(key)
+            target = state[key]
+            flat = target.reshape(-1)
+            values = self.arrays[rec.key].astype(np.float64)
+            cursor = 0
+            for region in self.regions[rec.key]:
+                count = len(region)
+                flat[region.start:region.stop] = values[cursor:cursor + count]
+                cursor += count
+            if cursor != values.size:
+                raise CheckpointFormatError(
+                    f"record {rec.key!r} holds {values.size} values but its "
+                    f"regions cover {cursor}")
+            del tier_str
+        return state
+
+
+def read_mixed_precision_checkpoint(path: str | Path,
+                                    aux_path: str | Path | None = None
+                                    ) -> MixedPrecisionCheckpoint:
+    """Read a mixed-precision checkpoint and its auxiliary region file."""
+    path = Path(path)
+    header, arrays = read_container(path)
+    if header.mode != "mixed":
+        raise CheckpointFormatError(
+            f"{path} is a {header.mode!r} checkpoint, not a mixed-precision "
+            f"one; use repro.ckpt.read_checkpoint")
+    resolved_aux = Path(aux_path) if aux_path is not None \
+        else path.with_name(header.extra.get("aux_file", path.name + ".aux"))
+    regions = read_aux_file(resolved_aux)
+    missing = [rec.key for rec in header.records
+               if rec.pruned and rec.key not in regions]
+    if missing:
+        raise CheckpointFormatError(
+            f"auxiliary file {resolved_aux} is missing regions for "
+            f"records: {missing}")
+    return MixedPrecisionCheckpoint(header=header, arrays=arrays,
+                                    regions=regions, path=path,
+                                    aux_path=resolved_aux)

@@ -1,0 +1,96 @@
+"""On-disk storage accounting (the measured side of Table III).
+
+:mod:`repro.core.report` predicts checkpoint sizes from element counts; this
+module *measures* them by actually writing full and pruned checkpoints with
+the homemade library and comparing file sizes.  The Table III experiment
+uses the measured numbers, so the container/auxiliary-file overheads are
+honestly included in what we report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.analysis import ScrutinyResult
+
+from .writer import write_full_checkpoint, write_pruned_checkpoint
+
+__all__ = ["StorageComparison", "measure_checkpoint_storage"]
+
+
+@dataclass(frozen=True)
+class StorageComparison:
+    """Measured checkpoint sizes of one benchmark (one Table III row)."""
+
+    benchmark: str
+    full_nbytes: int
+    pruned_nbytes: int
+    aux_nbytes: int
+    full_payload_nbytes: int
+    pruned_payload_nbytes: int
+
+    @property
+    def saved_fraction(self) -> float:
+        """Fraction of checkpoint-file storage saved by pruning."""
+        if self.full_nbytes == 0:
+            return 0.0
+        return 1.0 - self.pruned_nbytes / self.full_nbytes
+
+    @property
+    def payload_saved_fraction(self) -> float:
+        """Saved fraction over element payload bytes only (no container
+        headers) -- the quantity that converges to the uncritical rate."""
+        if self.full_payload_nbytes == 0:
+            return 0.0
+        return 1.0 - self.pruned_payload_nbytes / self.full_payload_nbytes
+
+    @property
+    def net_saved_fraction(self) -> float:
+        """Saved fraction when the auxiliary file is charged as overhead."""
+        if self.full_nbytes == 0:
+            return 0.0
+        return 1.0 - (self.pruned_nbytes + self.aux_nbytes) / self.full_nbytes
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.benchmark}: full {self.full_nbytes} B -> pruned "
+                f"{self.pruned_nbytes} B (+{self.aux_nbytes} B aux), "
+                f"{100.0 * self.saved_fraction:.1f}% saved")
+
+
+def measure_checkpoint_storage(bench, result: ScrutinyResult,
+                               directory: str | Path) -> StorageComparison:
+    """Write a full and a pruned checkpoint of the analysed state and
+    compare their on-disk sizes.
+
+    Parameters
+    ----------
+    bench:
+        The benchmark the analysis belongs to.
+    result:
+        A :class:`~repro.core.analysis.ScrutinyResult` whose ``state`` is the
+        checkpointed state and whose ``variables`` drive the pruning.
+    directory:
+        Where the two checkpoint files (and the auxiliary file) are written.
+    """
+    directory = Path(directory)
+    state = result.state
+    if not state:
+        raise ValueError("ScrutinyResult carries no state to checkpoint")
+
+    full = write_full_checkpoint(directory / f"{bench.name.lower()}_full.ckpt",
+                                 bench, state, step=result.step)
+    pruned = write_pruned_checkpoint(
+        directory / f"{bench.name.lower()}_pruned.ckpt", bench, state,
+        result.variables, step=result.step)
+
+    return StorageComparison(
+        benchmark=bench.name,
+        full_nbytes=full.nbytes,
+        pruned_nbytes=pruned.nbytes,
+        aux_nbytes=pruned.aux_nbytes,
+        full_payload_nbytes=result.full_nbytes,
+        pruned_payload_nbytes=result.pruned_nbytes,
+    )

@@ -1,0 +1,158 @@
+"""Writing full and pruned checkpoints.
+
+The writer operates on the same state dicts the benchmarks produce.  A
+*full* checkpoint stores every state entry verbatim.  A *pruned* checkpoint
+stores, for every floating-point variable with uncritical elements, only the
+critical elements (gathered by the region encoding of its criticality mask)
+and records the regions in the auxiliary file; fully-critical variables and
+integer variables are stored verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.criticality import VariableCriticality
+from repro.core.regions import Region, encode_mask
+
+from .auxfile import write_aux_file
+from .format import CheckpointHeader, RecordSpec, write_container
+
+__all__ = ["WrittenCheckpoint", "write_full_checkpoint",
+           "write_pruned_checkpoint", "gather_regions"]
+
+
+@dataclass(frozen=True)
+class WrittenCheckpoint:
+    """Paths and sizes of one checkpoint on disk."""
+
+    path: Path
+    mode: str
+    step: int
+    nbytes: int
+    aux_path: Path | None = None
+    aux_nbytes: int = 0
+
+    @property
+    def total_nbytes(self) -> int:
+        """Checkpoint file plus auxiliary file."""
+        return self.nbytes + self.aux_nbytes
+
+
+def _as_array(value: Any) -> np.ndarray:
+    """State entry as a contiguous numpy array (scalars become 0-d)."""
+    arr = np.asarray(value)
+    if arr.dtype == object:
+        raise TypeError(f"cannot checkpoint object-dtype state entry "
+                        f"({type(value).__name__})")
+    # ascontiguousarray promotes 0-d arrays to shape (1,); keep the original
+    # shape so scalar records round-trip as scalars
+    return np.ascontiguousarray(arr).reshape(arr.shape)
+
+
+def gather_regions(array: np.ndarray, regions: list[Region]) -> np.ndarray:
+    """Concatenate the elements of the critical runs of a flattened array."""
+    flat = np.ascontiguousarray(array).reshape(-1)
+    if not regions:
+        return flat[:0]
+    return np.concatenate([flat[r.start:r.stop] for r in regions])
+
+
+def _header_meta(bench, state: Mapping[str, Any], step: int | None) -> dict:
+    if step is None:
+        step_name = bench.step_variable() if hasattr(bench, "step_variable") \
+            else None
+        step = int(np.asarray(state[step_name])) if step_name else 0
+    return {
+        "benchmark": getattr(bench, "name", "unknown"),
+        "problem_class": str(getattr(getattr(bench, "params", None),
+                                     "problem_class", "?")),
+        "step": int(step),
+    }
+
+
+def write_full_checkpoint(path: str | Path, bench, state: Mapping[str, Any],
+                          step: int | None = None) -> WrittenCheckpoint:
+    """Write every state entry verbatim (the conventional checkpoint)."""
+    meta = _header_meta(bench, state, step)
+    records = []
+    payloads: dict[str, bytes] = {}
+    for key, value in state.items():
+        arr = _as_array(value)
+        records.append(RecordSpec(key=key, dtype=arr.dtype.str,
+                                  shape=tuple(arr.shape), pruned=False,
+                                  offset=0, nbytes=arr.nbytes,
+                                  n_stored=int(arr.size)))
+        payloads[key] = arr.tobytes()
+    header = CheckpointHeader(mode="full", records=records, **meta)
+    nbytes = write_container(path, header, payloads)
+    return WrittenCheckpoint(Path(path), "full", meta["step"], nbytes)
+
+
+def write_pruned_checkpoint(path: str | Path, bench,
+                            state: Mapping[str, Any],
+                            criticality: Mapping[str, VariableCriticality],
+                            aux_path: str | Path | None = None,
+                            step: int | None = None) -> WrittenCheckpoint:
+    """Write only critical elements, with the regions in the auxiliary file.
+
+    Parameters
+    ----------
+    path, aux_path:
+        Checkpoint and auxiliary file paths; ``aux_path`` defaults to
+        ``path`` with an ``.aux`` suffix appended.
+    bench, state:
+        The benchmark and the state to checkpoint.
+    criticality:
+        Per-variable criticality (``{variable name: VariableCriticality}``),
+        e.g. ``ScrutinyResult.variables`` from :func:`repro.core.scrutinize`.
+    """
+    path = Path(path)
+    aux_path = Path(aux_path) if aux_path is not None \
+        else path.with_name(path.name + ".aux")
+    meta = _header_meta(bench, state, step)
+
+    # map state keys to the mask of their variable (complex pairs share one)
+    key_masks: dict[str, np.ndarray] = {}
+    for crit in criticality.values():
+        if crit.n_uncritical == 0:
+            continue
+        for key in crit.variable.state_keys():
+            key_masks[key] = crit.mask
+
+    records = []
+    payloads: dict[str, bytes] = {}
+    regions_by_key: dict[str, list[Region]] = {}
+    for key, value in state.items():
+        arr = _as_array(value)
+        mask = key_masks.get(key)
+        if mask is None:
+            records.append(RecordSpec(key=key, dtype=arr.dtype.str,
+                                      shape=tuple(arr.shape), pruned=False,
+                                      offset=0, nbytes=arr.nbytes,
+                                      n_stored=int(arr.size)))
+            payloads[key] = arr.tobytes()
+            continue
+        if mask.shape != arr.shape:
+            raise ValueError(
+                f"criticality mask shape {mask.shape} does not match state "
+                f"entry {key!r} of shape {arr.shape}")
+        regions = encode_mask(mask)
+        regions_by_key[key] = regions
+        critical_values = gather_regions(arr, regions)
+        records.append(RecordSpec(key=key, dtype=arr.dtype.str,
+                                  shape=tuple(arr.shape), pruned=True,
+                                  offset=0, nbytes=critical_values.nbytes,
+                                  n_stored=int(critical_values.size)))
+        payloads[key] = critical_values.tobytes()
+
+    header = CheckpointHeader(mode="pruned", records=records, **meta)
+    header.extra["aux_file"] = aux_path.name
+    nbytes = write_container(path, header, payloads)
+    aux_nbytes = write_aux_file(aux_path, regions_by_key)
+    return WrittenCheckpoint(path, "pruned", meta["step"], nbytes,
+                             aux_path, aux_nbytes)

@@ -1,0 +1,184 @@
+"""Command-line interface: ``repro-scrutinize``.
+
+Sub-commands map one-to-one onto the experiment drivers plus a per-benchmark
+``analyze`` command::
+
+    repro-scrutinize analyze BT --step 30
+    repro-scrutinize table1
+    repro-scrutinize table2
+    repro-scrutinize table3
+    repro-scrutinize figures --export-dir out/figures
+    repro-scrutinize verify --class T
+    repro-scrutinize ablation methods
+    repro-scrutinize precision --benchmarks MG LU
+    repro-scrutinize incremental
+    repro-scrutinize all
+
+Every command prints the same text the experiment report carries and exits
+non-zero when the result deviates from the paper (useful in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import scrutinize
+from repro.experiments import (ExperimentRunner, ablation, figures,
+                               incremental, precision, table1, table2,
+                               table3, verify)
+from repro.npb import registry
+from repro.viz import describe_mask, legend, render_mask_1d
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scrutinize",
+        description="Scrutinize checkpoint variables with automatic "
+                    "differentiation (SC 2024 reproduction)")
+    parser.add_argument("--class", dest="problem_class", default="S",
+                        choices=("S", "T"),
+                        help="problem class (S reproduces the paper, "
+                             "T is a reduced size for quick runs)")
+    parser.add_argument("--method", default="ad",
+                        choices=("ad", "activity", "rule"),
+                        help="criticality analysis method")
+    parser.add_argument("--probes", type=int, default=1,
+                        help="number of AD probes per variable")
+
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze",
+                             help="scrutinize one benchmark's variables")
+    analyze.add_argument("benchmark",
+                         choices=list(registry.available_benchmarks()))
+    analyze.add_argument("--step", type=int, default=None,
+                         help="checkpoint step (default: mid-run)")
+    analyze.add_argument("--show-masks", action="store_true",
+                         help="also print a 1-D rendering of every mask")
+
+    sub.add_parser("table1", help="Table I: checkpoint-variable inventory")
+    sub.add_parser("table2", help="Table II: uncritical element counts")
+    table3_parser = sub.add_parser(
+        "table3", help="Table III: checkpoint storage comparison")
+    table3_parser.add_argument("--no-disk", action="store_true",
+                               help="skip writing measurement checkpoints")
+
+    figures_parser = sub.add_parser("figures",
+                                    help="Figures 3-8: distributions")
+    figures_parser.add_argument("--figure", default=None,
+                                choices=sorted(figures.FIGURES),
+                                help="regenerate a single figure")
+    figures_parser.add_argument("--export-dir", default=None,
+                                help="write CSV/JSON/PGM artefacts here")
+
+    verify_parser = sub.add_parser(
+        "verify", help="Section IV-C: restart verification")
+    verify_parser.add_argument("--benchmarks", nargs="+", default=None,
+                               help="subset of benchmarks to verify")
+
+    ablation_parser = sub.add_parser("ablation", help="design ablations")
+    ablation_parser.add_argument("which",
+                                 choices=("methods", "probes", "encoding"))
+
+    precision_parser = sub.add_parser(
+        "precision", help="impact-aware mixed-precision checkpoints "
+                          "(future-work extension)")
+    precision_parser.add_argument("--benchmarks", nargs="+", default=None,
+                                  help="subset of benchmarks to study")
+    precision_parser.add_argument("--no-aggressive", action="store_true",
+                                  help="skip the aggressive quantile plan")
+
+    incremental_parser = sub.add_parser(
+        "incremental", help="criticality pruning vs. incremental deltas "
+                            "(extension)")
+    incremental_parser.add_argument("--benchmarks", nargs="+", default=None,
+                                    help="subset of benchmarks to study")
+
+    sub.add_parser("all", help="run every table and figure experiment")
+    return parser
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    bench = registry.create(args.benchmark, args.problem_class)
+    result = scrutinize(bench, step=args.step, method=args.method,
+                        n_probes=args.probes)
+    print(result.describe())
+    if args.show_masks:
+        print()
+        print(legend())
+        for name, crit in result.variables.items():
+            print(f"\n{crit.variable}:")
+            print(render_mask_1d(crit.mask))
+            print(describe_mask(crit.mask))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "analyze":
+        return _run_analyze(args)
+
+    runner = ExperimentRunner(problem_class=args.problem_class,
+                              method=args.method, n_probes=args.probes)
+    reports = []
+    if args.command == "table1":
+        reports.append(table1.run(runner))
+    elif args.command == "table2":
+        reports.append(table2.run(runner))
+    elif args.command == "table3":
+        reports.append(table3.run(runner,
+                                  measure_on_disk=not args.no_disk))
+    elif args.command == "figures":
+        if args.figure:
+            reports.append(figures.run(args.figure, runner,
+                                       export_dir=args.export_dir))
+        else:
+            reports.append(figures.run_all(runner,
+                                           export_dir=args.export_dir))
+    elif args.command == "verify":
+        benchmarks = tuple(b.upper() for b in args.benchmarks) \
+            if args.benchmarks else verify.VERIFY_BENCHMARKS
+        reports.append(verify.run(runner, benchmarks=benchmarks))
+    elif args.command == "ablation":
+        if args.which == "methods":
+            reports.append(ablation.run_methods(
+                problem_class=args.problem_class))
+        elif args.which == "probes":
+            reports.append(ablation.run_probes(
+                problem_class=args.problem_class))
+        else:
+            reports.append(ablation.run_encoding(
+                problem_class=args.problem_class))
+    elif args.command == "precision":
+        benchmarks = tuple(b.upper() for b in args.benchmarks) \
+            if args.benchmarks else precision.DEFAULT_BENCHMARKS
+        reports.append(precision.run(
+            runner, benchmarks=benchmarks,
+            include_aggressive=not args.no_aggressive))
+    elif args.command == "incremental":
+        benchmarks = tuple(b.upper() for b in args.benchmarks) \
+            if args.benchmarks else incremental.DEFAULT_BENCHMARKS
+        reports.append(incremental.run(runner, benchmarks=benchmarks))
+    elif args.command == "all":
+        reports.append(table1.run(runner))
+        reports.append(table2.run(runner))
+        reports.append(table3.run(runner))
+        reports.append(figures.run_all(runner))
+        reports.append(verify.run(runner))
+
+    for report in reports:
+        print(report.text)
+        print()
+    return 0 if all(r.matches_paper for r in reports) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI convenience
+    sys.exit(main())

@@ -1,0 +1,319 @@
+"""Element-level criticality analysis (the paper's core method).
+
+Given a restartable application and the state captured at a checkpoint, the
+analysis decides for every element of every checkpoint variable whether it
+is *critical* (it influences the application output, so it must be saved) or
+*uncritical* (zero influence, it can be dropped).  Three methods are
+provided:
+
+``"ad"`` (default, the paper's method)
+    Trace the remaining computation from the checkpoint state with the
+    reverse-mode AD engine and mark an element critical when the derivative
+    of the scalar verification output with respect to it is nonzero.
+    Optionally the derivative is probed at several perturbed base states and
+    the nonzero masks are OR-ed (guards against coincidental zeros, see the
+    ablation in DESIGN.md).
+
+``"activity"``
+    A read-dependency analysis over the same tape: an element is classified
+    critical when it is read directly from the checkpointed variable by any
+    primitive.  Cheaper and derivative-free, but only an approximation of
+    criticality (see :mod:`repro.ad.activity`); provided as the baseline the
+    ablation experiments compare the AD method against.
+
+``"rule"``
+    Classify every element of every variable critical.  This is the
+    conservative baseline -- a conventional full checkpoint.
+
+Integer variables and variables flagged ``critical_by_rule`` are always
+fully critical, regardless of the method, mirroring the paper's manual
+treatment of loop counters, keys and bucket pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.ad import activity as activity_mod
+from repro.ad.reverse import backward
+from repro.ad.tensor import value_of
+from repro.core.masks import MaskSummary, combine_or, summarize_mask
+from repro.core.regions import Region, encode_mask
+from repro.core.variables import CheckpointVariable, VariableKind
+
+__all__ = [
+    "METHODS",
+    "VariableCriticality",
+    "CriticalityAnalyzer",
+    "criticality_from_gradient",
+    "element_criticality",
+]
+
+
+#: recognised analysis methods
+METHODS = ("ad", "activity", "rule")
+
+
+def criticality_from_gradient(gradient: np.ndarray) -> np.ndarray:
+    """Boolean criticality mask from a derivative array.
+
+    The paper's criterion verbatim: "if the derivative is 0, the impact of
+    x on the output is 0; otherwise, there is impact on the output".
+    Non-finite derivatives (the output blew up along that path) are treated
+    as critical, the conservative choice.
+    """
+    gradient = np.asarray(gradient, dtype=np.float64)
+    return (gradient != 0.0) | ~np.isfinite(gradient)
+
+
+def element_criticality(fun: Callable[[np.ndarray], Any],
+                        x: np.ndarray) -> np.ndarray:
+    """Criticality mask of ``x`` for a free function ``fun(x) -> scalar``.
+
+    Convenience entry point for user code that is not organised as an
+    :class:`~repro.npb.base.NPBBenchmark`; used by the quickstart example.
+    """
+    from repro.ad.reverse import grad
+
+    gradient = grad(fun)(np.asarray(x, dtype=np.float64))
+    return criticality_from_gradient(gradient)
+
+
+@dataclass
+class VariableCriticality:
+    """Per-element criticality of one checkpoint variable.
+
+    Attributes
+    ----------
+    variable:
+        The static :class:`~repro.core.variables.CheckpointVariable`.
+    mask:
+        Boolean array of the variable's logical shape; ``True`` = critical.
+    method:
+        The analysis method that produced the mask.
+    gradients:
+        Per-state-key derivative arrays (empty for rule-based variables);
+        kept so visualisation and debugging can inspect magnitudes, not just
+        the zero pattern.
+    """
+
+    variable: CheckpointVariable
+    mask: np.ndarray
+    method: str = "ad"
+    gradients: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.mask = np.asarray(self.mask, dtype=bool)
+        if self.mask.shape != self.variable.shape:
+            raise ValueError(
+                f"mask shape {self.mask.shape} does not match variable "
+                f"{self.variable.name!r} shape {self.variable.shape}")
+
+    # -- counts ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The variable's name."""
+        return self.variable.name
+
+    @property
+    def n_elements(self) -> int:
+        """Total number of logical elements."""
+        return self.variable.n_elements
+
+    @property
+    def n_critical(self) -> int:
+        """Number of critical elements."""
+        return int(np.count_nonzero(self.mask))
+
+    @property
+    def n_uncritical(self) -> int:
+        """Number of uncritical elements."""
+        return self.n_elements - self.n_critical
+
+    @property
+    def uncritical_rate(self) -> float:
+        """Fraction of uncritical elements (a Table II cell)."""
+        return self.n_uncritical / self.n_elements if self.n_elements else 0.0
+
+    def summary(self) -> MaskSummary:
+        """Count summary of the mask."""
+        return summarize_mask(self.variable.name, self.mask)
+
+    # -- storage views ---------------------------------------------------
+    def regions(self) -> list[Region]:
+        """Contiguous critical runs over the flattened element index."""
+        return encode_mask(self.mask)
+
+    @property
+    def critical_nbytes(self) -> int:
+        """Bytes of element data a pruned checkpoint stores."""
+        return self.n_critical * self.variable.element_nbytes
+
+    @property
+    def full_nbytes(self) -> int:
+        """Bytes of element data a full checkpoint stores."""
+        return self.variable.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"VariableCriticality({self.variable.name!r}, "
+                f"critical={self.n_critical}/{self.n_elements}, "
+                f"method={self.method!r})")
+
+
+class CriticalityAnalyzer:
+    """Runs the element-level analysis for one or more benchmarks.
+
+    Parameters
+    ----------
+    method:
+        ``"ad"``, ``"activity"`` or ``"rule"`` (see module docstring).
+    n_probes:
+        Number of AD evaluations per variable; probe 0 uses the checkpoint
+        state itself (the paper's method), further probes perturb the
+        floating-point state to separate structural zeros from coincidental
+        ones.  Ignored by the other methods.
+    probe_scale:
+        Relative magnitude of the probe perturbations.
+    rng:
+        Generator used for probe perturbations (fixed default for
+        reproducibility).
+    steps:
+        Number of remaining main-loop iterations to analyse; ``None`` means
+        every iteration left until the benchmark completes (the paper's
+        setting: criticality with respect to the final output).
+    """
+
+    def __init__(self, method: str = "ad", n_probes: int = 1,
+                 probe_scale: float = 1.0e-3,
+                 rng: np.random.Generator | None = None,
+                 steps: int | None = None) -> None:
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+        if n_probes < 1:
+            raise ValueError("n_probes must be at least 1")
+        self.method = method
+        self.n_probes = int(n_probes)
+        self.probe_scale = float(probe_scale)
+        self.rng = rng or np.random.default_rng(20241117)
+        self.steps = steps
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def analyze(self, bench, state: Mapping[str, Any] | None = None,
+                step: int | None = None) -> dict[str, VariableCriticality]:
+        """Analyse every checkpoint variable of ``bench``.
+
+        Either an explicit checkpoint ``state`` or a checkpoint ``step`` (the
+        state is then produced by running the benchmark that far) must be
+        provided; ``step`` defaults to the middle of the main loop.
+
+        Returns a dict keyed by variable name, in Table I order.
+        """
+        if state is None:
+            if step is None:
+                step = bench.total_steps // 2
+            state = bench.checkpoint_state(step)
+        variables = list(bench.checkpoint_variables())
+
+        results: dict[str, VariableCriticality] = {}
+        rule_vars = [v for v in variables
+                     if v.critical_by_rule or v.kind is VariableKind.INTEGER]
+        ad_vars = [v for v in variables if v not in rule_vars]
+
+        for var in rule_vars:
+            results[var.name] = VariableCriticality(
+                var, np.ones(var.shape, dtype=bool), method="rule")
+
+        if ad_vars:
+            if self.method == "rule":
+                for var in ad_vars:
+                    results[var.name] = VariableCriticality(
+                        var, np.ones(var.shape, dtype=bool), method="rule")
+            elif self.method == "activity":
+                results.update(self._activity_masks(bench, state, ad_vars))
+            else:
+                results.update(self._ad_masks(bench, state, ad_vars))
+
+        # preserve Table I ordering
+        return {v.name: results[v.name] for v in variables}
+
+    # ------------------------------------------------------------------
+    # AD method
+    # ------------------------------------------------------------------
+    def _watched_keys(self, variables: Sequence[CheckpointVariable]) -> list[str]:
+        keys: list[str] = []
+        for var in variables:
+            keys.extend(var.state_keys())
+        return keys
+
+    def _ad_masks(self, bench, state: Mapping[str, Any],
+                  variables: Sequence[CheckpointVariable]
+                  ) -> dict[str, VariableCriticality]:
+        watch = self._watched_keys(variables)
+        base_grads = self._gradients(bench, state, watch)
+        key_masks = {key: criticality_from_gradient(g)
+                     for key, g in base_grads.items()}
+
+        for probe in range(1, self.n_probes):
+            probed_state = self._perturb_state(state, watch, probe)
+            probe_grads = self._gradients(bench, probed_state, watch)
+            for key, g in probe_grads.items():
+                key_masks[key] |= criticality_from_gradient(g)
+
+        results: dict[str, VariableCriticality] = {}
+        for var in variables:
+            parts = [key_masks[key] for key in var.state_keys()]
+            mask = combine_or(parts) if len(parts) > 1 else parts[0]
+            gradients = {key: base_grads[key] for key in var.state_keys()}
+            results[var.name] = VariableCriticality(
+                var, mask.reshape(var.shape), method="ad",
+                gradients=gradients)
+        return results
+
+    def _gradients(self, bench, state: Mapping[str, Any],
+                   watch: Sequence[str]) -> dict[str, np.ndarray]:
+        """One reverse sweep: derivative of the output w.r.t. every key."""
+        tape, leaves, output = bench.traced_restart(state, watch=list(watch),
+                                                    steps=self.steps)
+        keys = list(leaves)
+        grads = backward(tape, output, [leaves[k] for k in keys],
+                         strict=False)
+        return {key: np.asarray(g, dtype=np.float64)
+                for key, g in zip(keys, grads)}
+
+    def _perturb_state(self, state: Mapping[str, Any],
+                       watch: Sequence[str], probe: int) -> dict[str, Any]:
+        """Perturbed copy of the floating-point checkpoint state."""
+        del probe  # each call draws fresh noise from the generator
+        perturbed = dict(state)
+        for key in watch:
+            base = np.asarray(value_of(state[key]), dtype=np.float64)
+            rms = float(np.sqrt(np.mean(base ** 2)))
+            scale = self.probe_scale * (rms if rms > 0 else 1.0)
+            perturbed[key] = base + scale * self.rng.standard_normal(base.shape)
+        return perturbed
+
+    # ------------------------------------------------------------------
+    # activity method
+    # ------------------------------------------------------------------
+    def _activity_masks(self, bench, state: Mapping[str, Any],
+                        variables: Sequence[CheckpointVariable]
+                        ) -> dict[str, VariableCriticality]:
+        watch = self._watched_keys(variables)
+        tape, leaves, _output = bench.traced_restart(state, watch=list(watch),
+                                                     steps=self.steps)
+        keys = list(leaves)
+        activity = activity_mod.read_masks(tape, [leaves[k] for k in keys])
+        key_masks = {key: res.read for key, res in zip(keys, activity)}
+
+        results: dict[str, VariableCriticality] = {}
+        for var in variables:
+            parts = [key_masks[key] for key in var.state_keys()]
+            mask = combine_or(parts) if len(parts) > 1 else parts[0]
+            results[var.name] = VariableCriticality(
+                var, mask.reshape(var.shape), method="activity")
+        return results

@@ -1,0 +1,363 @@
+"""Impact scoring and precision planning (the paper's future work).
+
+The conclusion of the paper: *"Our work ... potentially benefits to
+accelerate applications by using lower precision for uncritical or even
+those elements that are of very low impact in the future."*
+
+The reverse sweep already produces, for free, the per-element derivative of
+the output with respect to every checkpointed element -- not just its zero
+pattern.  This module turns those magnitudes into a storage plan:
+
+* :class:`VariableImpact` -- the per-element impact score of one variable
+  (``|d output / d element|``, the first-order sensitivity of the output to
+  a perturbation of the stored value);
+* :class:`PrecisionPlan` -- a per-element storage tier (drop / half / single
+  / double), built by thresholding the impact distribution;
+* :func:`plan_precision` -- derive a plan for a whole
+  :class:`~repro.core.analysis.ScrutinyResult`;
+* :func:`estimate_roundoff_impact` -- a first-order bound on the output
+  perturbation a plan's quantisation can introduce, so a plan can be checked
+  against the application's verification tolerance *before* any checkpoint
+  is written.
+
+The storage side lives in :mod:`repro.ckpt.precision`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.criticality import VariableCriticality
+from repro.core.variables import CheckpointVariable, VariableKind
+
+__all__ = [
+    "PRECISION_TIERS",
+    "TIER_DTYPES",
+    "TIER_DROP",
+    "TIER_HALF",
+    "TIER_SINGLE",
+    "TIER_DOUBLE",
+    "VariableImpact",
+    "PrecisionPlan",
+    "variable_impact",
+    "plan_precision",
+    "plan_precision_for_budget",
+    "estimate_roundoff_impact",
+]
+
+
+#: storage tier codes, ordered from cheapest to most faithful
+TIER_DROP = 0      #: not stored at all (uncritical elements)
+TIER_HALF = 1      #: stored as IEEE half precision (2 bytes)
+TIER_SINGLE = 2    #: stored as single precision (4 bytes)
+TIER_DOUBLE = 3    #: stored in full double precision (8 bytes)
+
+PRECISION_TIERS = (TIER_DROP, TIER_HALF, TIER_SINGLE, TIER_DOUBLE)
+
+#: numpy storage dtype of each tier (TIER_DROP stores nothing)
+TIER_DTYPES: dict[int, np.dtype] = {
+    TIER_HALF: np.dtype(np.float16),
+    TIER_SINGLE: np.dtype(np.float32),
+    TIER_DOUBLE: np.dtype(np.float64),
+}
+
+#: unit roundoff of each storable tier (relative quantisation error bound)
+_TIER_EPS = {
+    TIER_HALF: 2.0 ** -11,
+    TIER_SINGLE: 2.0 ** -24,
+    TIER_DOUBLE: 0.0,
+}
+
+
+@dataclass
+class VariableImpact:
+    """Per-element impact of one checkpoint variable.
+
+    ``impact[e] = |d output / d element e|`` evaluated at the checkpoint
+    state; for dcomplex variables it is the maximum over the real and
+    imaginary components.  Integer / rule-critical variables get an infinite
+    impact (they must always be stored exactly).
+    """
+
+    variable: CheckpointVariable
+    impact: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.impact = np.asarray(self.impact, dtype=np.float64)
+        if self.impact.shape != self.variable.shape:
+            raise ValueError(
+                f"impact shape {self.impact.shape} does not match variable "
+                f"{self.variable.name!r} shape {self.variable.shape}")
+
+    @property
+    def name(self) -> str:
+        """The variable's name."""
+        return self.variable.name
+
+    @property
+    def max_impact(self) -> float:
+        """Largest per-element impact (0 for an all-uncritical variable)."""
+        finite = self.impact[np.isfinite(self.impact)]
+        return float(finite.max()) if finite.size else float("inf")
+
+    def nonzero_quantile(self, q: float) -> float:
+        """Quantile of the nonzero, finite impact values."""
+        finite = self.impact[np.isfinite(self.impact) & (self.impact > 0.0)]
+        if finite.size == 0:
+            return 0.0
+        return float(np.quantile(finite, q))
+
+
+@dataclass
+class PrecisionPlan:
+    """Per-element storage tiers for one variable.
+
+    ``tiers`` holds one of the ``TIER_*`` codes per element.  The plan also
+    records the impact thresholds it was derived from so reports can explain
+    *why* an element landed in a tier.
+    """
+
+    variable: CheckpointVariable
+    tiers: np.ndarray
+    half_threshold: float = 0.0
+    single_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.tiers = np.asarray(self.tiers, dtype=np.int8)
+        if self.tiers.shape != self.variable.shape:
+            raise ValueError(
+                f"tier shape {self.tiers.shape} does not match variable "
+                f"{self.variable.name!r} shape {self.variable.shape}")
+        unknown = set(np.unique(self.tiers)) - set(PRECISION_TIERS)
+        if unknown:
+            raise ValueError(f"unknown precision tiers {sorted(unknown)}")
+
+    # -- per-tier views ----------------------------------------------------
+    def tier_mask(self, tier: int) -> np.ndarray:
+        """Boolean mask of the elements stored at ``tier``."""
+        return self.tiers == tier
+
+    def tier_counts(self) -> dict[int, int]:
+        """Number of elements per tier (all tiers present, even if 0)."""
+        return {tier: int(np.count_nonzero(self.tiers == tier))
+                for tier in PRECISION_TIERS}
+
+    # -- storage accounting --------------------------------------------------
+    @property
+    def components(self) -> int:
+        """Float components per logical element (2 for dcomplex pairs)."""
+        return 2 if self.variable.kind is VariableKind.COMPLEX_PAIR else 1
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes of the mixed-precision record of this variable."""
+        counts = self.tier_counts()
+        return self.components * sum(
+            counts[tier] * TIER_DTYPES[tier].itemsize
+            for tier in (TIER_HALF, TIER_SINGLE, TIER_DOUBLE))
+
+    @property
+    def full_nbytes(self) -> int:
+        """Bytes of the conventional full-precision record."""
+        return self.variable.nbytes
+
+    @property
+    def saved_fraction(self) -> float:
+        """Fraction of the variable's bytes the plan saves."""
+        if self.full_nbytes == 0:
+            return 0.0
+        return 1.0 - self.nbytes / self.full_nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        counts = self.tier_counts()
+        return (f"PrecisionPlan({self.variable.name!r}, drop={counts[0]}, "
+                f"half={counts[1]}, single={counts[2]}, double={counts[3]})")
+
+
+def variable_impact(crit: VariableCriticality) -> VariableImpact:
+    """Impact scores of one analysed variable.
+
+    Rule-critical variables (integer data, loop counters) get infinite
+    impact; AD-analysed variables get the absolute derivative, taking the
+    element-wise maximum over the components of dcomplex pairs.
+    """
+    var = crit.variable
+    if not crit.gradients:
+        return VariableImpact(var, np.full(var.shape, np.inf))
+    parts = [np.abs(np.asarray(crit.gradients[key], dtype=np.float64))
+             for key in var.state_keys()]
+    impact = parts[0]
+    for part in parts[1:]:
+        impact = np.maximum(impact, part)
+    return VariableImpact(var, impact.reshape(var.shape))
+
+
+def _plan_for_variable(crit: VariableCriticality,
+                       impact: VariableImpact,
+                       half_quantile: float,
+                       single_quantile: float) -> PrecisionPlan:
+    """Tier assignment for one variable from impact quantiles."""
+    var = crit.variable
+    if not crit.gradients:
+        # rule-critical (integer) data is always stored exactly
+        return PrecisionPlan(var, np.full(var.shape, TIER_DOUBLE,
+                                          dtype=np.int8))
+    half_threshold = impact.nonzero_quantile(half_quantile)
+    single_threshold = impact.nonzero_quantile(single_quantile)
+    tiers = np.full(var.shape, TIER_DOUBLE, dtype=np.int8)
+    tiers[impact.impact <= single_threshold] = TIER_SINGLE
+    tiers[impact.impact <= half_threshold] = TIER_HALF
+    tiers[~crit.mask] = TIER_DROP
+    return PrecisionPlan(var, tiers, half_threshold, single_threshold)
+
+
+def plan_precision(criticality: Mapping[str, VariableCriticality],
+                   half_quantile: float = 0.25,
+                   single_quantile: float = 0.75
+                   ) -> dict[str, PrecisionPlan]:
+    """Build mixed-precision plans for every variable of an analysis.
+
+    Parameters
+    ----------
+    criticality:
+        ``ScrutinyResult.variables`` (the gradients recorded by the AD
+        analysis supply the impact scores).
+    half_quantile, single_quantile:
+        Impact quantiles (over the nonzero impacts of each variable) below
+        which elements are stored in half / single precision.  The defaults
+        keep the top quartile in full double precision.
+    """
+    if not 0.0 <= half_quantile <= single_quantile <= 1.0:
+        raise ValueError("quantiles must satisfy "
+                         "0 <= half_quantile <= single_quantile <= 1")
+    plans: dict[str, PrecisionPlan] = {}
+    for name, crit in criticality.items():
+        impact = variable_impact(crit)
+        plans[name] = _plan_for_variable(crit, impact, half_quantile,
+                                         single_quantile)
+    return plans
+
+
+def plan_precision_for_budget(criticality: Mapping[str, VariableCriticality],
+                              state: Mapping[str, np.ndarray],
+                              budget: float
+                              ) -> dict[str, PrecisionPlan]:
+    """Build plans whose first-order output perturbation stays under budget.
+
+    The quantisation of element ``e`` at a tier with unit roundoff ``eps``
+    contributes at most ``c_e * eps`` to the output, with
+    ``c_e = |d output / d e| * |value_e|``.  The planner sorts all elements
+    of all AD-analysed variables by ``c_e`` and greedily demotes the
+    cheapest ones to half precision (spending at most half the budget), then
+    to single precision (the other half); everything else stays in double.
+    Uncritical elements are dropped as usual (their ``c_e`` is zero).
+
+    Parameters
+    ----------
+    criticality:
+        ``ScrutinyResult.variables``.
+    state:
+        The checkpoint state the plan will be applied to (element values
+        enter the contribution bound).
+    budget:
+        Maximum admissible first-order output perturbation, in output units.
+        A natural choice is a small fraction of the application's
+        verification tolerance times its output magnitude.
+    """
+    if budget < 0.0:
+        raise ValueError("budget must be non-negative")
+
+    # gather per-element contributions across all planned variables
+    entries: list[tuple[str, np.ndarray]] = []
+    contributions: list[np.ndarray] = []
+    for name, crit in criticality.items():
+        if not crit.gradients:
+            continue
+        impact = variable_impact(crit).impact
+        values = np.zeros(crit.variable.shape, dtype=np.float64)
+        for key in crit.variable.state_keys():
+            values = np.maximum(values,
+                                np.abs(np.asarray(state[key],
+                                                  dtype=np.float64)
+                                       ).reshape(crit.variable.shape))
+        contribution = np.where(crit.mask, impact * values, 0.0)
+        entries.append((name, contribution))
+        contributions.append(contribution.reshape(-1))
+
+    plans: dict[str, PrecisionPlan] = {}
+    if not entries:
+        for name, crit in criticality.items():
+            plans[name] = PrecisionPlan(
+                crit.variable, np.full(crit.variable.shape, TIER_DOUBLE,
+                                       dtype=np.int8))
+        return plans
+
+    all_contributions = np.concatenate(contributions)
+    order = np.argsort(all_contributions, kind="stable")
+    sorted_contrib = all_contributions[order]
+
+    # spend half the budget on half-precision demotions, half on single
+    half_budget = 0.5 * budget
+    single_budget = 0.5 * budget
+    cum_half = np.cumsum(sorted_contrib * _TIER_EPS[TIER_HALF])
+    n_half = int(np.searchsorted(cum_half, half_budget, side="right"))
+    remaining = sorted_contrib[n_half:]
+    cum_single = np.cumsum(remaining * _TIER_EPS[TIER_SINGLE])
+    n_single = int(np.searchsorted(cum_single, single_budget, side="right"))
+
+    global_tiers = np.full(all_contributions.size, TIER_DOUBLE,
+                           dtype=np.int8)
+    global_tiers[order[:n_half]] = TIER_HALF
+    global_tiers[order[n_half:n_half + n_single]] = TIER_SINGLE
+
+    cursor = 0
+    tier_by_name: dict[str, np.ndarray] = {}
+    for name, contribution in entries:
+        size = contribution.size
+        tier_by_name[name] = global_tiers[cursor:cursor + size].reshape(
+            contribution.shape).copy()
+        cursor += size
+
+    for name, crit in criticality.items():
+        if name in tier_by_name:
+            tiers = tier_by_name[name]
+            tiers[~crit.mask] = TIER_DROP
+            plans[name] = PrecisionPlan(crit.variable, tiers)
+        else:
+            plans[name] = PrecisionPlan(
+                crit.variable, np.full(crit.variable.shape, TIER_DOUBLE,
+                                       dtype=np.int8))
+    return plans
+
+
+def estimate_roundoff_impact(plans: Mapping[str, PrecisionPlan],
+                             criticality: Mapping[str, VariableCriticality],
+                             state: Mapping[str, np.ndarray]) -> float:
+    """First-order bound on the output change the plan's quantisation causes.
+
+    Storing element ``e`` (value ``v_e``) at a tier with unit roundoff
+    ``eps`` perturbs it by at most ``|v_e| * eps``; to first order the output
+    moves by at most ``sum_e |g_e| * |v_e| * eps_tier(e)``.  The bound lets a
+    caller reject a plan whose quantisation could exceed the application's
+    verification tolerance.
+    """
+    total = 0.0
+    for name, plan in plans.items():
+        crit = criticality.get(name)
+        if crit is None or not crit.gradients:
+            continue
+        for key in plan.variable.state_keys():
+            grad = np.abs(np.asarray(crit.gradients[key], dtype=np.float64)
+                          ).reshape(plan.variable.shape)
+            values = np.abs(np.asarray(state[key], dtype=np.float64)
+                            ).reshape(plan.variable.shape)
+            for tier, eps in _TIER_EPS.items():
+                if eps == 0.0:
+                    continue
+                mask = plan.tier_mask(tier)
+                if mask.any():
+                    total += float(np.sum(grad[mask] * values[mask]) * eps)
+    return total

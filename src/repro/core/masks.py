@@ -1,0 +1,150 @@
+"""Criticality-mask utilities and statistics.
+
+A *criticality mask* is a boolean array with the shape of a checkpoint
+variable: ``True`` marks a critical element (the derivative of the output
+with respect to it is nonzero, or it is critical by rule), ``False`` an
+uncritical element that can be dropped from checkpoints.
+
+This module holds the shape-aware helpers the reporting and visualisation
+layers share: per-variable summaries (the numbers of the paper's Table II),
+per-component decomposition of 4-D solution arrays (how Figure 3 and
+Figure 7 are produced from ``u[12][13][13][5]``), and detection of fully
+uncritical planes (the "elements at y = 12 and z = 12" observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "MaskSummary",
+    "summarize_mask",
+    "combine_or",
+    "combine_and",
+    "component_masks",
+    "uncritical_planes",
+    "mask_agreement",
+    "as_mask",
+]
+
+
+@dataclass(frozen=True)
+class MaskSummary:
+    """Counts derived from one criticality mask (one Table II row)."""
+
+    name: str
+    total: int
+    critical: int
+
+    @property
+    def uncritical(self) -> int:
+        """Number of uncritical elements."""
+        return self.total - self.critical
+
+    @property
+    def uncritical_rate(self) -> float:
+        """Fraction of uncritical elements (0 for an empty variable)."""
+        return self.uncritical / self.total if self.total else 0.0
+
+    @property
+    def critical_rate(self) -> float:
+        """Fraction of critical elements."""
+        return 1.0 - self.uncritical_rate if self.total else 0.0
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.uncritical}/{self.total} uncritical "
+                f"({100.0 * self.uncritical_rate:.1f}%)")
+
+
+def as_mask(mask: np.ndarray) -> np.ndarray:
+    """Coerce to a boolean array (shared validation point)."""
+    return np.asarray(mask, dtype=bool)
+
+
+def summarize_mask(name: str, mask: np.ndarray) -> MaskSummary:
+    """Build the :class:`MaskSummary` of one variable's mask."""
+    mask = as_mask(mask)
+    return MaskSummary(name=name, total=int(mask.size),
+                       critical=int(np.count_nonzero(mask)))
+
+
+def combine_or(masks: Iterable[np.ndarray]) -> np.ndarray:
+    """Element-wise OR of several same-shape masks.
+
+    Used to merge the real/imaginary components of a ``dcomplex`` variable
+    (an element is critical if either component is) and to union
+    multi-probe results.
+    """
+    masks = [as_mask(m) for m in masks]
+    if not masks:
+        raise ValueError("combine_or needs at least one mask")
+    out = masks[0].copy()
+    for mask in masks[1:]:
+        if mask.shape != out.shape:
+            raise ValueError(f"mask shapes differ: {mask.shape} vs {out.shape}")
+        out |= mask
+    return out
+
+
+def combine_and(masks: Iterable[np.ndarray]) -> np.ndarray:
+    """Element-wise AND of several same-shape masks."""
+    masks = [as_mask(m) for m in masks]
+    if not masks:
+        raise ValueError("combine_and needs at least one mask")
+    out = masks[0].copy()
+    for mask in masks[1:]:
+        if mask.shape != out.shape:
+            raise ValueError(f"mask shapes differ: {mask.shape} vs {out.shape}")
+        out &= mask
+    return out
+
+
+def component_masks(mask: np.ndarray, axis: int = -1) -> list[np.ndarray]:
+    """Split a mask along one axis into per-component sub-masks.
+
+    The paper decomposes ``u[12][13][13][5]`` into five ``12x13x13`` cubes to
+    visualise Figures 3 and 7; this helper produces those cubes for any
+    variable with a trailing component dimension.
+    """
+    mask = as_mask(mask)
+    return [np.take(mask, m, axis=axis) for m in range(mask.shape[axis])]
+
+
+def uncritical_planes(mask: np.ndarray) -> dict[int, list[int]]:
+    """Fully uncritical index planes per axis of a mask.
+
+    Returns ``{axis: [index, ...]}`` listing every hyper-plane
+    ``mask.take(index, axis)`` that contains no critical element -- e.g. the
+    BT/SP result is ``{1: [12], 2: [12]}`` for the ``j == 12`` / ``i == 12``
+    planes of the 12x13x13 component cubes.
+    """
+    mask = as_mask(mask)
+    planes: dict[int, list[int]] = {}
+    for axis in range(mask.ndim):
+        axes = tuple(a for a in range(mask.ndim) if a != axis)
+        fully_uncritical = ~mask.any(axis=axes)
+        indices = np.flatnonzero(fully_uncritical)
+        if indices.size:
+            planes[axis] = [int(i) for i in indices]
+    return planes
+
+
+def mask_agreement(a: np.ndarray, b: np.ndarray) -> dict[str, int]:
+    """Confusion counts between two masks over the same variable.
+
+    Used by the ablation experiments to compare the AD mask against the
+    activity-analysis mask: ``both_critical``, ``both_uncritical``,
+    ``only_a`` (critical in ``a`` only) and ``only_b``.
+    """
+    a, b = as_mask(a), as_mask(b)
+    if a.shape != b.shape:
+        raise ValueError(f"mask shapes differ: {a.shape} vs {b.shape}")
+    return {
+        "both_critical": int(np.count_nonzero(a & b)),
+        "both_uncritical": int(np.count_nonzero(~a & ~b)),
+        "only_a": int(np.count_nonzero(a & ~b)),
+        "only_b": int(np.count_nonzero(~a & b)),
+    }

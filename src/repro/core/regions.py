@@ -1,0 +1,158 @@
+"""Run-length encoding of critical regions.
+
+The paper's auxiliary file "only records the start and end locations of the
+region of continuous critical elements" (Section III-B).  This module is the
+in-memory form of that encoding: a critical/uncritical boolean mask over the
+*flattened* element index space of a variable is converted to a list of
+half-open ``[start, stop)`` :class:`Region` runs and back.
+
+The encoding is what makes pruned checkpoints cheap: for the patterns the
+paper observes (whole padded planes, a contiguous tail, a repetitive stripe
+pattern) the number of runs is tiny compared to the number of elements, so
+the auxiliary file overhead is negligible next to the element data saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Region",
+    "encode_mask",
+    "decode_regions",
+    "n_elements",
+    "validate_regions",
+    "merge_regions",
+    "regions_to_array",
+    "regions_from_array",
+    "invert_regions",
+    "aux_record_nbytes",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Region:
+    """A half-open run ``[start, stop)`` of flat element indices."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(f"invalid region [{self.start}, {self.stop})")
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index < self.stop
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when the two runs share at least one element."""
+        return self.start < other.stop and other.start < self.stop
+
+    def as_slice(self) -> slice:
+        """The equivalent ``slice`` over a flattened array."""
+        return slice(self.start, self.stop)
+
+
+def encode_mask(mask: np.ndarray) -> list[Region]:
+    """Encode the ``True`` runs of a boolean mask (any shape, C order).
+
+    Returns the maximal runs in increasing index order.  An all-``False``
+    mask encodes to an empty list; an all-``True`` mask to a single run.
+    """
+    flat = np.asarray(mask, dtype=bool).reshape(-1)
+    if flat.size == 0:
+        return []
+    # boundaries where the mask value changes
+    padded = np.concatenate(([False], flat, [False]))
+    diff = np.diff(padded.astype(np.int8))
+    starts = np.flatnonzero(diff == 1)
+    stops = np.flatnonzero(diff == -1)
+    return [Region(int(a), int(b)) for a, b in zip(starts, stops)]
+
+
+def decode_regions(regions: Iterable[Region], size: int) -> np.ndarray:
+    """Inverse of :func:`encode_mask`: a flat boolean mask of length ``size``."""
+    mask = np.zeros(int(size), dtype=bool)
+    for region in regions:
+        if region.stop > size:
+            raise ValueError(
+                f"region [{region.start}, {region.stop}) exceeds size {size}")
+        mask[region.start:region.stop] = True
+    return mask
+
+
+def n_elements(regions: Iterable[Region]) -> int:
+    """Total number of elements covered by the runs."""
+    return sum(len(r) for r in regions)
+
+
+def validate_regions(regions: Sequence[Region], size: int | None = None) -> None:
+    """Raise ``ValueError`` unless the runs are sorted, disjoint and in range."""
+    previous_stop = -1
+    for region in regions:
+        if region.start <= previous_stop - 1 and previous_stop >= 0:
+            raise ValueError(f"regions overlap or are unsorted near "
+                             f"[{region.start}, {region.stop})")
+        if region.start < previous_stop:
+            raise ValueError(f"regions overlap near [{region.start}, "
+                             f"{region.stop})")
+        previous_stop = region.stop
+        if size is not None and region.stop > size:
+            raise ValueError(f"region [{region.start}, {region.stop}) exceeds "
+                             f"size {size}")
+
+
+def merge_regions(regions: Iterable[Region]) -> list[Region]:
+    """Sort the runs and merge any that touch or overlap."""
+    ordered = sorted(regions)
+    merged: list[Region] = []
+    for region in ordered:
+        if merged and region.start <= merged[-1].stop:
+            last = merged[-1]
+            merged[-1] = Region(last.start, max(last.stop, region.stop))
+        else:
+            merged.append(region)
+    return merged
+
+
+def invert_regions(regions: Sequence[Region], size: int) -> list[Region]:
+    """Runs covering exactly the elements *not* covered by ``regions``."""
+    validate_regions(regions, size)
+    inverted: list[Region] = []
+    cursor = 0
+    for region in regions:
+        if region.start > cursor:
+            inverted.append(Region(cursor, region.start))
+        cursor = region.stop
+    if cursor < size:
+        inverted.append(Region(cursor, size))
+    return inverted
+
+
+def regions_to_array(regions: Sequence[Region]) -> np.ndarray:
+    """Pack the runs into an ``(n, 2)`` int64 array (for serialisation)."""
+    if not regions:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.array([(r.start, r.stop) for r in regions], dtype=np.int64)
+
+
+def regions_from_array(array: np.ndarray) -> list[Region]:
+    """Inverse of :func:`regions_to_array`."""
+    array = np.asarray(array, dtype=np.int64).reshape(-1, 2)
+    return [Region(int(a), int(b)) for a, b in array]
+
+
+def aux_record_nbytes(regions: Sequence[Region],
+                      offset_nbytes: int = 8) -> int:
+    """Bytes needed to record the runs as (start, stop) offset pairs.
+
+    This is the in-memory storage model of the auxiliary file the paper
+    describes; :mod:`repro.ckpt.auxfile` adds a small fixed header on disk.
+    """
+    return 2 * offset_nbytes * len(regions)

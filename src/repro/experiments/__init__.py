@@ -1,0 +1,41 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+One module per artefact (see DESIGN.md for the experiment index):
+
+=============  ==========================================================
+module         paper artefact
+=============  ==========================================================
+``table1``     Table I (checkpoint-variable inventory)
+``table2``     Table II (uncritical element counts)
+``table3``     Table III (checkpoint storage before/after pruning)
+``figures``    Figures 3-8 (critical/uncritical distributions)
+``verify``     Section IV-C (restart verification with pruned checkpoints)
+``ablation``   method / probe / encoding ablations (DESIGN.md extras)
+``precision``  impact-aware mixed-precision checkpoints (the paper's
+               future-work extension)
+``incremental`` criticality pruning vs. element-level incremental deltas
+=============  ==========================================================
+
+Every driver accepts a shared :class:`~repro.experiments.runner
+.ExperimentRunner` so the expensive AD analyses are computed once per
+session, and returns an :class:`~repro.experiments.runner.ExperimentReport`
+with formatted text, structured data and a ``matches_paper`` verdict.
+"""
+
+from . import (ablation, figures, incremental, paper, precision, table1,
+               table2, table3, verify)
+from .runner import ExperimentReport, ExperimentRunner
+
+__all__ = [
+    "ExperimentRunner",
+    "ExperimentReport",
+    "paper",
+    "table1",
+    "table2",
+    "table3",
+    "figures",
+    "verify",
+    "ablation",
+    "precision",
+    "incremental",
+]

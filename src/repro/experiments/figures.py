@@ -1,0 +1,257 @@
+"""Figures 3-8 -- critical/uncritical distributions within variables.
+
+For every figure of the paper's evaluation section this module produces the
+underlying criticality mask, a terminal rendering, a textual description and
+a set of structural checks that encode what the paper's figure shows:
+
+* Figure 3 -- BT/SP ``u`` (and LU ``u[..0-3]``, ``rho_i``, ``qs``, ``rsd``):
+  uncritical elements exactly on the padded ``j == 12`` and ``i == 12``
+  faces of the 12x13x13 component cubes, all five components identical.
+* Figure 4 -- MG ``u``: a contiguous critical prefix of 39304 elements
+  (the 34x34x34 finest level) followed by an uncritical tail.
+* Figure 5 -- MG ``r``: the repetitive stripe pattern created by the
+  restriction loop bounds (indices 0..32 of each dimension of the finest
+  block are critical).
+* Figure 6 -- CG ``x``: the first 1400 elements critical, the final 2
+  (declared-but-unused) elements uncritical.
+* Figure 7 -- LU ``u[..][4]``: the union of the three directional
+  energy-flux boxes, 128 more uncritical elements than the Figure 3 pattern.
+* Figure 8 -- FT ``y``: only the padding plane ``k == 64`` uncritical.
+
+Use :func:`run` for a single figure or :func:`run_all` for the whole set;
+pass ``export_dir`` to leave CSV/JSON/PGM artefacts next to the text output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.masks import uncritical_planes
+from repro.viz import (describe_mask, export_mask, identical_components,
+                       legend, render_mask_1d, render_mask_2d, render_runs)
+
+from .runner import ExperimentReport, ExperimentRunner
+
+__all__ = ["FIGURES", "FigureResult", "run", "run_all"]
+
+
+#: figure id -> (benchmark, variable) it visualises
+FIGURES: dict[str, tuple[str, str]] = {
+    "figure3": ("BT", "u"),
+    "figure4": ("MG", "u"),
+    "figure5": ("MG", "r"),
+    "figure6": ("CG", "x"),
+    "figure7": ("LU", "u"),
+    "figure8": ("FT", "y"),
+}
+
+
+@dataclass
+class FigureResult:
+    """Mask, rendering and structural checks of one paper figure."""
+
+    figure: str
+    benchmark: str
+    variable: str
+    mask: np.ndarray
+    checks: dict[str, bool] = field(default_factory=dict)
+    description: str = ""
+    rendering: str = ""
+
+    @property
+    def matches_paper(self) -> bool:
+        """True when every structural check holds."""
+        return all(self.checks.values())
+
+
+# ---------------------------------------------------------------------------
+# per-figure builders
+# ---------------------------------------------------------------------------
+
+def _figure3(runner: ExperimentRunner) -> FigureResult:
+    crit = runner.result("BT").variables["u"]
+    mask = crit.mask
+    cube = mask[..., 0]
+    planes = uncritical_planes(cube)
+    checks = {
+        "five_components_identical": identical_components(mask),
+        "uncritical_only_on_j12_i12_faces": planes == {1: [12], 2: [12]},
+        "uncritical_count_is_1500": crit.n_uncritical == 1500,
+    }
+    sp_mask = runner.result("SP").variables["u"].mask
+    checks["same_pattern_in_sp"] = bool(np.array_equal(mask, sp_mask))
+    rendering = (legend() + "\n"
+                 + "u[..., 0] plane at k = 0 (j down, i across):\n"
+                 + render_mask_2d(cube[0], row_label="j"))
+    return FigureResult("figure3", "BT", "u", mask, checks,
+                        describe_mask(cube, ("k", "j", "i")), rendering)
+
+
+def _figure4(runner: ExperimentRunner) -> FigureResult:
+    crit = runner.result("MG").variables["u"]
+    mask = crit.mask
+    flat = mask.reshape(-1)
+    finest = 34 ** 3
+    checks = {
+        "critical_prefix_is_finest_level": bool(flat[:finest].all()),
+        "tail_is_uncritical": bool(~flat[finest:].any()),
+        "uncritical_count_is_7176": crit.n_uncritical == 7176,
+    }
+    rendering = (legend() + "\n" + render_mask_1d(flat, width=100) + "\n"
+                 + render_runs(flat))
+    return FigureResult("figure4", "MG", "u", mask, checks,
+                        describe_mask(flat), rendering)
+
+
+def _figure5(runner: ExperimentRunner) -> FigureResult:
+    crit = runner.result("MG").variables["r"]
+    mask = crit.mask
+    flat = mask.reshape(-1)
+    finest = 34 ** 3
+    cube = flat[:finest].reshape(34, 34, 34)
+    expected_cube = np.zeros((34, 34, 34), dtype=bool)
+    expected_cube[:33, :33, :33] = True
+    checks = {
+        "finest_block_reads_indices_0_to_32": bool(
+            np.array_equal(cube, expected_cube)),
+        "tail_is_uncritical": bool(~flat[finest:].any()),
+        "uncritical_count_is_10543": crit.n_uncritical == 10543,
+        "pattern_repeats_with_period_34": bool(np.array_equal(
+            flat[:34 * 33], np.tile(flat[:34], 33))),
+    }
+    rendering = (legend() + "\n"
+                 + "first 340 flat elements (10 stripes of 34):\n"
+                 + "\n".join(render_mask_1d(flat[i * 34:(i + 1) * 34],
+                                            width=34, show_counts=False)
+                             for i in range(10)) + "\n"
+                 + render_runs(flat, max_runs=6))
+    return FigureResult("figure5", "MG", "r", mask, checks,
+                        describe_mask(cube, ("k", "j", "i")), rendering)
+
+
+def _figure6(runner: ExperimentRunner) -> FigureResult:
+    crit = runner.result("CG").variables["x"]
+    mask = crit.mask
+    na = 1400 if runner.problem_class == "S" \
+        else runner.benchmark("CG").params.na
+    checks = {
+        "first_na_elements_critical": bool(mask[:na].all()),
+        "last_two_elements_uncritical": bool(~mask[na:].any()),
+        "uncritical_count_is_2": crit.n_uncritical == 2,
+    }
+    rendering = (legend() + "\n" + render_mask_1d(mask, width=100) + "\n"
+                 + render_runs(mask))
+    return FigureResult("figure6", "CG", "x", mask, checks,
+                        describe_mask(mask), rendering)
+
+
+def _figure7(runner: ExperimentRunner) -> FigureResult:
+    crit = runner.result("LU").variables["u"]
+    mask = crit.mask
+    gp = runner.benchmark("LU").params.grid_points
+    energy = mask[..., 4]
+    expected = np.zeros_like(energy)
+    expected[1:gp - 1, 1:gp - 1, 0:gp] = True
+    expected[1:gp - 1, 0:gp, 1:gp - 1] = True
+    expected[0:gp, 1:gp - 1, 1:gp - 1] = True
+    figure3_pattern = np.zeros_like(energy)
+    figure3_pattern[0:gp, 0:gp, 0:gp] = True
+    checks = {
+        "energy_component_is_union_of_three_boxes": bool(
+            np.array_equal(energy, expected)),
+        "components_0_to_3_follow_figure3": all(
+            uncritical_planes(mask[..., m]) == {1: [12], 2: [12]}
+            for m in range(4)),
+        "128_extra_uncritical_vs_figure3": int(
+            np.count_nonzero(figure3_pattern) - np.count_nonzero(energy))
+        == 128,
+        "uncritical_count_is_1628": crit.n_uncritical == 1628,
+    }
+    rendering = (legend() + "\n"
+                 + "u[..., 4] plane at k = 5 (j down, i across):\n"
+                 + render_mask_2d(energy[5], row_label="j") + "\n"
+                 + "u[..., 4] plane at k = 0:\n"
+                 + render_mask_2d(energy[0], row_label="j"))
+    return FigureResult("figure7", "LU", "u", mask, checks,
+                        describe_mask(energy, ("k", "j", "i")), rendering)
+
+
+def _figure8(runner: ExperimentRunner) -> FigureResult:
+    crit = runner.result("FT").variables["y"]
+    mask = crit.mask
+    nz = runner.benchmark("FT").params.nz
+    checks = {
+        "logical_grid_fully_critical": bool(mask[:, :, :nz].all()),
+        "padding_plane_uncritical": bool(~mask[:, :, nz:].any()),
+        "uncritical_count_is_4096": crit.n_uncritical == 4096,
+    }
+    rendering = (legend() + "\n"
+                 + "y[0, :, :] plane (j down, k across; last column is the "
+                   "padding layer):\n"
+                 + render_mask_2d(mask[0], row_label="j"))
+    return FigureResult("figure8", "FT", "y", mask, checks,
+                        describe_mask(mask, ("i", "j", "k")), rendering)
+
+
+_BUILDERS = {
+    "figure3": _figure3,
+    "figure4": _figure4,
+    "figure5": _figure5,
+    "figure6": _figure6,
+    "figure7": _figure7,
+    "figure8": _figure8,
+}
+
+
+# ---------------------------------------------------------------------------
+# drivers
+# ---------------------------------------------------------------------------
+
+def run(figure: str, runner: ExperimentRunner | None = None,
+        export_dir: str | Path | None = None) -> ExperimentReport:
+    """Regenerate one figure ("figure3" .. "figure8")."""
+    key = figure.lower()
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown figure {figure!r}; "
+                       f"known: {', '.join(_BUILDERS)}")
+    runner = runner or ExperimentRunner()
+    result = _BUILDERS[key](runner)
+
+    text_parts = [f"{key}: {result.benchmark}({result.variable})",
+                  result.description, "", result.rendering, "", "checks:"]
+    for name, ok in result.checks.items():
+        text_parts.append(f"  [{'x' if ok else ' '}] {name}")
+    if export_dir is not None:
+        artefacts = export_mask(result.mask, export_dir,
+                                f"{key}_{result.benchmark.lower()}_"
+                                f"{result.variable}",
+                                metadata={"figure": key,
+                                          "benchmark": result.benchmark,
+                                          "variable": result.variable},
+                                write_csv=result.mask.size <= 20000)
+        text_parts.append("exported: " + ", ".join(
+            str(p) for p in artefacts.values()))
+
+    return ExperimentReport(
+        name=key,
+        text="\n".join(text_parts),
+        data={"figure": result, "checks": result.checks},
+        matches_paper=result.matches_paper,
+    )
+
+
+def run_all(runner: ExperimentRunner | None = None,
+            export_dir: str | Path | None = None) -> ExperimentReport:
+    """Regenerate every figure and aggregate the checks."""
+    runner = runner or ExperimentRunner()
+    reports = [run(figure, runner, export_dir) for figure in _BUILDERS]
+    text = "\n\n".join(r.text for r in reports)
+    return ExperimentReport(
+        name="figures",
+        text=text,
+        data={"figures": {r.name: r.data["figure"] for r in reports}},
+        matches_paper=all(r.matches_paper for r in reports),
+    )

@@ -1,0 +1,104 @@
+"""Extension experiment -- criticality pruning vs. incremental checkpointing.
+
+Incremental (delta) checkpointing is the classic orthogonal way of shrinking
+checkpoints (write only what changed since the last checkpoint); the paper
+cites it in its related work.  This experiment measures, per benchmark and
+at the same checkpoint cadence:
+
+* the conventional full checkpoint,
+* the paper's criticality-pruned checkpoint,
+* a plain element-level incremental checkpoint (vs. the previous step), and
+* the combination (changed **and** critical elements only),
+
+and verifies that restoring the base checkpoint plus the delta chain and
+finishing the run still passes each benchmark's verification.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.ckpt.incremental import (restore_chain,
+                                    write_incremental_checkpoint)
+from repro.ckpt.writer import write_full_checkpoint, write_pruned_checkpoint
+from repro.core.report import format_bytes, format_table
+
+from .runner import ExperimentReport, ExperimentRunner
+
+__all__ = ["DEFAULT_BENCHMARKS", "run"]
+
+
+#: benchmarks with a non-trivial floating-point payload
+DEFAULT_BENCHMARKS = ("BT", "SP", "MG", "CG", "LU", "FT")
+
+
+def run(runner: ExperimentRunner | None = None,
+        benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS,
+        directory: str | Path | None = None) -> ExperimentReport:
+    """Compare full / pruned / incremental / combined checkpoint sizes."""
+    runner = runner or ExperimentRunner()
+    workdir = Path(directory) if directory is not None \
+        else Path(tempfile.mkdtemp(prefix="repro_incremental_"))
+
+    rows = []
+    data = {}
+    all_verified = True
+    for name in benchmarks:
+        bench = runner.benchmark(name)
+        result = runner.result(name)
+        step = result.step
+        previous = bench.checkpoint_state(step - 1)
+        current = result.state
+
+        full = write_full_checkpoint(workdir / f"{name.lower()}_full.ckpt",
+                                     bench, current, step=step)
+        pruned = write_pruned_checkpoint(
+            workdir / f"{name.lower()}_pruned.ckpt", bench, current,
+            result.variables, step=step)
+        incremental = write_incremental_checkpoint(
+            workdir / f"{name.lower()}_incr.ckpt", bench, current, previous,
+            step=step, base_step=step - 1)
+        combined = write_incremental_checkpoint(
+            workdir / f"{name.lower()}_comb.ckpt", bench, current, previous,
+            criticality=result.variables, step=step, base_step=step - 1)
+
+        # restart correctness: base full checkpoint of the previous step +
+        # the combined delta must reproduce a verifiable run
+        base = write_full_checkpoint(workdir / f"{name.lower()}_base.ckpt",
+                                     bench, previous, step=step - 1)
+        restored = restore_chain(bench, base.path, [combined.path])
+        final = bench.run(restored, bench.total_steps - step)
+        verified = bool(bench.verify(final))
+        all_verified &= verified
+
+        data[name] = {
+            "full_nbytes": full.nbytes,
+            "pruned_nbytes": pruned.nbytes,
+            "incremental_nbytes": incremental.total_nbytes,
+            "combined_nbytes": combined.total_nbytes,
+            "verified": verified,
+        }
+        rows.append((name, format_bytes(full.nbytes),
+                     format_bytes(pruned.nbytes),
+                     format_bytes(incremental.total_nbytes),
+                     format_bytes(combined.total_nbytes),
+                     "PASSED" if verified else "FAILED"))
+
+    text = format_table(
+        ["Benchmark", "Full", "Pruned (paper)", "Incremental",
+         "Incremental + pruned", "Chain restart verification"],
+        rows,
+        title="Extension: criticality pruning vs. element-level incremental "
+              "checkpointing (per-step deltas, auxiliary files included)")
+    text += ("\n\nincremental sizes depend on how much of the state one "
+             "main-loop iteration rewrites (everything for CG, only the "
+             "interior for BT/SP/LU, only the accumulators for FT); the "
+             "combination never stores more than the plain delta, and beats "
+             "pruning alone wherever an iteration rewrites only part of the "
+             "state")
+    if not all_verified:
+        text += "\nWARNING: a delta-chain restart failed verification"
+
+    return ExperimentReport(name="incremental", text=text, data=data,
+                            matches_paper=all_verified)

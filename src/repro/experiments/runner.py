@@ -1,0 +1,111 @@
+"""Shared experiment infrastructure.
+
+Every table and figure of the paper is regenerated from the same per-
+benchmark :class:`~repro.core.analysis.ScrutinyResult`; the runner caches
+those results so the experiment drivers (and the pytest-benchmark harness,
+which calls several of them in one session) do not redo the AD analysis for
+every table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.analysis import ScrutinyResult, scrutinize
+from repro.core.criticality import VariableCriticality
+from repro.npb import registry
+
+__all__ = ["ExperimentRunner", "ExperimentReport"]
+
+
+@dataclass
+class ExperimentReport:
+    """Uniform return type of the experiment drivers.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier ("table2", "figure3", ...).
+    text:
+        The formatted, human-readable output (what the CLI prints).
+    data:
+        Structured results for programmatic checks (what the tests and the
+        benchmark harness assert on).
+    matches_paper:
+        True when every comparison against the paper's reported values is
+        within the experiment's tolerance.
+    """
+
+    name: str
+    text: str
+    data: dict = field(default_factory=dict)
+    matches_paper: bool = True
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class ExperimentRunner:
+    """Caches benchmark instances and their scrutiny results.
+
+    Parameters
+    ----------
+    problem_class:
+        Problem class of the analysed runs; "S" reproduces the paper.
+    method:
+        Criticality method forwarded to :func:`repro.core.scrutinize`.
+    n_probes:
+        Number of AD probes per variable (1 = the paper's single sweep).
+    step:
+        Checkpoint step; ``None`` uses each benchmark's mid-run default.
+    """
+
+    def __init__(self, problem_class: str = "S", method: str = "ad",
+                 n_probes: int = 1, step: int | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        self.problem_class = problem_class
+        self.method = method
+        self.n_probes = int(n_probes)
+        self.step = step
+        self.rng = rng
+        self._benchmarks: dict[str, object] = {}
+        self._results: dict[str, ScrutinyResult] = {}
+
+    # ------------------------------------------------------------------
+    # caching accessors
+    # ------------------------------------------------------------------
+    def benchmark(self, name: str):
+        """The (cached) benchmark instance for ``name``."""
+        key = name.upper()
+        if key not in self._benchmarks:
+            self._benchmarks[key] = registry.create(key, self.problem_class)
+        return self._benchmarks[key]
+
+    def result(self, name: str) -> ScrutinyResult:
+        """The (cached) scrutiny result for benchmark ``name``."""
+        key = name.upper()
+        if key not in self._results:
+            bench = self.benchmark(key)
+            self._results[key] = scrutinize(
+                bench, step=self.step, method=self.method,
+                n_probes=self.n_probes, rng=self.rng)
+        return self._results[key]
+
+    def results(self, names: Iterable[str]
+                ) -> dict[str, ScrutinyResult]:
+        """Scrutiny results for several benchmarks, keyed by name."""
+        return {name.upper(): self.result(name) for name in names}
+
+    def criticality(self, names: Iterable[str]
+                    ) -> dict[str, Mapping[str, VariableCriticality]]:
+        """Per-benchmark variable criticality maps (report-layer input)."""
+        return {name: result.variables
+                for name, result in self.results(names).items()}
+
+    def clear(self) -> None:
+        """Drop all cached benchmarks and results."""
+        self._benchmarks.clear()
+        self._results.clear()

@@ -1,0 +1,77 @@
+"""Table I -- variables necessary for checkpointing per benchmark.
+
+The paper identifies the checkpoint variables of every NPB benchmark by
+trial and error (Table I); in this reproduction they are encoded in the
+ports themselves, so the experiment simply enumerates the registry and
+formats the declarations.  The driver also cross-checks the class-S shapes
+against the sizes the paper states in its Section IV-B prose (element
+counts such as 10140 for BT's ``u`` and 266240 for FT's ``y``).
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.npb import registry
+
+from .runner import ExperimentReport, ExperimentRunner
+
+__all__ = ["EXPECTED_ELEMENT_COUNTS", "run"]
+
+
+#: element counts the paper states for the class-S array variables
+EXPECTED_ELEMENT_COUNTS: dict[tuple[str, str], int] = {
+    ("BT", "u"): 10140,
+    ("SP", "u"): 10140,
+    ("MG", "u"): 46480,
+    ("MG", "r"): 46480,
+    ("CG", "x"): 1402,
+    ("LU", "u"): 10140,
+    ("LU", "rho_i"): 2028,
+    ("LU", "qs"): 2028,
+    ("LU", "rsd"): 10140,
+    ("FT", "y"): 266240,
+    ("FT", "sums"): 6,
+    ("EP", "q"): 10,
+    ("IS", "key_array"): 65536,
+    ("IS", "bucket_ptrs"): 512,
+}
+
+
+def run(runner: ExperimentRunner | None = None) -> ExperimentReport:
+    """Regenerate Table I and check the class-S shapes against the paper."""
+    runner = runner or ExperimentRunner()
+    rows = registry.table1_rows(runner.problem_class)
+
+    table_rows = [(entry.name, entry.declaration) for entry in rows]
+    text = format_table(
+        ["Name", "Variables and their data structures"], table_rows,
+        title="Table I: manually identified variables necessary for "
+              "checkpointing")
+
+    mismatches: list[str] = []
+    counts: dict[str, dict[str, int]] = {}
+    for entry in rows:
+        counts[entry.name] = {}
+        for var in entry.variables:
+            counts[entry.name][var.name] = var.n_elements
+            expected = EXPECTED_ELEMENT_COUNTS.get((entry.name, var.name))
+            if expected is not None and expected != var.n_elements:
+                mismatches.append(
+                    f"{entry.name}({var.name}): {var.n_elements} elements, "
+                    f"paper states {expected}")
+
+    if mismatches:
+        text += "\n\nshape mismatches vs. the paper:\n" + "\n".join(
+            f"  {m}" for m in mismatches)
+    else:
+        text += ("\n\nall class-S element counts match the sizes stated in "
+                 "the paper")
+
+    return ExperimentReport(
+        name="table1",
+        text=text,
+        data={"rows": {entry.name: entry.declaration for entry in rows},
+              "element_counts": counts,
+              "mismatches": mismatches},
+        matches_paper=not mismatches,
+    )

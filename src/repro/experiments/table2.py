@@ -1,0 +1,74 @@
+"""Table II -- number of uncritical elements per checkpoint variable.
+
+Runs the AD criticality analysis on every benchmark the paper evaluates and
+compares the per-variable uncritical counts and rates against the paper's
+Table II (see :mod:`repro.experiments.paper` for the expected values and the
+note on the paper's permuted LU rows).
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table, uncritical_rows
+
+from .paper import TABLE2_BENCHMARKS, TABLE2_EXPECTED
+from .runner import ExperimentReport, ExperimentRunner
+
+__all__ = ["run"]
+
+
+def run(runner: ExperimentRunner | None = None,
+        benchmarks: tuple[str, ...] = TABLE2_BENCHMARKS) -> ExperimentReport:
+    """Regenerate Table II and compare against the paper."""
+    runner = runner or ExperimentRunner()
+    criticality = runner.criticality(benchmarks)
+    rows = uncritical_rows(criticality)
+
+    comparisons: list[dict] = []
+    mismatches: list[str] = []
+    for row in rows:
+        expected = TABLE2_EXPECTED.get((row.benchmark, row.variable))
+        entry = {
+            "benchmark": row.benchmark,
+            "variable": row.variable,
+            "uncritical": row.uncritical,
+            "total": row.total,
+            "uncritical_rate": row.uncritical_rate,
+            "paper_uncritical": expected[0] if expected else None,
+            "paper_total": expected[1] if expected else None,
+        }
+        comparisons.append(entry)
+        if expected is not None and (row.uncritical, row.total) != expected:
+            mismatches.append(
+                f"{row.label}: measured {row.uncritical}/{row.total}, "
+                f"paper reports {expected[0]}/{expected[1]}")
+    measured_keys = {(row.benchmark, row.variable) for row in rows}
+    for key, expected in TABLE2_EXPECTED.items():
+        if key[0] in {b.upper() for b in benchmarks} \
+                and key not in measured_keys:
+            mismatches.append(f"{key[0]}({key[1]}): paper reports "
+                              f"{expected[0]}/{expected[1]} but this "
+                              f"reproduction found no uncritical elements")
+
+    cells = []
+    for entry in comparisons:
+        paper = "-" if entry["paper_uncritical"] is None \
+            else str(entry["paper_uncritical"])
+        cells.append((f"{entry['benchmark']}({entry['variable']})",
+                      str(entry["uncritical"]), str(entry["total"]),
+                      f"{100.0 * entry['uncritical_rate']:.1f}%", paper))
+    text = format_table(
+        ["Benchmark(variable)", "Uncritical", "Total", "Uncritical rate",
+         "Paper uncritical"],
+        cells, title="Table II: number of uncritical elements")
+    if mismatches:
+        text += "\n\ndeviations from the paper:\n" + "\n".join(
+            f"  {m}" for m in mismatches)
+    else:
+        text += "\n\nevery row matches the paper's Table II exactly"
+
+    return ExperimentReport(
+        name="table2",
+        text=text,
+        data={"rows": comparisons, "mismatches": mismatches},
+        matches_paper=not mismatches,
+    )

@@ -1,0 +1,38 @@
+"""Python ports of the NAS Parallel Benchmarks (the paper's workloads).
+
+Each port reproduces, at the class-S memory layout of the paper's Table I,
+the *data access structure* of the original benchmark between a restart
+point and its verification output -- the property that determines which
+elements of its checkpoint variables are critical.  The kernels are written
+against :mod:`repro.ad.ops` so the same code runs on plain NumPy arrays
+(production path) and on traced arrays (analysis path).
+
+Use :mod:`repro.npb.registry` to enumerate or instantiate benchmarks::
+
+    from repro.npb import registry
+    bench = registry.create("BT", problem_class="S")
+    state = bench.checkpoint_state(step=30)
+"""
+
+from .base import NPBBenchmark, concrete_state, copy_state
+from .bt import BT
+from .cg import CG
+from .common import VerificationResult
+from .ep import EP
+from .ft import FT
+from .is_ import IS
+from .lu import LU
+from .mg import MG
+from .params import params_for
+from .sp import SP
+from . import registry
+
+__all__ = [
+    "NPBBenchmark",
+    "VerificationResult",
+    "concrete_state",
+    "copy_state",
+    "params_for",
+    "registry",
+    "BT", "SP", "LU", "MG", "CG", "FT", "EP", "IS",
+]

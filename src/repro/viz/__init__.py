@@ -1,0 +1,31 @@
+"""Text-based visualisation of critical/uncritical distributions.
+
+Terminal equivalents of the paper's Figures 3-8 (character grids and run
+summaries) plus exporters that leave CSV/JSON/PGM artefacts for external
+plotting tools.
+"""
+
+from .ascii_plot import (CRITICAL_CHAR, UNCRITICAL_CHAR, downsample_mask,
+                         legend, render_mask_1d, render_mask_2d, render_runs)
+from .export import export_mask, mask_to_csv, mask_to_json, plane_to_pgm
+from .slices import (component_cubes, cube_planes, describe_mask,
+                     identical_components, render_cube)
+
+__all__ = [
+    "CRITICAL_CHAR",
+    "UNCRITICAL_CHAR",
+    "legend",
+    "render_mask_1d",
+    "render_mask_2d",
+    "render_runs",
+    "downsample_mask",
+    "component_cubes",
+    "cube_planes",
+    "render_cube",
+    "describe_mask",
+    "identical_components",
+    "export_mask",
+    "mask_to_csv",
+    "mask_to_json",
+    "plane_to_pgm",
+]

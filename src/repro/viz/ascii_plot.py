@@ -1,0 +1,112 @@
+"""Text-mode rendering of criticality masks.
+
+The paper visualises critical/uncritical distributions as red/blue 3-D
+figures; this terminal-friendly equivalent renders masks with one character
+per element (``#`` critical, ``.`` uncritical), plus compact run summaries
+for long 1-D variables such as MG's 46480-element arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.masks import as_mask
+from repro.core.regions import Region, encode_mask
+
+__all__ = [
+    "CRITICAL_CHAR",
+    "UNCRITICAL_CHAR",
+    "legend",
+    "render_mask_1d",
+    "render_mask_2d",
+    "render_runs",
+    "downsample_mask",
+]
+
+
+#: character used for critical elements (the paper's red)
+CRITICAL_CHAR = "#"
+#: character used for uncritical elements (the paper's blue)
+UNCRITICAL_CHAR = "."
+
+
+def legend() -> str:
+    """One-line legend matching the paper's colour coding."""
+    return (f"'{CRITICAL_CHAR}' critical (red in the paper), "
+            f"'{UNCRITICAL_CHAR}' uncritical (blue in the paper)")
+
+
+def downsample_mask(mask: np.ndarray, width: int) -> np.ndarray:
+    """Reduce a flat mask to ``width`` buckets (bucket critical if any is).
+
+    Rendering a 46480-element array at full resolution is useless in a
+    terminal; each output bucket is marked critical when it contains at
+    least one critical element, so uncritical buckets are guaranteed to be
+    entirely uncritical.
+    """
+    flat = as_mask(mask).reshape(-1)
+    width = int(width)
+    if width < 1:
+        raise ValueError("width must be positive")
+    if flat.size <= width:
+        return flat
+    edges = np.linspace(0, flat.size, width + 1).astype(np.int64)
+    return np.array([flat[a:b].any() for a, b in zip(edges[:-1], edges[1:])],
+                    dtype=bool)
+
+
+def render_mask_1d(mask: np.ndarray, width: int = 80,
+                   show_counts: bool = True) -> str:
+    """Render a (flattened) mask as one or more character rows.
+
+    Parameters
+    ----------
+    mask:
+        Boolean criticality mask (any shape; flattened in C order).
+    width:
+        Maximum characters per row; longer masks are downsampled.
+    show_counts:
+        Append the critical/uncritical counts after the bar.
+    """
+    flat = as_mask(mask).reshape(-1)
+    buckets = downsample_mask(flat, width)
+    bar = "".join(CRITICAL_CHAR if b else UNCRITICAL_CHAR for b in buckets)
+    if not show_counts:
+        return bar
+    critical = int(np.count_nonzero(flat))
+    return (f"{bar}  [{critical} critical / "
+            f"{flat.size - critical} uncritical of {flat.size}]")
+
+
+def render_mask_2d(mask: np.ndarray, row_label: str = "",
+                   col_label: str = "") -> str:
+    """Render a 2-D mask as a character grid with optional axis labels."""
+    grid = as_mask(mask)
+    if grid.ndim != 2:
+        raise ValueError(f"render_mask_2d needs a 2-D mask, got shape "
+                         f"{grid.shape}")
+    lines = []
+    if col_label:
+        lines.append(f"    {col_label} ->")
+    for i, row in enumerate(grid):
+        prefix = f"{i:3d} " if not row_label else f"{row_label}={i:<3d} "
+        lines.append(prefix + "".join(
+            CRITICAL_CHAR if cell else UNCRITICAL_CHAR for cell in row))
+    return "\n".join(lines)
+
+
+def render_runs(mask: np.ndarray, max_runs: int = 20) -> str:
+    """Describe the critical runs of a mask (Figure 5/6-style summaries)."""
+    regions = encode_mask(mask)
+    total = int(np.asarray(mask).size)
+    if not regions:
+        return f"no critical elements (all {total} uncritical)"
+    head: Sequence[Region] = regions[:max_runs]
+    parts = [f"[{r.start}, {r.stop}) ({len(r)} elements)" for r in head]
+    suffix = "" if len(regions) <= max_runs \
+        else f" ... and {len(regions) - max_runs} more runs"
+    covered = sum(len(r) for r in regions)
+    return (f"{len(regions)} critical runs covering {covered}/{total} "
+            f"elements: " + ", ".join(parts) + suffix)

@@ -1,0 +1,108 @@
+"""Exporting criticality masks and figure data to files.
+
+The figures of the paper are 3-D scatter plots; this module writes the
+underlying data in formats external plotting tools consume directly:
+
+* CSV of per-element coordinates and criticality flags;
+* JSON summaries (shape, counts, critical regions);
+* PGM (portable graymap) images of 2-D planes, viewable anywhere.
+
+The figure experiment drivers (:mod:`repro.experiments.figures`) call
+:func:`export_mask` for every figure so a reproduction run leaves plot-ready
+artefacts next to the text output.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.masks import as_mask, summarize_mask
+from repro.core.regions import encode_mask
+
+__all__ = [
+    "mask_to_csv",
+    "mask_to_json",
+    "plane_to_pgm",
+    "export_mask",
+]
+
+
+def mask_to_csv(mask: np.ndarray, path: str | Path) -> Path:
+    """Write one row per element: its N-D coordinates and critical flag."""
+    mask = as_mask(mask)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([f"i{d}" for d in range(mask.ndim)] + ["critical"])
+        for coords in np.ndindex(*mask.shape):
+            writer.writerow(list(coords) + [int(mask[coords])])
+    return path
+
+
+def mask_to_json(mask: np.ndarray, path: str | Path, name: str = "mask",
+                 metadata: Mapping[str, Any] | None = None) -> Path:
+    """Write a JSON summary: shape, counts and the critical runs."""
+    mask = as_mask(mask)
+    summary = summarize_mask(name, mask)
+    payload = {
+        "name": name,
+        "shape": list(mask.shape),
+        "total": summary.total,
+        "critical": summary.critical,
+        "uncritical": summary.uncritical,
+        "uncritical_rate": summary.uncritical_rate,
+        "critical_regions": [[r.start, r.stop] for r in encode_mask(mask)],
+    }
+    if metadata:
+        payload["metadata"] = dict(metadata)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def plane_to_pgm(plane: np.ndarray, path: str | Path) -> Path:
+    """Write a 2-D mask as an ASCII PGM image (critical white, uncritical
+    black)."""
+    plane = as_mask(plane)
+    if plane.ndim != 2:
+        raise ValueError(f"plane_to_pgm needs a 2-D mask, got {plane.shape}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows, cols = plane.shape
+    lines = ["P2", f"{cols} {rows}", "255"]
+    for row in plane:
+        lines.append(" ".join("255" if cell else "0" for cell in row))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def export_mask(mask: np.ndarray, directory: str | Path, name: str,
+                metadata: Mapping[str, Any] | None = None,
+                write_csv: bool = True) -> dict[str, Path]:
+    """Write the JSON summary (+ optional CSV, + PGMs of 2-D/3-D masks).
+
+    Returns the mapping of artefact kind to path so callers can report what
+    was produced.
+    """
+    mask = as_mask(mask)
+    directory = Path(directory)
+    artefacts: dict[str, Path] = {}
+    artefacts["json"] = mask_to_json(mask, directory / f"{name}.json",
+                                     name=name, metadata=metadata)
+    if write_csv:
+        artefacts["csv"] = mask_to_csv(mask, directory / f"{name}.csv")
+    if mask.ndim == 2:
+        artefacts["pgm"] = plane_to_pgm(mask, directory / f"{name}.pgm")
+    elif mask.ndim == 3:
+        # middle plane along the first axis as a representative image
+        mid = mask.shape[0] // 2
+        artefacts["pgm"] = plane_to_pgm(mask[mid],
+                                        directory / f"{name}_k{mid}.pgm")
+    return artefacts

@@ -1,0 +1,99 @@
+"""Decomposing 3-D/4-D criticality masks into viewable slices.
+
+The paper's Figures 3, 4, 7 and 8 are 3-D cubes; a terminal shows them one
+2-D plane at a time.  This module slices component cubes out of 4-D
+variables (``u[12][13][13][5]`` -> five ``12x13x13`` cubes, the paper's own
+decomposition), renders a cube plane-by-plane and produces the textual
+descriptions ("uncritical elements are distributed on the two surfaces of
+the cube at y = 12 and z = 12") the experiment drivers print.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.masks import as_mask, component_masks, uncritical_planes
+
+from .ascii_plot import render_mask_2d
+
+__all__ = [
+    "component_cubes",
+    "cube_planes",
+    "render_cube",
+    "describe_mask",
+    "identical_components",
+]
+
+
+def component_cubes(mask4d: np.ndarray, axis: int = -1) -> list[np.ndarray]:
+    """Split a 4-D variable mask into its per-component 3-D cubes."""
+    mask4d = as_mask(mask4d)
+    if mask4d.ndim != 4:
+        raise ValueError(f"expected a 4-D mask, got shape {mask4d.shape}")
+    return component_masks(mask4d, axis=axis)
+
+
+def identical_components(mask4d: np.ndarray, axis: int = -1) -> bool:
+    """True when every component cube has the same criticality pattern.
+
+    The paper observes this for BT/SP ``u`` ("all five three-dimensional
+    arrays share the same critical-uncritical distribution pattern") and its
+    *failure* for LU ``u`` (the fifth component differs, Figure 7).
+    """
+    cubes = component_cubes(mask4d, axis=axis)
+    first = cubes[0]
+    return all(np.array_equal(first, cube) for cube in cubes[1:])
+
+
+def cube_planes(mask3d: np.ndarray, axis: int = 0) -> list[np.ndarray]:
+    """The 2-D planes of a 3-D mask along ``axis``."""
+    mask3d = as_mask(mask3d)
+    if mask3d.ndim != 3:
+        raise ValueError(f"expected a 3-D mask, got shape {mask3d.shape}")
+    return [np.take(mask3d, i, axis=axis) for i in range(mask3d.shape[axis])]
+
+
+def render_cube(mask3d: np.ndarray, axis: int = 0,
+                plane_label: str = "k") -> str:
+    """Render a 3-D mask plane-by-plane along ``axis``."""
+    blocks = []
+    for index, plane in enumerate(cube_planes(mask3d, axis=axis)):
+        critical = int(np.count_nonzero(plane))
+        blocks.append(f"--- {plane_label} = {index} "
+                      f"({critical}/{plane.size} critical) ---")
+        blocks.append(render_mask_2d(plane))
+    return "\n".join(blocks)
+
+
+def describe_mask(mask: np.ndarray, axis_names: tuple[str, ...] | None = None
+                  ) -> str:
+    """Textual description of a mask's uncritical structure.
+
+    Reports the totals, any fully uncritical planes per axis (the padded
+    faces of Figure 3, the top layer of Figure 8) and whether the mask is a
+    contiguous critical prefix (Figure 4 / Figure 6 shape).
+    """
+    mask = as_mask(mask)
+    total = int(mask.size)
+    critical = int(np.count_nonzero(mask))
+    uncritical = total - critical
+    lines = [f"{critical} critical, {uncritical} uncritical of {total} "
+             f"elements ({100.0 * uncritical / total if total else 0.0:.1f}% "
+             f"uncritical)"]
+
+    if uncritical == 0:
+        lines.append("every element is critical")
+        return "\n".join(lines)
+
+    names = axis_names or tuple(f"axis{i}" for i in range(mask.ndim))
+    for axis, indices in uncritical_planes(mask).items():
+        label = names[axis] if axis < len(names) else f"axis{axis}"
+        idx = ", ".join(str(i) for i in indices)
+        lines.append(f"fully uncritical planes at {label} = {idx}")
+
+    flat = mask.reshape(-1)
+    first_uncritical = int(np.argmin(flat)) if not flat.all() else total
+    if flat[:first_uncritical].all() and not flat[first_uncritical:].any():
+        lines.append(f"contiguous critical prefix of {first_uncritical} "
+                     f"elements followed by an uncritical tail")
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Unit tests for elementwise primitives and their VJPs."""
+
+import numpy as np
+import pytest
+
+from repro import ad
+from repro.ad import ops
+
+
+def numeric_grad(fun, x, eps=1e-6):
+    """Dense central finite-difference gradient helper for small inputs."""
+    x = np.asarray(x, dtype=np.float64)
+    g = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gf = g.reshape(-1)
+    for i in range(flat.size):
+        xp, xm = flat.copy(), flat.copy()
+        xp[i] += eps
+        xm[i] -= eps
+        gf[i] = (fun(xp.reshape(x.shape)) - fun(xm.reshape(x.shape))) / (2 * eps)
+    return g
+
+
+X = np.linspace(0.3, 2.1, 12).reshape(3, 4)
+Y = np.linspace(1.1, 3.0, 12).reshape(3, 4)
+
+
+class TestBinaryOps:
+    @pytest.mark.parametrize("op,ref", [
+        (ops.add, np.add),
+        (ops.subtract, np.subtract),
+        (ops.multiply, np.multiply),
+        (ops.divide, np.divide),
+        (ops.maximum, np.maximum),
+        (ops.minimum, np.minimum),
+    ])
+    def test_values_match_numpy(self, op, ref):
+        assert np.allclose(op(X, Y), ref(X, Y))
+
+    @pytest.mark.parametrize("op", [
+        ops.add, ops.subtract, ops.multiply, ops.divide,
+    ])
+    def test_gradient_wrt_first_arg(self, op):
+        f = lambda x: ops.sum(op(x, Y))
+        g = ad.grad(f)(X)
+        assert np.allclose(g, numeric_grad(lambda x: float(np.sum(
+            op(x, Y))), X), atol=1e-5)
+
+    @pytest.mark.parametrize("op", [
+        ops.add, ops.subtract, ops.multiply, ops.divide,
+    ])
+    def test_gradient_wrt_second_arg(self, op):
+        f = lambda y: ops.sum(op(X, y))
+        g = ad.grad(f)(Y)
+        assert np.allclose(g, numeric_grad(lambda y: float(np.sum(
+            op(X, y))), Y), atol=1e-5)
+
+    def test_power_constant_exponent(self):
+        f = lambda x: ops.sum(ops.power(x, 3.0))
+        g = ad.grad(f)(X)
+        assert np.allclose(g, 3.0 * X ** 2)
+
+    def test_power_traced_exponent(self):
+        f = lambda e: ops.sum(ops.power(X, e))
+        g = ad.grad(f)(np.full(X.shape, 2.0))
+        assert np.allclose(g, X ** 2 * np.log(X))
+
+    def test_broadcasting_scalar(self):
+        f = lambda x: ops.sum(x * 3.0 + 1.0)
+        g = ad.grad(f)(X)
+        assert np.allclose(g, 3.0)
+
+    def test_broadcasting_row_vector(self):
+        row = np.arange(1.0, 5.0)
+
+        def f(r):
+            return ops.sum(ops.multiply(X, r))
+
+        g = ad.grad(f)(row)
+        assert g.shape == row.shape
+        assert np.allclose(g, X.sum(axis=0))
+
+    def test_maximum_gradient_routing(self):
+        a = np.array([1.0, 5.0, 2.0])
+        b = np.array([3.0, 4.0, 2.0])
+        ga, gb = ad.grad(lambda x, y: ops.sum(ops.maximum(x, y)),
+                         argnums=(0, 1))(a, b)
+        # element 0: b wins; element 1: a wins; element 2: tie goes to a
+        assert np.allclose(ga, [0.0, 1.0, 1.0])
+        assert np.allclose(gb, [1.0, 0.0, 0.0])
+
+    def test_mod_gradient_wrt_numerator(self):
+        g = ad.grad(lambda x: ops.sum(ops.mod(x, 2.5)))(X)
+        assert np.allclose(g, 1.0)
+
+
+class TestUnaryOps:
+    @pytest.mark.parametrize("op,ref", [
+        (ops.negative, np.negative),
+        (ops.absolute, np.abs),
+        (ops.sqrt, np.sqrt),
+        (ops.exp, np.exp),
+        (ops.expm1, np.expm1),
+        (ops.log, np.log),
+        (ops.log1p, np.log1p),
+        (ops.sin, np.sin),
+        (ops.cos, np.cos),
+        (ops.tan, np.tan),
+        (ops.tanh, np.tanh),
+        (ops.square, np.square),
+        (ops.sign, np.sign),
+        (ops.reciprocal, lambda a: 1.0 / a),
+    ])
+    def test_values_match_numpy(self, op, ref):
+        assert np.allclose(op(X), ref(X))
+
+    @pytest.mark.parametrize("op", [
+        ops.negative, ops.absolute, ops.sqrt, ops.exp, ops.expm1, ops.log,
+        ops.log1p, ops.sin, ops.cos, ops.tan, ops.tanh, ops.square,
+        ops.reciprocal,
+    ])
+    def test_gradients_match_finite_differences(self, op):
+        f = lambda x: ops.sum(op(x))
+        g = ad.grad(f)(X)
+        ref = numeric_grad(lambda x: float(np.sum(op(x))), X)
+        assert np.allclose(g, ref, atol=1e-5, rtol=1e-4)
+
+    def test_sign_gradient_is_zero(self):
+        g = ad.grad(lambda x: ops.sum(ops.sign(x)))(X)
+        assert np.all(g == 0.0)
+
+    def test_clip_passes_gradient_only_inside(self):
+        x = np.array([-2.0, 0.5, 3.0])
+        g = ad.grad(lambda v: ops.sum(ops.clip(v, 0.0, 1.0)))(x)
+        assert np.allclose(g, [0.0, 1.0, 0.0])
+
+    def test_abs_at_negative_values(self):
+        x = np.array([-1.5, -0.1, 2.0])
+        g = ad.grad(lambda v: ops.sum(ops.absolute(v)))(x)
+        assert np.allclose(g, [-1.0, -1.0, 1.0])
+
+
+class TestNonDifferentiableHelpers:
+    def test_isnan_and_isfinite_on_traced(self):
+        with ad.Tape() as t:
+            x = t.watch(np.array([1.0, np.nan]))
+            assert ops.isnan(x).tolist() == [False, True]
+            assert ops.isfinite(x).tolist() == [True, False]
+
+    def test_allclose_on_traced(self):
+        with ad.Tape() as t:
+            x = t.watch(np.ones(3))
+            assert ops.allclose(x, np.ones(3))
+
+    def test_comparisons_return_plain_bool_arrays(self):
+        with ad.Tape() as t:
+            x = t.watch(np.array([1.0, 2.0, 3.0]))
+            mask = x > 1.5
+        assert isinstance(mask, np.ndarray)
+        assert mask.dtype == bool
+        assert mask.tolist() == [False, True, True]
+
+
+class TestUntracedFastPath:
+    """Ops on plain numpy inputs must return plain numpy outputs."""
+
+    @pytest.mark.parametrize("result", [
+        ops.add(X, Y), ops.multiply(X, 2.0), ops.sqrt(X), ops.sum(X),
+        ops.reshape(X, (4, 3)), ops.getitem(X, (slice(0, 2),)),
+        ops.matmul(X, Y.T),
+    ])
+    def test_returns_plain_numpy(self, result):
+        assert not isinstance(result, ad.ADArray)
+
+    def test_no_tape_suspends_recording(self):
+        with ad.Tape() as t:
+            x = t.watch(np.ones(4))
+            with ad.no_tape():
+                y = x * 2.0
+            z = ops.sum(x * 3.0)
+        assert not isinstance(y, ad.ADArray) or y.node is None
+        assert isinstance(z, ad.ADArray)

@@ -1,0 +1,281 @@
+"""Unit tests for shape-manipulation and indexing primitives."""
+
+import numpy as np
+import pytest
+
+from repro import ad
+from repro.ad import ops
+
+X = np.linspace(-1.0, 2.0, 24).reshape(2, 3, 4)
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        def f(x):
+            return ops.sum(ops.reshape(x, (6, 4)) * 2.0)
+
+        g = ad.grad(f)(X)
+        assert g.shape == X.shape
+        assert np.allclose(g, 2.0)
+
+    def test_transpose_gradient(self):
+        def f(x):
+            return ops.sum(ops.transpose(x, (2, 0, 1))[0])
+
+        g = ad.grad(f)(X)
+        expected = np.zeros_like(X)
+        expected[:, :, 0] = 1.0
+        assert np.allclose(g, expected)
+
+    def test_transpose_default_reverses_axes(self):
+        with ad.Tape() as t:
+            x = t.watch(X)
+            y = x.T
+        assert y.shape == X.T.shape
+        assert np.allclose(y.to_numpy(), X.T)
+
+    def test_swapaxes_and_moveaxis_values(self):
+        assert np.allclose(ops.swapaxes(X, 0, 2), np.swapaxes(X, 0, 2))
+        assert np.allclose(ops.moveaxis(X, 0, -1), np.moveaxis(X, 0, -1))
+
+    def test_swapaxes_gradient_shape(self):
+        g = ad.grad(lambda x: ops.sum(ops.swapaxes(x, 0, 1) * 3.0))(X)
+        assert g.shape == X.shape
+        assert np.allclose(g, 3.0)
+
+    def test_broadcast_to_gradient_sums_over_broadcast_axes(self):
+        v = np.arange(1.0, 5.0)
+        g = ad.grad(lambda x: ops.sum(ops.broadcast_to(x, (3, 4))))(v)
+        assert np.allclose(g, 3.0)
+
+    def test_squeeze_expand_dims_inverse(self):
+        v = np.arange(6.0).reshape(1, 6)
+        g = ad.grad(lambda x: ops.sum(ops.squeeze(x, axis=0) * 2.0))(v)
+        assert g.shape == v.shape
+        assert np.allclose(g, 2.0)
+        g2 = ad.grad(lambda x: ops.sum(ops.expand_dims(x, 0) * 5.0))(v)
+        assert g2.shape == v.shape
+
+    def test_concatenate_gradient_splits(self):
+        a = np.ones((2, 3))
+        b = np.full((2, 2), 2.0)
+
+        def f(x, y):
+            joined = ops.concatenate([x, y], axis=1)
+            return ops.sum(joined * np.arange(1.0, 6.0))
+
+        ga, gb = ad.grad(f, argnums=(0, 1))(a, b)
+        assert np.allclose(ga, np.tile([1.0, 2.0, 3.0], (2, 1)))
+        assert np.allclose(gb, np.tile([4.0, 5.0], (2, 1)))
+
+    def test_concatenate_with_untraced_operand(self):
+        a = np.ones((2, 2))
+
+        def f(x):
+            joined = ops.concatenate([x, np.zeros((2, 2))], axis=0)
+            return ops.sum(joined)
+
+        g = ad.grad(f)(a)
+        assert np.allclose(g, 1.0)
+
+    def test_stack_gradient(self):
+        a = np.ones(3)
+        b = np.full(3, 2.0)
+
+        def f(x, y):
+            s = ops.stack([x, y], axis=0)
+            return ops.sum(s[1] * 10.0) + ops.sum(s[0])
+
+        ga, gb = ad.grad(f, argnums=(0, 1))(a, b)
+        assert np.allclose(ga, 1.0)
+        assert np.allclose(gb, 10.0)
+
+    def test_flip_and_roll_gradients(self):
+        v = np.arange(5.0)
+        g = ad.grad(lambda x: ops.sum(ops.flip(x) * np.arange(5.0)))(v)
+        assert np.allclose(g, np.arange(5.0)[::-1])
+        g2 = ad.grad(lambda x: ops.sum(ops.roll(x, 2) * np.arange(5.0)))(v)
+        assert np.allclose(g2, np.roll(np.arange(5.0), -2))
+
+    def test_pad_zero_gradient_extracts_interior(self):
+        v = np.ones((2, 3))
+        g = ad.grad(lambda x: ops.sum(ops.pad_zero(x, 1) * 2.0))(v)
+        assert g.shape == v.shape
+        assert np.allclose(g, 2.0)
+
+
+class TestIndexing:
+    def test_getitem_basic_slice_gradient(self):
+        g = ad.grad(lambda x: ops.sum(x[0, 1:3, :2]))(X)
+        expected = np.zeros_like(X)
+        expected[0, 1:3, :2] = 1.0
+        assert np.allclose(g, expected)
+
+    def test_getitem_leaves_untouched_elements_at_zero(self):
+        g = ad.grad(lambda x: ops.sum(x[:, :, :2] ** 2))(X)
+        assert np.all(g[:, :, 2:] == 0.0)
+        assert np.all(g[:, :, :2] == 2.0 * X[:, :, :2])
+
+    def test_getitem_advanced_integer_index(self):
+        idx = np.array([0, 2, 2, 3])
+        v = np.arange(5.0)
+        g = ad.grad(lambda x: ops.sum(x[idx]))(v)
+        assert np.allclose(g, [1.0, 0.0, 2.0, 1.0, 0.0])
+
+    def test_getitem_negative_index(self):
+        v = np.arange(4.0)
+        g = ad.grad(lambda x: ops.sum(x[-1] * 7.0))(v)
+        assert np.allclose(g, [0.0, 0.0, 0.0, 7.0])
+
+    def test_take_flat_and_axis(self):
+        v = np.arange(12.0).reshape(3, 4)
+        g = ad.grad(lambda x: ops.sum(ops.take(x, np.array([0, 5]))))(v)
+        expected = np.zeros(12)
+        expected[[0, 5]] = 1.0
+        assert np.allclose(g, expected.reshape(3, 4))
+
+        g2 = ad.grad(lambda x: ops.sum(ops.take(x, np.array([1, 1]), axis=1)))(v)
+        expected2 = np.zeros((3, 4))
+        expected2[:, 1] = 2.0
+        assert np.allclose(g2, expected2)
+
+    def test_index_update_gradient_zeroes_overwritten_region(self):
+        v = np.arange(6.0)
+
+        def f(x):
+            y = ops.index_update(x, slice(2, 4), np.array([10.0, 20.0]))
+            return ops.sum(y * y)
+
+        g = ad.grad(f)(v)
+        expected = 2.0 * v
+        expected[2:4] = 0.0
+        assert np.allclose(g, expected)
+
+    def test_index_update_gradient_wrt_update_value(self):
+        v = np.arange(6.0)
+
+        def f(u):
+            y = ops.index_update(ad.ops.asarray(v), slice(2, 4), u)
+            return ops.sum(y * y)
+
+        # y[2:4] = u so d/du sum(y*y) = 2*u
+        u0 = np.array([10.0, 20.0])
+        with ad.Tape() as t:
+            uu = t.watch(u0)
+            out = f(uu)
+        g = t.gradient(out, [uu])[0]
+        assert np.allclose(g, 2.0 * u0)
+
+    def test_setitem_sugar_matches_index_update(self):
+        v = np.arange(6.0)
+
+        def f(x):
+            y = x.copy()
+            y[2:4] = 0.0
+            return ops.sum(y * y)
+
+        g = ad.grad(f)(v)
+        expected = 2.0 * v
+        expected[2:4] = 0.0
+        assert np.allclose(g, expected)
+
+    def test_index_add_accumulates_repeated_indices(self):
+        v = np.zeros(4)
+        idx = np.array([1, 1, 3])
+
+        def f(x):
+            y = ops.index_add(x, idx, np.array([1.0, 2.0, 3.0]))
+            return ops.sum(y * np.arange(4.0))
+
+        g = ad.grad(f)(v)
+        assert np.allclose(g, np.arange(4.0))
+
+    def test_index_add_gradient_wrt_added_values(self):
+        base = np.zeros(4)
+        add = np.array([1.0, 2.0, 3.0])
+        idx = np.array([1, 1, 3])
+
+        with ad.Tape() as t:
+            a = t.watch(add)
+            y = ops.index_add(base, idx, a)
+            out = ops.sum(y * np.arange(4.0))
+        g = t.gradient(out, [a])[0]
+        assert np.allclose(g, [1.0, 1.0, 3.0])
+
+    def test_where_routes_gradient_by_condition(self):
+        cond = np.array([True, False, True])
+        a = np.ones(3)
+        b = np.full(3, 5.0)
+
+        def f(x, y):
+            return ops.sum(ops.where(cond, x, y) * np.array([1.0, 2.0, 3.0]))
+
+        ga, gb = ad.grad(f, argnums=(0, 1))(a, b)
+        assert np.allclose(ga, [1.0, 0.0, 3.0])
+        assert np.allclose(gb, [0.0, 2.0, 0.0])
+
+    def test_copy_is_identity_for_gradient(self):
+        g = ad.grad(lambda x: ops.sum(ops.copy(x) * 4.0))(X)
+        assert np.allclose(g, 4.0)
+
+    def test_astype_to_int_detaches(self):
+        with ad.Tape() as t:
+            x = t.watch(np.array([1.2, 3.7]))
+            y = ops.astype(x, np.int64)
+        assert not isinstance(y, ad.ADArray)
+        assert y.dtype == np.int64
+
+    def test_astype_to_float_keeps_trace(self):
+        g = ad.grad(lambda x: ops.sum(ops.astype(x, np.float32) * 2.0))(
+            np.ones(3))
+        assert np.allclose(g, 2.0)
+
+    def test_detach_cuts_graph(self):
+        def f(x):
+            d = ops.detach(x)           # constant from here on
+            return ops.sum(x * d)
+
+        x0 = np.array([1.0, 2.0, 3.0])
+        g = ad.grad(f)(x0)
+        assert np.allclose(g, x0)       # only the traced factor contributes
+
+
+class TestInPlaceOperators:
+    def test_iadd_matches_functional(self):
+        def f(x):
+            y = x.copy()
+            y += 3.0
+            return ops.sum(y * y)
+
+        x0 = np.array([1.0, -2.0])
+        g = ad.grad(f)(x0)
+        assert np.allclose(g, 2.0 * (x0 + 3.0))
+
+    def test_imul_matches_functional(self):
+        def f(x):
+            y = x.copy()
+            y *= 2.0
+            return ops.sum(y * y)
+
+        x0 = np.array([1.0, -2.0])
+        g = ad.grad(f)(x0)
+        assert np.allclose(g, 8.0 * x0)
+
+    def test_isub_and_idiv(self):
+        def f(x):
+            y = x.copy()
+            y -= 1.0
+            y /= 2.0
+            return ops.sum(y)
+
+        g = ad.grad(f)(np.ones(4))
+        assert np.allclose(g, 0.5)
+
+    def test_index_add_method_on_adarray(self):
+        def f(x):
+            y = x.copy()
+            y.index_add(np.array([0, 0, 1]), np.array([1.0, 1.0, 1.0]))
+            return ops.sum(y * np.array([2.0, 3.0, 4.0]))
+
+        g = ad.grad(f)(np.zeros(3))
+        assert np.allclose(g, [2.0, 3.0, 4.0])

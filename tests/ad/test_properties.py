@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for the AD engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import ad
+from repro.ad import activity, ops
+from repro.ad.tape import Tape
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False, width=64)
+
+
+def small_arrays(min_size=1, max_size=30):
+    return hnp.arrays(dtype=np.float64, elements=finite_floats,
+                      shape=st.integers(min_value=min_size,
+                                        max_value=max_size))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_gradient_of_sum_is_ones(x):
+    g = ad.grad(lambda v: ops.sum(v))(x)
+    assert np.allclose(g, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), finite_floats)
+def test_gradient_linearity_in_constant_scale(x, c):
+    """grad(c * f) == c * grad(f) for f = sum of squares."""
+    g1 = ad.grad(lambda v: ops.sum(v * v) * c)(x)
+    g2 = c * ad.grad(lambda v: ops.sum(v * v))(x)
+    assert np.allclose(g1, g2, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_of_parts_equals_whole(x):
+    """Splitting an array and summing the parts must give the same gradient
+    as summing the whole (gradient accumulation correctness)."""
+    if x.size < 2:
+        return
+    k = x.size // 2
+
+    def split_sum(v):
+        return ops.sum(v[:k]) + ops.sum(v[k:])
+
+    g_split = ad.grad(split_sum)(x)
+    g_whole = ad.grad(lambda v: ops.sum(v))(x)
+    assert np.allclose(g_split, g_whole)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(min_size=4))
+def test_unused_suffix_has_exactly_zero_gradient(x):
+    """The core property the paper relies on: untouched elements have a
+    derivative of exactly zero (no numerical noise)."""
+    k = x.size // 2
+
+    def f(v):
+        return ops.sum(ops.square(v[:k]))
+
+    g = ad.grad(f)(x)
+    assert np.all(g[k:] == 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(min_size=4))
+def test_activity_mask_is_superset_of_ad_mask(x):
+    """Every AD-critical element must also be marked read by the activity
+    analysis (activity is a conservative over-approximation)."""
+    k = max(1, x.size // 3)
+
+    with Tape() as t:
+        v = t.watch(x)
+        out = ops.sum(v[:k] * np.arange(k, dtype=np.float64))
+    g = t.gradient(out, [v])[0]
+    res = activity.read_mask(t, v)
+    ad_mask = g != 0.0
+    assert np.all(res.read | ~ad_mask)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(min_size=2, max_size=20), small_arrays(min_size=2, max_size=20))
+def test_product_rule(x, y):
+    """d/dx sum(x*y) == y and d/dy sum(x*y) == x with broadcasting off."""
+    n = min(x.size, y.size)
+    x, y = x[:n], y[:n]
+    gx, gy = ad.grad(lambda a, b: ops.sum(a * b), argnums=(0, 1))(x, y)
+    assert np.allclose(gx, y)
+    assert np.allclose(gy, x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(min_size=3, max_size=25),
+       st.integers(min_value=0, max_value=2))
+def test_setitem_removes_influence_of_overwritten_elements(x, start):
+    """After y[start:start+1] = const, x[start] cannot influence sum(y*y)."""
+    def f(v):
+        y = v.copy()
+        y[start:start + 1] = 2.5
+        return ops.sum(y * y)
+
+    g = ad.grad(f)(x)
+    assert g[start] == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(hnp.arrays(dtype=np.float64, elements=finite_floats,
+                  shape=hnp.array_shapes(min_dims=2, max_dims=3,
+                                         min_side=2, max_side=6)))
+def test_reshape_transpose_preserve_total_gradient_mass(x):
+    """Pure data-movement ops must not change the gradient of sum()."""
+    def f(v):
+        moved = ops.transpose(ops.reshape(v, (-1,)).reshape(v.shape[::-1][0], -1))
+        return ops.sum(moved)
+
+    g = ad.grad(f)(x)
+    assert np.allclose(g, 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(min_size=2, max_size=16))
+def test_gradient_check_against_finite_differences(x):
+    """Random smooth function agrees with central finite differences."""
+    from repro.ad import checks
+
+    res = checks.check_gradient(
+        lambda v: ops.sum(ops.tanh(v) + 0.5 * v * v),
+        x, n_samples=8, atol=1e-4, rtol=1e-3)
+    assert res.passed
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(min_size=1, max_size=16))
+def test_forward_reverse_agreement_random_direction(x):
+    """Dual-number JVP equals the dot product of the reverse gradient with
+    the direction, for a nontrivial smooth function."""
+    from repro.ad import forward
+
+    rng = np.random.default_rng(x.size)
+    v = rng.standard_normal(x.shape)
+
+    def f_rev(z):
+        return ops.sum(ops.exp(z * 0.1) * z)
+
+    def f_fwd(z):
+        return forward.sum((z * 0.1).exp() * z)
+
+    g = ad.grad(f_rev)(x)
+    jvp = forward.jvp(f_fwd, x, v)
+    assert np.isclose(jvp, float(np.dot(np.ravel(g), np.ravel(v))),
+                      rtol=1e-8, atol=1e-8)

@@ -1,0 +1,213 @@
+"""Unit tests for the tape and the reverse sweep machinery."""
+
+import numpy as np
+import pytest
+
+from repro import ad
+from repro.ad import ops
+from repro.ad.tape import Tape, get_active_tape
+
+
+class TestTape:
+    def test_tape_records_nodes(self):
+        with Tape() as t:
+            x = t.watch(np.ones(3))
+            y = x * 2.0
+            z = ops.sum(y)
+        assert len(t) >= 3                       # leaf, multiply, sum
+        assert "multiply" in t.op_counts()
+        assert t.op_counts()["leaf"] == 1
+
+    def test_active_tape_stack(self):
+        assert get_active_tape() is None
+        with Tape() as t:
+            assert get_active_tape() is t
+            with Tape() as t2:
+                assert get_active_tape() is t2
+            assert get_active_tape() is t
+        assert get_active_tape() is None
+
+    def test_watch_copies_input(self):
+        original = np.ones(4)
+        with Tape() as t:
+            x = t.watch(original)
+            x[0:2] = 99.0
+        assert original[0] == 1.0                # caller's buffer untouched
+
+    def test_watch_casts_to_float64(self):
+        with Tape() as t:
+            x = t.watch(np.arange(5, dtype=np.int32))
+        assert x.dtype == np.float64
+
+    def test_nbytes_estimate_positive(self):
+        with Tape() as t:
+            x = t.watch(np.ones((10, 10)))
+            ops.sum(x * x)
+        # leaf + multiply are (10, 10) buffers; the sum output is a scalar
+        assert t.nbytes() >= 2 * 100 * 8
+
+    def test_gradient_method_matches_backward(self):
+        with Tape() as t:
+            x = t.watch(np.arange(4.0))
+            out = ops.sum(x ** 2)
+        g = t.gradient(out, [x])[0]
+        assert np.allclose(g, 2.0 * np.arange(4.0))
+
+
+class TestBackward:
+    def test_multiple_inputs(self):
+        with Tape() as t:
+            x = t.watch(np.arange(3.0), name="x")
+            y = t.watch(np.arange(3.0) + 1.0, name="y")
+            out = ops.sum(x * y)
+        gx, gy = t.gradient(out, [x, y])
+        assert np.allclose(gx, np.arange(3.0) + 1.0)
+        assert np.allclose(gy, np.arange(3.0))
+
+    def test_diamond_dependency_accumulates(self):
+        """x feeds two branches which later recombine: gradients must add."""
+        def f(x):
+            a = x * 2.0
+            b = x * 3.0
+            return ops.sum(a + b)
+
+        g = ad.grad(f)(np.ones(4))
+        assert np.allclose(g, 5.0)
+
+    def test_shared_cotangent_buffer_not_corrupted(self):
+        """c = a + b hands the *same* cotangent object to both parents; the
+        sweep must not let accumulation into one corrupt the other."""
+        def f(x):
+            a = x * 1.0
+            b = x * 1.0
+            c = a + b          # both parents receive the same array object
+            d = a * 10.0       # extra contribution accumulated into a only
+            return ops.sum(c) + ops.sum(d)
+
+        g = ad.grad(f)(np.ones(3))
+        assert np.allclose(g, 1.0 + 1.0 + 10.0)
+
+    def test_seed_scales_gradient(self):
+        with Tape() as t:
+            x = t.watch(np.arange(3.0))
+            out = x * 2.0
+        from repro.ad.reverse import backward
+
+        g = backward(t, out, [x], seed=np.array([1.0, 0.0, 5.0]))[0]
+        assert np.allclose(g, [2.0, 0.0, 10.0])
+
+    def test_nonscalar_output_defaults_to_sum_gradient(self):
+        with Tape() as t:
+            x = t.watch(np.arange(3.0))
+            out = x * 3.0
+        g = t.gradient(out, [x])[0]
+        assert np.allclose(g, 3.0)
+
+    def test_untraced_output_strict_raises(self):
+        from repro.ad.reverse import backward
+
+        with Tape() as t:
+            x = t.watch(np.ones(3))
+        with pytest.raises(ValueError):
+            backward(t, 5.0, [x])
+
+    def test_untraced_output_nonstrict_returns_zeros(self):
+        from repro.ad.reverse import backward
+
+        with Tape() as t:
+            x = t.watch(np.ones(3))
+        g = backward(t, 5.0, [x], strict=False)[0]
+        assert np.all(g == 0.0)
+
+    def test_untraced_input_raises(self):
+        with Tape() as t:
+            x = t.watch(np.ones(3))
+            out = ops.sum(x)
+        with pytest.raises(ValueError):
+            t.gradient(out, [np.ones(3)])
+
+    def test_gradient_of_disconnected_input_is_zero(self):
+        with Tape() as t:
+            x = t.watch(np.ones(3))
+            y = t.watch(np.ones(5))
+            out = ops.sum(x * x)
+        gy = t.gradient(out, [y])[0]
+        assert gy.shape == (5,)
+        assert np.all(gy == 0.0)
+
+    def test_long_chain_of_updates(self):
+        """Mimics a time-stepping loop: repeated in-place updates."""
+        steps = 25
+
+        def f(x):
+            u = x.copy()
+            for _ in range(steps):
+                u = u * 1.01 + 0.5
+            return ops.sum(u)
+
+        g = ad.grad(f)(np.ones(10))
+        assert np.allclose(g, 1.01 ** steps)
+
+    def test_grad_scalar_argument(self):
+        g = ad.grad(lambda a: a * a * 3.0)(2.0)
+        assert isinstance(g, float)
+        assert np.isclose(g, 12.0)
+
+    def test_value_and_grad_returns_both(self):
+        v, g = ad.value_and_grad(lambda x: ops.sum(x * x))(np.arange(3.0))
+        assert np.isclose(v, 5.0)
+        assert np.allclose(g, [0.0, 2.0, 4.0])
+
+    def test_gradient_function_form(self):
+        with Tape() as t:
+            x = t.watch(np.arange(3.0))
+            out = ops.sum(x ** 3)
+        from repro.ad.reverse import gradient
+
+        g = gradient(out, [x])[0]
+        assert np.allclose(g, 3.0 * np.arange(3.0) ** 2)
+
+
+class TestZeroGradientExactness:
+    """The checkpoint analysis relies on *exact* zeros for untouched data."""
+
+    def test_unused_slice_is_exactly_zero(self):
+        def f(x):
+            return ops.sum(x[:, :5] ** 2)
+
+        g = ad.grad(f)(np.random.default_rng(0).standard_normal((6, 8)))
+        assert np.all(g[:, 5:] == 0.0)           # exact, not approximately
+
+    def test_padding_pattern_matches_access_range(self):
+        """Emulates the BT error_norm pattern: a (13,13) array read only on
+        [0:12, 0:12] has exactly the last row and column uncritical."""
+        def f(x):
+            return ops.sum(ops.square(x[0:12, 0:12]))
+
+        g = ad.grad(f)(np.random.default_rng(1).standard_normal((13, 13)))
+        uncritical = (g == 0.0)
+        assert uncritical.sum() == 13 + 13 - 1
+        assert np.all(uncritical[12, :])
+        assert np.all(uncritical[:, 12])
+        assert not uncritical[:12, :12].any()
+
+    def test_written_but_not_read_is_zero(self):
+        """An element overwritten before any read has no influence."""
+        def f(x):
+            y = x.copy()
+            y[0] = 7.0                            # x[0] never read afterwards
+            return ops.sum(y * y)
+
+        g = ad.grad(f)(np.array([5.0, 2.0, 3.0]))
+        assert g[0] == 0.0
+        assert np.all(g[1:] != 0.0)
+
+    def test_read_then_overwritten_is_nonzero(self):
+        def f(x):
+            first = x[0] * 4.0
+            y = x.copy()
+            y[0] = 0.0
+            return ops.sum(y) + ops.sum(first)
+
+        g = ad.grad(f)(np.array([5.0, 2.0, 3.0]))
+        assert g[0] == 4.0

@@ -1,0 +1,131 @@
+"""Tests of failure injection, the Section IV-C harness and storage
+measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.failure import (SimulatedFailure, corrupt_state,
+                                run_failure_scenario)
+from repro.ckpt.manager import CheckpointManager, run_with_checkpoints
+from repro.ckpt.storage import measure_checkpoint_storage
+from repro.core.analysis import scrutinize
+from repro.npb import registry
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return registry.create("BT", "T")
+
+
+@pytest.fixture(scope="module")
+def analysis(bt_t_result):
+    return bt_t_result
+
+
+class TestCorruptState:
+    def test_uncritical_corruption_leaves_critical_untouched(self, bench,
+                                                             analysis, rng):
+        state = bench.checkpoint_state(2)
+        corrupted = corrupt_state(state, analysis.variables,
+                                  where="uncritical", rng=rng)
+        mask = analysis.variables["u"].mask
+        np.testing.assert_array_equal(corrupted["u"][mask],
+                                      state["u"][mask])
+        assert np.any(corrupted["u"][~mask] != state["u"][~mask])
+
+    def test_critical_corruption_leaves_uncritical_untouched(self, bench,
+                                                             analysis, rng):
+        state = bench.checkpoint_state(2)
+        corrupted = corrupt_state(state, analysis.variables,
+                                  where="critical", rng=rng)
+        mask = analysis.variables["u"].mask
+        np.testing.assert_array_equal(corrupted["u"][~mask],
+                                      state["u"][~mask])
+        assert np.any(corrupted["u"][mask] != state["u"][mask])
+
+    def test_all_corruption_touches_everything(self, bench, analysis, rng):
+        state = bench.checkpoint_state(2)
+        corrupted = corrupt_state(state, analysis.variables, where="all",
+                                  rng=rng)
+        assert np.all(corrupted["u"] != state["u"])
+
+    def test_unknown_target_rejected(self, bench, analysis):
+        with pytest.raises(ValueError):
+            corrupt_state(bench.initial_state(), analysis.variables,
+                          where="nothing")
+
+    def test_original_state_is_not_modified(self, bench, analysis, rng):
+        state = bench.checkpoint_state(2)
+        before = state["u"].copy()
+        corrupt_state(state, analysis.variables, where="all", rng=rng)
+        np.testing.assert_array_equal(state["u"], before)
+
+
+class TestSimulatedFailure:
+    def test_exception_carries_step_and_state(self, tmp_path, bench):
+        manager = CheckpointManager(tmp_path, bench, interval=1)
+        with pytest.raises(SimulatedFailure) as info:
+            run_with_checkpoints(bench, manager, fail_at_step=3)
+        assert info.value.step == 3
+        assert "u" in info.value.state
+
+
+class TestFailureScenario:
+    def test_pruned_restart_with_garbage_uncritical_passes(self, tmp_path,
+                                                           bench, analysis):
+        result = run_failure_scenario(bench, tmp_path / "ok",
+                                      analysis.variables, interval=2,
+                                      corrupt="uncritical")
+        assert result.verification_passed
+        assert result.restart_step < result.fail_step
+        assert "PASSED" in result.summary()
+
+    def test_unrecovered_critical_elements_fail_verification(self, tmp_path,
+                                                             bench, analysis):
+        result = run_failure_scenario(bench, tmp_path / "bad",
+                                      analysis.variables, interval=2,
+                                      corrupt="uncritical",
+                                      unrecovered="critical")
+        assert not result.verification_passed
+        assert "FAILED" in result.summary()
+
+    def test_full_checkpoints_also_recover(self, tmp_path, bench, analysis):
+        result = run_failure_scenario(bench, tmp_path / "full",
+                                      analysis.variables, interval=2,
+                                      mode="full", corrupt="all")
+        assert result.verification_passed
+
+    def test_failure_before_first_checkpoint_rejected(self, tmp_path, bench,
+                                                      analysis):
+        with pytest.raises(ValueError, match="before the first checkpoint"):
+            run_failure_scenario(bench, tmp_path / "early",
+                                 analysis.variables, interval=4,
+                                 fail_at_step=2)
+
+    def test_pruned_restart_works_for_complex_pair_variables(self, tmp_path):
+        ft = registry.create("FT", "T")
+        result = scrutinize(ft)
+        scenario = run_failure_scenario(ft, tmp_path / "ft",
+                                        result.variables, interval=1,
+                                        corrupt="uncritical")
+        assert scenario.verification_passed
+
+
+class TestStorageMeasurement:
+    def test_measured_sizes_are_consistent(self, tmp_path, bench, analysis):
+        comparison = measure_checkpoint_storage(bench, analysis, tmp_path)
+        assert comparison.full_nbytes > comparison.pruned_nbytes
+        assert 0.0 < comparison.saved_fraction < 1.0
+        assert comparison.net_saved_fraction <= comparison.saved_fraction
+        assert comparison.payload_saved_fraction == pytest.approx(
+            analysis.storage_saved_fraction)
+        assert bench.name in comparison.summary()
+
+    def test_missing_state_rejected(self, tmp_path, bench, analysis):
+        import dataclasses
+
+        empty = dataclasses.replace(analysis, state={})
+        with pytest.raises(ValueError, match="no state"):
+            measure_checkpoint_storage(bench, empty, tmp_path)

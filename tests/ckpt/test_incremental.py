@@ -1,0 +1,174 @@
+"""Tests of incremental (delta) checkpointing and its combination with
+criticality pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.format import CheckpointFormatError
+from repro.ckpt.incremental import (apply_incremental, changed_mask,
+                                    read_incremental_checkpoint,
+                                    restore_chain,
+                                    write_incremental_checkpoint)
+from repro.ckpt.writer import write_full_checkpoint, write_pruned_checkpoint
+from repro.npb import registry
+from repro.npb.base import concrete_state
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return registry.create("BT", "T")
+
+
+@pytest.fixture(scope="module")
+def states(bench):
+    """Consecutive checkpoint states at steps 2, 3 and 4."""
+    return {step: bench.checkpoint_state(step) for step in (2, 3, 4)}
+
+
+class TestChangedMask:
+    def test_detects_exact_changes_only(self):
+        previous = {"v": np.array([1.0, 2.0, 3.0])}
+        current = {"v": np.array([1.0, 2.5, 3.0])}
+        np.testing.assert_array_equal(changed_mask(previous, current, "v"),
+                                      [False, True, False])
+
+    def test_nan_to_nan_counts_as_unchanged(self):
+        previous = {"v": np.array([np.nan, 1.0])}
+        current = {"v": np.array([np.nan, 2.0])}
+        np.testing.assert_array_equal(changed_mask(previous, current, "v"),
+                                      [False, True])
+
+    def test_shape_change_rejected(self):
+        with pytest.raises(ValueError):
+            changed_mask({"v": np.zeros(3)}, {"v": np.zeros(4)}, "v")
+
+    def test_benchmark_updates_only_the_interior(self, bench, states):
+        mask = changed_mask(states[2], states[3], "u").reshape(
+            bench.params.u_shape)
+        gp = bench.params.grid_points
+        assert mask[1:gp - 1, 1:gp - 1, 1:gp - 1, :].all()
+        assert not mask[:, gp:, :, :].any()
+        assert not mask[0, :, :, :].any()  # boundary plane never rewritten
+
+
+class TestWriteApply:
+    def test_delta_roundtrip_reproduces_the_state(self, tmp_path, bench,
+                                                  states):
+        written = write_incremental_checkpoint(
+            tmp_path / "d3.ckpt", bench, states[3], states[2], step=3,
+            base_step=2)
+        delta = read_incremental_checkpoint(written.path)
+        rebuilt = apply_incremental(states[2], delta)
+        for key in states[3]:
+            np.testing.assert_array_equal(np.asarray(rebuilt[key]),
+                                          np.asarray(states[3][key]))
+
+    def test_delta_is_smaller_than_a_full_checkpoint(self, tmp_path, bench,
+                                                     states):
+        full = write_full_checkpoint(tmp_path / "full.ckpt", bench, states[3])
+        delta = write_incremental_checkpoint(tmp_path / "d.ckpt", bench,
+                                             states[3], states[2])
+        assert delta.nbytes < full.nbytes
+
+    def test_combining_with_criticality_never_stores_more(self, tmp_path,
+                                                          bench, states,
+                                                          bt_t_result):
+        # equal-length file names so the header sizes match and the
+        # comparison is purely about payload bytes
+        plain = write_incremental_checkpoint(tmp_path / "a.ckpt", bench,
+                                             states[3], states[2])
+        combined = write_incremental_checkpoint(
+            tmp_path / "b.ckpt", bench, states[3], states[2],
+            criticality=bt_t_result.variables)
+        assert combined.nbytes <= plain.nbytes
+
+    def test_scalar_counters_are_always_stored(self, tmp_path, bench,
+                                               states):
+        written = write_incremental_checkpoint(tmp_path / "d.ckpt", bench,
+                                               states[3], states[2])
+        delta = read_incremental_checkpoint(written.path)
+        assert not delta.header.record("step").pruned
+        rebuilt = apply_incremental(states[2], delta)
+        assert rebuilt["step"] == 3
+
+    def test_missing_previous_entry_rejected(self, tmp_path, bench, states):
+        previous = dict(states[2])
+        del previous["u"]
+        with pytest.raises(KeyError):
+            write_incremental_checkpoint(tmp_path / "d.ckpt", bench,
+                                         states[3], previous)
+
+    def test_reading_wrong_mode_rejected(self, tmp_path, bench, states):
+        full = write_full_checkpoint(tmp_path / "full.ckpt", bench, states[3])
+        with pytest.raises(CheckpointFormatError, match="incremental"):
+            read_incremental_checkpoint(full.path)
+
+
+class TestRestoreChain:
+    def test_full_base_plus_deltas(self, tmp_path, bench, states):
+        base = write_full_checkpoint(tmp_path / "base.ckpt", bench,
+                                     states[2], step=2)
+        d3 = write_incremental_checkpoint(tmp_path / "d3.ckpt", bench,
+                                          states[3], states[2], step=3,
+                                          base_step=2)
+        d4 = write_incremental_checkpoint(tmp_path / "d4.ckpt", bench,
+                                          states[4], states[3], step=4,
+                                          base_step=3)
+        restored = restore_chain(bench, base.path, [d3.path, d4.path])
+        np.testing.assert_array_equal(restored["u"], states[4]["u"])
+        # finishing the run from the restored state passes verification
+        final = bench.run(restored, bench.total_steps - 4)
+        assert bench.verify(final).passed
+
+    def test_pruned_base_plus_deltas(self, tmp_path, bench, states,
+                                     bt_t_result):
+        base = write_pruned_checkpoint(tmp_path / "base.ckpt", bench,
+                                       states[2], bt_t_result.variables,
+                                       step=2)
+        d3 = write_incremental_checkpoint(
+            tmp_path / "d3.ckpt", bench, states[3], states[2],
+            criticality=bt_t_result.variables, step=3, base_step=2)
+        restored = restore_chain(bench, base.path, [d3.path])
+        final = bench.run(restored, bench.total_steps - 3)
+        assert bench.verify(final).passed
+
+    def test_out_of_order_chain_rejected(self, tmp_path, bench, states):
+        base = write_full_checkpoint(tmp_path / "base.ckpt", bench,
+                                     states[2], step=2)
+        d4 = write_incremental_checkpoint(tmp_path / "d4.ckpt", bench,
+                                          states[4], states[3], step=4,
+                                          base_step=3)
+        with pytest.raises(CheckpointFormatError, match="chain"):
+            restore_chain(bench, base.path, [d4.path])
+
+
+class TestReductionComparison:
+    @pytest.mark.parametrize("name", ["MG", "FT"])
+    def test_combined_reduction_on_other_benchmarks(self, name, tmp_path):
+        from repro.core.analysis import scrutinize
+
+        bench = registry.create(name, "T")
+        result = scrutinize(bench)
+        step = result.step
+        previous = bench.checkpoint_state(step - 1)
+        current = result.state
+        full = write_full_checkpoint(tmp_path / "full.ckpt", bench, current)
+        pruned = write_pruned_checkpoint(tmp_path / "pruned.ckpt", bench,
+                                         current, result.variables)
+        combined = write_incremental_checkpoint(
+            tmp_path / "inc.ckpt", bench, current, previous,
+            criticality=result.variables, step=step, base_step=step - 1)
+        assert pruned.nbytes < full.nbytes
+        assert combined.nbytes <= pruned.nbytes
+        # the delta must still restore correctly on top of the previous state
+        delta = read_incremental_checkpoint(combined.path)
+        rebuilt = apply_incremental(previous, delta)
+        for crit in result.variables.values():
+            for key in crit.variable.state_keys():
+                got = np.asarray(rebuilt[key], dtype=np.float64)
+                want = np.asarray(current[key], dtype=np.float64)
+                np.testing.assert_array_equal(
+                    got.reshape(-1)[crit.mask.reshape(-1)],
+                    want.reshape(-1)[crit.mask.reshape(-1)])

@@ -1,0 +1,166 @@
+"""Tests of mixed-precision checkpoint writing, reading and restart."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.format import CheckpointFormatError
+from repro.ckpt.precision import (read_mixed_precision_checkpoint, tier_key,
+                                  write_mixed_precision_checkpoint)
+from repro.core.analysis import scrutinize
+from repro.core.impact import (TIER_DOUBLE, TIER_DROP, TIER_HALF,
+                               TIER_SINGLE, PrecisionPlan, plan_precision,
+                               plan_precision_for_budget)
+from repro.core.variables import CheckpointVariable, VariableKind
+from repro.npb import registry
+
+
+class DummyBench:
+    name = "DUMMY"
+
+    class params:  # noqa: D106 - minimal stand-in
+        problem_class = "T"
+
+    def step_variable(self):
+        return "it"
+
+
+@pytest.fixture()
+def bench():
+    return DummyBench()
+
+
+@pytest.fixture()
+def state(rng):
+    return {"v": 100.0 * rng.random(16) + 1.0, "it": 2}
+
+
+@pytest.fixture()
+def plans():
+    tiers = np.array([TIER_DROP] * 4 + [TIER_HALF] * 4 + [TIER_SINGLE] * 4
+                     + [TIER_DOUBLE] * 4, dtype=np.int8)
+    return {"v": PrecisionPlan(CheckpointVariable("v", (16,)), tiers)}
+
+
+class TestTierKey:
+    def test_format(self):
+        assert tier_key("y_re", TIER_HALF) == "y_re@1"
+
+
+class TestWriteRead:
+    def test_roundtrip_precision_per_tier(self, tmp_path, bench, state,
+                                          plans):
+        written = write_mixed_precision_checkpoint(
+            tmp_path / "m.ckpt", bench, state, plans)
+        assert written.mode == "mixed"
+        loaded = read_mixed_precision_checkpoint(written.path)
+        base = {"v": np.zeros(16), "it": 0}
+        restored = loaded.materialize(base)
+        v = restored["v"]
+        # dropped elements keep the base value
+        np.testing.assert_array_equal(v[:4], 0.0)
+        # half precision: correct to ~3 decimal digits, not exact
+        np.testing.assert_allclose(v[4:8], state["v"][4:8], rtol=1e-3)
+        assert not np.array_equal(v[4:8], state["v"][4:8])
+        # single precision: correct to ~7 digits
+        np.testing.assert_allclose(v[8:12], state["v"][8:12], rtol=1e-6)
+        # double precision: exact
+        np.testing.assert_array_equal(v[12:], state["v"][12:])
+        # unplanned integer record restored exactly
+        assert restored["it"] == 2
+
+    def test_mixed_is_smaller_than_full_payload(self, tmp_path, bench, state,
+                                                plans):
+        written = write_mixed_precision_checkpoint(
+            tmp_path / "m.ckpt", bench, state, plans)
+        # payload: 4*2 + 4*4 + 4*8 = 56 bytes vs 128 for the full array
+        assert written.nbytes < 128 + 1024  # container header allowance
+        loaded = read_mixed_precision_checkpoint(written.path)
+        stored = sum(rec.nbytes for rec in loaded.header.records
+                     if rec.pruned)
+        assert stored == 56
+
+    def test_all_double_lossless_plan_stores_verbatim(self, tmp_path, bench,
+                                                      state):
+        plans = {"v": PrecisionPlan(CheckpointVariable("v", (16,)),
+                                    np.full(16, TIER_DOUBLE, dtype=np.int8))}
+        written = write_mixed_precision_checkpoint(
+            tmp_path / "m.ckpt", bench, state, plans)
+        loaded = read_mixed_precision_checkpoint(written.path)
+        assert not loaded.header.record("v").pruned
+        restored = loaded.materialize({})
+        np.testing.assert_array_equal(restored["v"], state["v"])
+
+    def test_plan_shape_mismatch_rejected(self, tmp_path, bench, state):
+        bad = {"v": PrecisionPlan(CheckpointVariable("v", (8,)),
+                                  np.full(8, TIER_DOUBLE, dtype=np.int8))}
+        bad["v"].tiers[0] = TIER_HALF
+        with pytest.raises(ValueError, match="does not match"):
+            write_mixed_precision_checkpoint(tmp_path / "m.ckpt", bench,
+                                             state, bad)
+
+    def test_reading_wrong_mode_rejected(self, tmp_path, bench, state):
+        from repro.ckpt.writer import write_full_checkpoint
+
+        written = write_full_checkpoint(tmp_path / "f.ckpt", bench, state)
+        with pytest.raises(CheckpointFormatError, match="mixed"):
+            read_mixed_precision_checkpoint(written.path)
+
+    def test_materialize_requires_base_for_planned_keys(self, tmp_path,
+                                                        bench, state, plans):
+        written = write_mixed_precision_checkpoint(
+            tmp_path / "m.ckpt", bench, state, plans)
+        loaded = read_mixed_precision_checkpoint(written.path)
+        with pytest.raises(ValueError, match="base state"):
+            loaded.materialize({"it": 0})
+
+
+class TestComplexPairVariables:
+    def test_both_components_share_the_plan(self, tmp_path, bench, rng):
+        state = {"y_re": rng.random(8), "y_im": rng.random(8), "it": 1}
+        var = CheckpointVariable("y", (8,), VariableKind.COMPLEX_PAIR)
+        tiers = np.array([TIER_DROP] * 2 + [TIER_HALF] * 2
+                         + [TIER_DOUBLE] * 4, dtype=np.int8)
+        plans = {"y": PrecisionPlan(var, tiers)}
+        written = write_mixed_precision_checkpoint(tmp_path / "m.ckpt",
+                                                   bench, state, plans)
+        loaded = read_mixed_precision_checkpoint(written.path)
+        base = {"y_re": np.zeros(8), "y_im": np.zeros(8), "it": 0}
+        restored = loaded.materialize(base)
+        for key in ("y_re", "y_im"):
+            np.testing.assert_array_equal(restored[key][:2], 0.0)
+            np.testing.assert_allclose(restored[key][2:4], state[key][2:4],
+                                       rtol=1e-3)
+            np.testing.assert_array_equal(restored[key][4:], state[key][4:])
+
+
+class TestEndToEndOnBenchmarks:
+    @pytest.mark.parametrize("name", ["BT", "MG", "FT"])
+    def test_tolerance_driven_restart_passes_verification(self, name,
+                                                          tmp_path):
+        bench = registry.create(name, "T")
+        result = scrutinize(bench)
+        plans = plan_precision_for_budget(result.variables, result.state,
+                                          budget=0.0)
+        written = write_mixed_precision_checkpoint(
+            tmp_path / f"{name}.ckpt", bench, result.state, plans,
+            step=result.step)
+        loaded = read_mixed_precision_checkpoint(written.path)
+        restored = loaded.materialize(bench.initial_state())
+        final = bench.run(restored, bench.total_steps - loaded.step)
+        assert bench.verify(final).passed
+
+    def test_aggressive_plan_saves_more_bytes_than_pruning(self, tmp_path):
+        from repro.ckpt.writer import write_pruned_checkpoint
+
+        bench = registry.create("MG", "T")
+        result = scrutinize(bench)
+        pruned = write_pruned_checkpoint(tmp_path / "p.ckpt", bench,
+                                         result.state, result.variables,
+                                         step=result.step)
+        plans = plan_precision(result.variables)
+        mixed = write_mixed_precision_checkpoint(tmp_path / "m.ckpt", bench,
+                                                 result.state, plans,
+                                                 step=result.step)
+        assert mixed.nbytes < pruned.nbytes

@@ -1,0 +1,113 @@
+"""Property-based tests of the mixed-precision tier pipeline (hypothesis)."""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.criticality import VariableCriticality
+from repro.core.impact import (TIER_DOUBLE, TIER_DROP, TIER_HALF,
+                               TIER_SINGLE, PrecisionPlan,
+                               estimate_roundoff_impact,
+                               plan_precision_for_budget)
+from repro.core.variables import CheckpointVariable
+
+
+@st.composite
+def gradient_value_pairs(draw):
+    size = draw(st.integers(1, 120))
+    gradients = draw(npst.arrays(
+        np.float64, size,
+        elements=st.floats(0.0, 1e3, allow_nan=False)))
+    values = draw(npst.arrays(
+        np.float64, size,
+        elements=st.floats(-1e3, 1e3, allow_nan=False)))
+    return gradients, values
+
+
+@given(data=gradient_value_pairs(),
+       budget=st.floats(0.0, 1e6, allow_nan=False))
+@settings(max_examples=150, deadline=None)
+def test_budget_plans_respect_their_budget(data, budget):
+    gradients, values = data
+    var = CheckpointVariable("v", gradients.shape)
+    crit = {"v": VariableCriticality(var, gradients != 0.0,
+                                     gradients={"v": gradients})}
+    state = {"v": values}
+    plans = plan_precision_for_budget(crit, state, budget)
+    bound = estimate_roundoff_impact(plans, crit, state)
+    assert bound <= budget * (1.0 + 1e-9) + 1e-300
+
+
+@given(data=gradient_value_pairs(),
+       budget=st.floats(0.0, 1e6, allow_nan=False))
+@settings(max_examples=150, deadline=None)
+def test_budget_plans_drop_exactly_the_uncritical_elements(data, budget):
+    gradients, values = data
+    var = CheckpointVariable("v", gradients.shape)
+    crit = {"v": VariableCriticality(var, gradients != 0.0,
+                                     gradients={"v": gradients})}
+    plans = plan_precision_for_budget(crit, {"v": values}, budget)
+    tiers = plans["v"].tiers
+    np.testing.assert_array_equal(tiers == TIER_DROP, gradients == 0.0)
+
+
+@given(data=gradient_value_pairs())
+@settings(max_examples=100, deadline=None)
+def test_plan_byte_accounting_matches_tier_counts(data):
+    gradients, _ = data
+    rng = np.random.default_rng(int(gradients.sum() * 1000) % 2 ** 31)
+    tiers = rng.integers(0, 4, size=gradients.shape).astype(np.int8)
+    plan = PrecisionPlan(CheckpointVariable("v", gradients.shape), tiers)
+    counts = plan.tier_counts()
+    expected = (2 * counts[TIER_HALF] + 4 * counts[TIER_SINGLE]
+                + 8 * counts[TIER_DOUBLE])
+    assert plan.nbytes == expected
+    assert sum(counts.values()) == gradients.size
+
+
+@given(values=npst.arrays(np.float64, st.integers(1, 80),
+                          elements=st.floats(-1e4, 1e4, allow_nan=False,
+                                             allow_infinity=False)),
+       seed=st.integers(0, 2 ** 16))
+@settings(max_examples=100, deadline=None)
+def test_mixed_precision_roundtrip_error_is_bounded_per_tier(values, seed):
+    """Half/single/double tiers introduce at most their unit roundoff."""
+    from repro.ckpt.precision import (read_mixed_precision_checkpoint,
+                                      write_mixed_precision_checkpoint)
+
+    tmp_path = Path(tempfile.mkdtemp(prefix="repro_prec_prop_"))
+    rng = np.random.default_rng(seed)
+    tiers = rng.choice([TIER_HALF, TIER_SINGLE, TIER_DOUBLE],
+                       size=values.shape).astype(np.int8)
+    plan = PrecisionPlan(CheckpointVariable("v", values.shape), tiers)
+
+    class Bench:
+        name = "PROP"
+
+        class params:  # noqa: D106 - minimal stand-in
+            problem_class = "T"
+
+        def step_variable(self):
+            return None
+
+    path = tmp_path / f"prop_{seed}.ckpt"
+    write_mixed_precision_checkpoint(path, Bench(), {"v": values}, {"v": plan},
+                                     step=0)
+    loaded = read_mixed_precision_checkpoint(path)
+    restored = loaded.materialize({"v": np.zeros_like(values)})["v"]
+
+    half = tiers == TIER_HALF
+    single = tiers == TIER_SINGLE
+    double = tiers == TIER_DOUBLE
+    np.testing.assert_array_equal(restored[double], values[double])
+    # absolute floors cover values below each format's smallest normal
+    np.testing.assert_allclose(restored[single], values[single],
+                               rtol=1.3e-7, atol=1.5e-38)
+    np.testing.assert_allclose(restored[half], values[half],
+                               rtol=1e-3, atol=7.0e-5)

@@ -1,0 +1,142 @@
+"""Tests of benchmark restart and the versioned checkpoint manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.manager import CheckpointManager, run_with_checkpoints
+from repro.ckpt.restart import restart_benchmark, restore_state
+from repro.ckpt.writer import write_full_checkpoint, write_pruned_checkpoint
+from repro.npb import registry
+from repro.npb.base import concrete_state
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return registry.create("BT", "T")
+
+
+@pytest.fixture(scope="module")
+def analysis(bt_t_result):
+    return bt_t_result
+
+
+class TestRestart:
+    def test_restart_from_full_checkpoint_matches_uninterrupted_run(
+            self, tmp_path, bench):
+        step = bench.total_steps // 2
+        state = bench.checkpoint_state(step)
+        written = write_full_checkpoint(tmp_path / "f.ckpt", bench, state)
+        outcome = restart_benchmark(bench, written.path)
+        assert outcome.passed
+        assert outcome.steps_replayed == bench.total_steps - step
+        reference = concrete_state(bench.run_full())
+        np.testing.assert_array_equal(outcome.final_state["u"],
+                                      reference["u"])
+
+    def test_restart_from_pruned_checkpoint_passes_verification(
+            self, tmp_path, bench, analysis):
+        written = write_pruned_checkpoint(tmp_path / "p.ckpt", bench,
+                                          analysis.state, analysis.variables,
+                                          step=analysis.step)
+        outcome = restart_benchmark(bench, written.path)
+        assert outcome.mode == "pruned"
+        assert outcome.passed
+
+    def test_restore_state_defaults_to_initial_state_base(self, tmp_path,
+                                                          bench, analysis):
+        written = write_pruned_checkpoint(tmp_path / "p.ckpt", bench,
+                                          analysis.state, analysis.variables,
+                                          step=analysis.step)
+        state = restore_state(written.path, bench)
+        mask = analysis.variables["u"].mask
+        np.testing.assert_array_equal(state["u"][mask],
+                                      analysis.state["u"][mask])
+
+    def test_benchmark_mismatch_rejected(self, tmp_path, bench):
+        state = bench.checkpoint_state(1)
+        written = write_full_checkpoint(tmp_path / "f.ckpt", bench, state)
+        other = registry.create("CG", "T")
+        with pytest.raises(ValueError, match="written by"):
+            restart_benchmark(other, written.path)
+
+    def test_outcome_summary_mentions_status(self, tmp_path, bench):
+        state = bench.checkpoint_state(1)
+        written = write_full_checkpoint(tmp_path / "f.ckpt", bench, state)
+        outcome = restart_benchmark(bench, written.path)
+        assert "PASSED" in outcome.summary()
+
+
+class TestManager:
+    def test_constructor_validation(self, tmp_path, bench):
+        with pytest.raises(ValueError, match="mode"):
+            CheckpointManager(tmp_path, bench, mode="weird")
+        with pytest.raises(ValueError, match="criticality"):
+            CheckpointManager(tmp_path, bench, mode="pruned")
+        with pytest.raises(ValueError, match="interval"):
+            CheckpointManager(tmp_path, bench, interval=0)
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointManager(tmp_path, bench, keep=0)
+
+    def test_interval_controls_when_checkpoints_happen(self, tmp_path, bench):
+        manager = CheckpointManager(tmp_path, bench, interval=3)
+        assert not manager.should_checkpoint(0)
+        assert not manager.should_checkpoint(2)
+        assert manager.should_checkpoint(3)
+        assert manager.should_checkpoint(6)
+
+    def test_rotation_keeps_the_newest_versions(self, tmp_path, bench):
+        manager = CheckpointManager(tmp_path, bench, interval=1, keep=2)
+        state = bench.initial_state()
+        for step in range(1, 5):
+            manager.checkpoint(state, step)
+        paths = manager.list_checkpoints()
+        assert len(paths) == 2
+        assert paths[-1].name.endswith("step000004.ckpt")
+        assert manager.latest().step == 4
+
+    def test_rotation_removes_aux_files_too(self, tmp_path, bench,
+                                            analysis):
+        manager = CheckpointManager(tmp_path, bench, interval=1, keep=1,
+                                    mode="pruned",
+                                    criticality=analysis.variables)
+        for step in range(1, 4):
+            manager.checkpoint(analysis.state, step)
+        assert len(list(tmp_path.glob("*.aux"))) == 1
+
+    def test_latest_is_none_without_checkpoints(self, tmp_path, bench):
+        manager = CheckpointManager(tmp_path / "empty", bench)
+        assert manager.latest() is None
+        assert manager.total_nbytes == 0
+
+    def test_total_nbytes_counts_checkpoints_and_aux(self, tmp_path, bench,
+                                                     analysis):
+        manager = CheckpointManager(tmp_path, bench, mode="pruned",
+                                    criticality=analysis.variables)
+        written = manager.checkpoint(analysis.state, 2)
+        assert manager.total_nbytes == written.total_nbytes
+
+    def test_maybe_checkpoint_respects_interval(self, tmp_path, bench):
+        manager = CheckpointManager(tmp_path, bench, interval=2)
+        state = bench.initial_state()
+        assert manager.maybe_checkpoint(state, 1) is None
+        assert manager.maybe_checkpoint(state, 2) is not None
+
+
+class TestRunWithCheckpoints:
+    def test_periodic_checkpoints_are_written(self, tmp_path, bench):
+        manager = CheckpointManager(tmp_path, bench, interval=2, keep=10)
+        final = run_with_checkpoints(bench, manager)
+        assert len(manager.list_checkpoints()) == bench.total_steps // 2
+        reference = concrete_state(bench.run_full())
+        np.testing.assert_array_equal(np.asarray(final["u"]), reference["u"])
+
+    def test_resuming_from_state_continues_the_step_numbering(self, tmp_path,
+                                                              bench):
+        manager = CheckpointManager(tmp_path, bench, interval=1, keep=100)
+        mid = bench.checkpoint_state(3)
+        run_with_checkpoints(bench, manager, state=mid, start_step=3)
+        steps = [int(p.stem.split("step")[-1])
+                 for p in manager.list_checkpoints()]
+        assert steps == list(range(4, bench.total_steps + 1))

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite.
+
+Class-S analyses reproduce the paper but cost O(seconds) each, so they are
+computed once per session and shared; most unit tests use the reduced "T"
+problem class, which exercises identical code paths at a fraction of the
+size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import scrutinize
+from repro.experiments.runner import ExperimentRunner
+from repro.npb import registry
+
+
+@pytest.fixture(scope="session")
+def runner_s() -> ExperimentRunner:
+    """Session-wide class-S experiment runner (results cached across tests)."""
+    return ExperimentRunner(problem_class="S")
+
+
+@pytest.fixture(scope="session")
+def runner_t() -> ExperimentRunner:
+    """Session-wide class-T (reduced size) experiment runner."""
+    return ExperimentRunner(problem_class="T")
+
+
+@pytest.fixture(scope="session")
+def bt_t():
+    """A class-T BT benchmark instance."""
+    return registry.create("BT", "T")
+
+
+@pytest.fixture(scope="session")
+def bt_t_result(bt_t):
+    """Scrutiny result of the class-T BT benchmark."""
+    return scrutinize(bt_t)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh fixed-seed generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,163 @@
+"""Tests of the criticality analysis (AD / activity / rule methods)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ad import ops
+from repro.core.criticality import (CriticalityAnalyzer, VariableCriticality,
+                                    criticality_from_gradient,
+                                    element_criticality)
+from repro.core.variables import CheckpointVariable, VariableKind
+from repro.npb import registry
+
+
+class TestCriticalityFromGradient:
+    def test_nonzero_is_critical(self):
+        mask = criticality_from_gradient(np.array([0.0, 1.0, -2.0, 0.0]))
+        np.testing.assert_array_equal(mask, [False, True, True, False])
+
+    def test_non_finite_is_critical(self):
+        mask = criticality_from_gradient(np.array([np.nan, np.inf, 0.0]))
+        np.testing.assert_array_equal(mask, [True, True, False])
+
+    def test_element_criticality_free_function(self):
+        def fun(x):
+            return ops.sum(x[:3] * x[:3]) + x[4]
+
+        mask = element_criticality(fun, np.arange(1.0, 7.0))
+        np.testing.assert_array_equal(mask, [True, True, True, False, True,
+                                             False])
+
+
+class TestVariableCriticality:
+    def test_counts_and_regions(self):
+        var = CheckpointVariable("v", (6,))
+        crit = VariableCriticality(var, np.array([True, True, False, False,
+                                                  True, False]))
+        assert crit.n_elements == 6
+        assert crit.n_critical == 3
+        assert crit.n_uncritical == 3
+        assert crit.uncritical_rate == pytest.approx(0.5)
+        assert len(crit.regions()) == 2
+        assert crit.critical_nbytes == 24
+        assert crit.full_nbytes == 48
+        assert crit.summary().uncritical == 3
+
+    def test_shape_mismatch_rejected(self):
+        var = CheckpointVariable("v", (4,))
+        with pytest.raises(ValueError):
+            VariableCriticality(var, np.ones((5,), dtype=bool))
+
+    def test_complex_pair_byte_accounting(self):
+        var = CheckpointVariable("y", (4,), VariableKind.COMPLEX_PAIR)
+        crit = VariableCriticality(var, np.array([True, True, True, False]))
+        assert crit.full_nbytes == 64
+        assert crit.critical_nbytes == 48
+
+
+class TestAnalyzerConstruction:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            CriticalityAnalyzer(method="magic")
+
+    def test_bad_probe_count_rejected(self):
+        with pytest.raises(ValueError):
+            CriticalityAnalyzer(n_probes=0)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return registry.create("BT", "T")
+
+
+class TestAnalyzerMethods:
+    def test_ad_and_activity_agree_on_bt(self, bench):
+        state = bench.checkpoint_state(4)
+        ad_masks = CriticalityAnalyzer("ad").analyze(bench, state=state)
+        act_masks = CriticalityAnalyzer("activity").analyze(bench,
+                                                            state=state)
+        np.testing.assert_array_equal(ad_masks["u"].mask,
+                                      act_masks["u"].mask)
+        assert ad_masks["u"].method == "ad"
+        assert act_masks["u"].method == "activity"
+
+    def test_rule_method_marks_everything_critical(self, bench):
+        masks = CriticalityAnalyzer("rule").analyze(bench, step=2)
+        for crit in masks.values():
+            assert crit.n_uncritical == 0
+
+    def test_integer_variables_always_rule_critical(self, bench):
+        masks = CriticalityAnalyzer("ad").analyze(bench, step=2)
+        assert masks["step"].method == "rule"
+        assert masks["step"].n_uncritical == 0
+
+    def test_default_step_is_mid_run(self, bench):
+        masks = CriticalityAnalyzer("ad").analyze(bench)
+        assert masks["u"].mask.shape == bench.params.u_shape
+
+    def test_multi_probe_matches_single_probe_on_bt(self, bench):
+        state = bench.checkpoint_state(4)
+        single = CriticalityAnalyzer("ad", n_probes=1).analyze(bench,
+                                                               state=state)
+        multi = CriticalityAnalyzer("ad", n_probes=3).analyze(bench,
+                                                              state=state)
+        np.testing.assert_array_equal(single["u"].mask, multi["u"].mask)
+
+    def test_gradients_are_exposed_for_ad_method(self, bench):
+        masks = CriticalityAnalyzer("ad").analyze(bench, step=2)
+        grads = masks["u"].gradients
+        assert set(grads) == {"u"}
+        assert grads["u"].shape == bench.params.u_shape
+
+    def test_step_limited_analysis_is_a_subset(self, bench):
+        # analysing only one remaining iteration can only shrink the
+        # critical set relative to the full remaining computation
+        state = bench.checkpoint_state(2)
+        full = CriticalityAnalyzer("ad").analyze(bench, state=state)
+        short = CriticalityAnalyzer("ad", steps=1).analyze(bench, state=state)
+        assert not np.any(short["u"].mask & ~full["u"].mask)
+
+    def test_preserves_table1_variable_order(self, bench):
+        masks = CriticalityAnalyzer("ad").analyze(bench, step=2)
+        assert list(masks) == [v.name for v in bench.checkpoint_variables()]
+
+
+class TestMultiProbeCatchesCoincidentalZero:
+    def test_probing_reveals_masked_dependence(self):
+        """A derivative that vanishes at the base point but not nearby."""
+
+        class Coincidental:
+            """f(v) = v0^2 / 2 with v0 = 0 at the checkpoint state."""
+
+            name = "COINC"
+            total_steps = 2
+
+            class params:  # noqa: D106 - minimal stand-in
+                problem_class = "T"
+                niter = 2
+
+            def checkpoint_variables(self):
+                return (CheckpointVariable("v", (2,)),)
+
+            def checkpoint_state(self, step):
+                return {"v": np.array([0.0, 1.0])}
+
+            def traced_restart(self, state, watch=None, steps=None):
+                from repro.ad.tape import Tape
+
+                with Tape() as tape:
+                    leaf = tape.watch(np.asarray(state["v"],
+                                                 dtype=np.float64), name="v")
+                    out = ops.sum(leaf * leaf) * 0.5
+                return tape, {"v": leaf}, out
+
+        bench = Coincidental()
+        single = CriticalityAnalyzer("ad", n_probes=1).analyze(bench, step=1)
+        multi = CriticalityAnalyzer("ad", n_probes=4).analyze(bench, step=1)
+        # the single sweep misses v[0] (gradient v0 == 0 at the base point)
+        assert not single["v"].mask[0]
+        # probing perturbs the base point and recovers the dependence
+        assert multi["v"].mask[0]
+        assert multi["v"].mask[1]

@@ -1,0 +1,183 @@
+"""Tests of impact scoring and mixed-precision planning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import impact as imp
+from repro.core.criticality import VariableCriticality
+from repro.core.variables import CheckpointVariable, VariableKind
+
+
+def _crit_with_gradient(gradient: np.ndarray,
+                        name: str = "v") -> VariableCriticality:
+    gradient = np.asarray(gradient, dtype=np.float64)
+    var = CheckpointVariable(name, gradient.shape)
+    return VariableCriticality(var, gradient != 0.0,
+                               gradients={name: gradient})
+
+
+class TestVariableImpact:
+    def test_impact_is_absolute_gradient(self):
+        crit = _crit_with_gradient([1.0, -2.0, 0.0, 4.0])
+        impact = imp.variable_impact(crit)
+        np.testing.assert_array_equal(impact.impact, [1.0, 2.0, 0.0, 4.0])
+        assert impact.max_impact == 4.0
+
+    def test_complex_pair_takes_elementwise_maximum(self):
+        var = CheckpointVariable("y", (3,), VariableKind.COMPLEX_PAIR)
+        crit = VariableCriticality(var, np.array([True, True, False]),
+                                   gradients={
+                                       "y_re": np.array([1.0, 0.5, 0.0]),
+                                       "y_im": np.array([0.2, 3.0, 0.0])})
+        impact = imp.variable_impact(crit)
+        np.testing.assert_array_equal(impact.impact, [1.0, 3.0, 0.0])
+
+    def test_rule_critical_variables_get_infinite_impact(self):
+        var = CheckpointVariable("step", (), VariableKind.INTEGER,
+                                 dtype=np.int64, critical_by_rule=True)
+        crit = VariableCriticality(var, np.ones((), dtype=bool),
+                                   method="rule")
+        impact = imp.variable_impact(crit)
+        assert np.isinf(impact.impact)
+
+    def test_nonzero_quantile_ignores_zeros(self):
+        crit = _crit_with_gradient([0.0, 0.0, 1.0, 2.0, 3.0, 4.0])
+        impact = imp.variable_impact(crit)
+        assert impact.nonzero_quantile(0.0) == 1.0
+        assert impact.nonzero_quantile(1.0) == 4.0
+
+    def test_shape_mismatch_rejected(self):
+        var = CheckpointVariable("v", (3,))
+        with pytest.raises(ValueError):
+            imp.VariableImpact(var, np.zeros(4))
+
+
+class TestPrecisionPlan:
+    def test_tier_counts_and_bytes(self):
+        var = CheckpointVariable("v", (4,))
+        plan = imp.PrecisionPlan(var, np.array([0, 1, 2, 3], dtype=np.int8))
+        counts = plan.tier_counts()
+        assert counts == {0: 1, 1: 1, 2: 1, 3: 1}
+        assert plan.nbytes == 2 + 4 + 8
+        assert plan.full_nbytes == 32
+        assert plan.saved_fraction == pytest.approx(1.0 - 14 / 32)
+
+    def test_complex_pair_counts_both_components(self):
+        var = CheckpointVariable("y", (2,), VariableKind.COMPLEX_PAIR)
+        plan = imp.PrecisionPlan(var, np.array([3, 1], dtype=np.int8))
+        assert plan.nbytes == 2 * (8 + 2)
+
+    def test_invalid_tier_rejected(self):
+        var = CheckpointVariable("v", (2,))
+        with pytest.raises(ValueError, match="unknown precision tiers"):
+            imp.PrecisionPlan(var, np.array([0, 7], dtype=np.int8))
+
+    def test_shape_mismatch_rejected(self):
+        var = CheckpointVariable("v", (2,))
+        with pytest.raises(ValueError):
+            imp.PrecisionPlan(var, np.zeros(3, dtype=np.int8))
+
+
+class TestQuantilePlanning:
+    def test_uncritical_elements_are_dropped(self):
+        crit = {"v": _crit_with_gradient([0.0, 1.0, 2.0, 3.0, 4.0])}
+        plans = imp.plan_precision(crit)
+        assert plans["v"].tiers[0] == imp.TIER_DROP
+        assert (plans["v"].tiers[1:] != imp.TIER_DROP).all()
+
+    def test_quantiles_order_the_tiers_by_impact(self):
+        gradient = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+        plans = imp.plan_precision({"v": _crit_with_gradient(gradient)},
+                                   half_quantile=0.25, single_quantile=0.75)
+        tiers = plans["v"].tiers
+        # the smallest nonzero impacts go to half, the largest stay double
+        assert tiers[1] == imp.TIER_HALF
+        assert tiers[-1] == imp.TIER_DOUBLE
+        # tiers are monotone in the impact
+        assert np.all(np.diff(tiers[1:]) >= 0)
+
+    def test_rule_variables_stay_double(self):
+        var = CheckpointVariable("step", (), VariableKind.INTEGER,
+                                 dtype=np.int64, critical_by_rule=True)
+        crit = {"step": VariableCriticality(var, np.ones((), dtype=bool),
+                                            method="rule")}
+        plans = imp.plan_precision(crit)
+        assert plans["step"].tiers == imp.TIER_DOUBLE
+
+    def test_invalid_quantiles_rejected(self):
+        crit = {"v": _crit_with_gradient([1.0, 2.0])}
+        with pytest.raises(ValueError):
+            imp.plan_precision(crit, half_quantile=0.9, single_quantile=0.5)
+
+
+class TestBudgetPlanning:
+    def test_zero_budget_keeps_every_critical_element_double(self):
+        crit = {"v": _crit_with_gradient([0.0, 1.0, 2.0])}
+        state = {"v": np.array([1.0, 1.0, 1.0])}
+        plans = imp.plan_precision_for_budget(crit, state, budget=0.0)
+        tiers = plans["v"].tiers
+        assert tiers[0] == imp.TIER_DROP
+        assert (tiers[1:] == imp.TIER_DOUBLE).all()
+
+    def test_huge_budget_demotes_everything_to_half(self):
+        crit = {"v": _crit_with_gradient([0.0, 1.0, 2.0])}
+        state = {"v": np.array([1.0, 1.0, 1.0])}
+        plans = imp.plan_precision_for_budget(crit, state, budget=1e9)
+        tiers = plans["v"].tiers
+        assert (tiers[1:] == imp.TIER_HALF).all()
+
+    def test_budget_bound_is_respected(self, rng):
+        gradient = rng.random(200)
+        gradient[rng.random(200) < 0.2] = 0.0
+        values = 10.0 * rng.random(200)
+        crit = {"v": _crit_with_gradient(gradient)}
+        state = {"v": values}
+        for budget in (1e-6, 1e-4, 1e-2):
+            plans = imp.plan_precision_for_budget(crit, state, budget)
+            bound = imp.estimate_roundoff_impact(plans, crit, state)
+            assert bound <= budget * (1.0 + 1e-12)
+
+    def test_larger_budget_never_stores_more_bytes(self, rng):
+        gradient = rng.random(300)
+        state = {"v": rng.random(300)}
+        crit = {"v": _crit_with_gradient(gradient)}
+        sizes = []
+        for budget in (0.0, 1e-8, 1e-4, 1e-2, 1e2):
+            plans = imp.plan_precision_for_budget(crit, state, budget)
+            sizes.append(plans["v"].nbytes)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            imp.plan_precision_for_budget({}, {}, budget=-1.0)
+
+    def test_rule_only_analysis_stays_double(self):
+        var = CheckpointVariable("it", (), VariableKind.INTEGER,
+                                 dtype=np.int64, critical_by_rule=True)
+        crit = {"it": VariableCriticality(var, np.ones((), dtype=bool),
+                                          method="rule")}
+        plans = imp.plan_precision_for_budget(crit, {"it": 3}, budget=1.0)
+        assert plans["it"].tiers == imp.TIER_DOUBLE
+
+
+class TestRoundoffEstimate:
+    def test_all_double_plan_has_zero_bound(self):
+        crit = {"v": _crit_with_gradient([1.0, 2.0])}
+        state = {"v": np.array([3.0, 4.0])}
+        plans = imp.plan_precision_for_budget(crit, state, budget=0.0)
+        assert imp.estimate_roundoff_impact(plans, crit, state) == 0.0
+
+    def test_bound_is_first_order_sum(self):
+        var = CheckpointVariable("v", (2,))
+        crit = {"v": VariableCriticality(var, np.array([True, True]),
+                                         gradients={"v": np.array([2.0,
+                                                                   3.0])})}
+        state = {"v": np.array([5.0, 7.0])}
+        plan = imp.PrecisionPlan(var, np.array([imp.TIER_HALF,
+                                                imp.TIER_SINGLE],
+                                               dtype=np.int8))
+        bound = imp.estimate_roundoff_impact({"v": plan}, crit, state)
+        expected = 2.0 * 5.0 * 2.0 ** -11 + 3.0 * 7.0 * 2.0 ** -24
+        assert bound == pytest.approx(expected)

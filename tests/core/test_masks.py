@@ -1,0 +1,106 @@
+"""Tests of criticality-mask statistics and decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import masks as m
+
+
+class TestMaskSummary:
+    def test_counts_and_rates(self):
+        summary = m.summarize_mask("u", np.array([True, True, False, False]))
+        assert summary.total == 4
+        assert summary.critical == 2
+        assert summary.uncritical == 2
+        assert summary.uncritical_rate == pytest.approx(0.5)
+        assert summary.critical_rate == pytest.approx(0.5)
+
+    def test_empty_mask(self):
+        summary = m.summarize_mask("e", np.zeros((0,), dtype=bool))
+        assert summary.total == 0
+        assert summary.uncritical_rate == 0.0
+
+    def test_str_mentions_counts(self):
+        text = str(m.summarize_mask("u", np.array([True, False])))
+        assert "u" in text and "1/2" in text
+
+
+class TestCombinators:
+    def test_combine_or(self):
+        a = np.array([True, False, False])
+        b = np.array([False, True, False])
+        np.testing.assert_array_equal(m.combine_or([a, b]),
+                                      [True, True, False])
+
+    def test_combine_and(self):
+        a = np.array([True, True, False])
+        b = np.array([True, False, False])
+        np.testing.assert_array_equal(m.combine_and([a, b]),
+                                      [True, False, False])
+
+    def test_combine_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            m.combine_or([])
+        with pytest.raises(ValueError):
+            m.combine_and([])
+
+    def test_combine_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            m.combine_or([np.zeros(2, bool), np.zeros(3, bool)])
+
+    def test_combine_does_not_mutate_inputs(self):
+        a = np.array([True, False])
+        b = np.array([False, True])
+        m.combine_or([a, b])
+        np.testing.assert_array_equal(a, [True, False])
+
+
+class TestDecomposition:
+    def test_component_masks_split_last_axis(self):
+        mask = np.zeros((2, 3, 4), dtype=bool)
+        mask[..., 0] = True
+        cubes = m.component_masks(mask)
+        assert len(cubes) == 4
+        assert cubes[0].all()
+        assert not cubes[1].any()
+
+    def test_component_masks_other_axis(self):
+        mask = np.zeros((2, 3), dtype=bool)
+        mask[1, :] = True
+        rows = m.component_masks(mask, axis=0)
+        assert not rows[0].any() and rows[1].all()
+
+    def test_uncritical_planes_finds_padded_faces(self):
+        mask = np.ones((4, 5, 5), dtype=bool)
+        mask[:, 4, :] = False
+        mask[:, :, 4] = False
+        assert m.uncritical_planes(mask) == {1: [4], 2: [4]}
+
+    def test_uncritical_planes_empty_for_fully_critical(self):
+        assert m.uncritical_planes(np.ones((3, 3), dtype=bool)) == {}
+
+    def test_uncritical_planes_1d(self):
+        mask = np.array([True, False, True])
+        assert m.uncritical_planes(mask) == {0: [1]}
+
+
+class TestAgreement:
+    def test_confusion_counts(self):
+        a = np.array([True, True, False, False])
+        b = np.array([True, False, True, False])
+        counts = m.mask_agreement(a, b)
+        assert counts == {"both_critical": 1, "both_uncritical": 1,
+                          "only_a": 1, "only_b": 1}
+
+    def test_agreement_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            m.mask_agreement(np.zeros(2, bool), np.zeros(3, bool))
+
+    def test_counts_partition_the_elements(self):
+        rng = np.random.default_rng(7)
+        a = rng.random(50) > 0.5
+        b = rng.random(50) > 0.5
+        counts = m.mask_agreement(a, b)
+        assert sum(counts.values()) == 50

@@ -1,0 +1,112 @@
+"""Tests of the critical-region run-length encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import regions as reg
+from repro.core.regions import Region
+
+
+class TestRegion:
+    def test_length_and_contains(self):
+        r = Region(3, 7)
+        assert len(r) == 4
+        assert 3 in r and 6 in r
+        assert 7 not in r and 2 not in r
+
+    def test_invalid_region_rejected(self):
+        with pytest.raises(ValueError):
+            Region(5, 3)
+        with pytest.raises(ValueError):
+            Region(-1, 3)
+
+    def test_empty_region_allowed(self):
+        assert len(Region(4, 4)) == 0
+
+    def test_overlaps(self):
+        assert Region(0, 5).overlaps(Region(4, 8))
+        assert not Region(0, 5).overlaps(Region(5, 8))
+
+    def test_as_slice(self):
+        arr = np.arange(10)
+        np.testing.assert_array_equal(arr[Region(2, 5).as_slice()], [2, 3, 4])
+
+    def test_ordering(self):
+        assert sorted([Region(5, 8), Region(0, 2)])[0] == Region(0, 2)
+
+
+class TestEncodeDecode:
+    def test_all_true_is_single_run(self):
+        assert reg.encode_mask(np.ones(10, dtype=bool)) == [Region(0, 10)]
+
+    def test_all_false_is_empty(self):
+        assert reg.encode_mask(np.zeros(10, dtype=bool)) == []
+
+    def test_empty_mask(self):
+        assert reg.encode_mask(np.zeros(0, dtype=bool)) == []
+
+    def test_alternating_pattern(self):
+        mask = np.array([True, False, True, True, False, True])
+        assert reg.encode_mask(mask) == [Region(0, 1), Region(2, 4),
+                                         Region(5, 6)]
+
+    def test_multidimensional_mask_uses_c_order(self):
+        mask = np.array([[True, True], [False, True]])
+        assert reg.encode_mask(mask) == [Region(0, 2), Region(3, 4)]
+
+    def test_decode_inverts_encode(self):
+        mask = np.array([False, True, True, False, True])
+        runs = reg.encode_mask(mask)
+        np.testing.assert_array_equal(reg.decode_regions(runs, 5), mask)
+
+    def test_decode_rejects_out_of_range_region(self):
+        with pytest.raises(ValueError):
+            reg.decode_regions([Region(0, 6)], 5)
+
+
+class TestRegionAlgebra:
+    def test_n_elements(self):
+        assert reg.n_elements([Region(0, 3), Region(5, 6)]) == 4
+
+    def test_validate_accepts_sorted_disjoint(self):
+        reg.validate_regions([Region(0, 2), Region(4, 6)], size=6)
+
+    def test_validate_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            reg.validate_regions([Region(0, 4), Region(3, 6)])
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg.validate_regions([Region(0, 4)], size=3)
+
+    def test_merge_regions(self):
+        merged = reg.merge_regions([Region(4, 6), Region(0, 2), Region(2, 5)])
+        assert merged == [Region(0, 6)]
+
+    def test_merge_keeps_disjoint_runs(self):
+        merged = reg.merge_regions([Region(5, 7), Region(0, 2)])
+        assert merged == [Region(0, 2), Region(5, 7)]
+
+    def test_invert_regions(self):
+        inverted = reg.invert_regions([Region(2, 4), Region(6, 8)], 10)
+        assert inverted == [Region(0, 2), Region(4, 6), Region(8, 10)]
+
+    def test_invert_of_full_coverage_is_empty(self):
+        assert reg.invert_regions([Region(0, 5)], 5) == []
+
+    def test_array_roundtrip(self):
+        runs = [Region(0, 3), Region(7, 9)]
+        array = reg.regions_to_array(runs)
+        assert array.shape == (2, 2)
+        assert reg.regions_from_array(array) == runs
+
+    def test_empty_array_roundtrip(self):
+        array = reg.regions_to_array([])
+        assert array.shape == (0, 2)
+        assert reg.regions_from_array(array) == []
+
+    def test_aux_record_nbytes(self):
+        assert reg.aux_record_nbytes([Region(0, 1), Region(2, 3)]) == 32
+        assert reg.aux_record_nbytes([], offset_nbytes=4) == 0

@@ -1,0 +1,86 @@
+"""Tests of checkpoint-variable descriptions and state validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.variables import (CheckpointVariable, RestartableApplication,
+                                  VariableKind, state_nbytes, validate_state)
+from repro.npb.bt import BT
+
+
+class TestCheckpointVariable:
+    def test_scalar_properties(self):
+        var = CheckpointVariable("step", (), VariableKind.INTEGER,
+                                 dtype=np.int64)
+        assert var.is_scalar
+        assert var.n_elements == 1
+        assert var.nbytes == 8
+        assert var.state_keys() == ("step",)
+        assert str(var) == "int step"
+
+    def test_float_array_properties(self):
+        var = CheckpointVariable("u", (12, 13, 13, 5))
+        assert var.n_elements == 10140
+        assert var.element_nbytes == 8
+        assert var.nbytes == 81120
+        assert str(var) == "double u[12][13][13][5]"
+
+    def test_complex_pair_counts_both_components(self):
+        var = CheckpointVariable("y", (4, 4), VariableKind.COMPLEX_PAIR)
+        assert var.element_nbytes == 16
+        assert var.nbytes == 16 * 16
+        assert var.state_keys() == ("y_re", "y_im")
+        assert str(var) == "dcomplex y[4][4]"
+
+    def test_shape_coerced_to_ints(self):
+        var = CheckpointVariable("a", (np.int64(3), np.int64(2)))
+        assert var.shape == (3, 2)
+        assert all(isinstance(s, int) for s in var.shape)
+
+    def test_extract_pulls_component_arrays(self):
+        var = CheckpointVariable("y", (2,), VariableKind.COMPLEX_PAIR)
+        state = {"y_re": np.array([1.0, 2.0]), "y_im": np.array([3.0, 4.0])}
+        re, im = var.extract(state)
+        np.testing.assert_array_equal(re, [1.0, 2.0])
+        np.testing.assert_array_equal(im, [3.0, 4.0])
+
+    def test_extract_missing_component_raises(self):
+        var = CheckpointVariable("y", (2,), VariableKind.COMPLEX_PAIR)
+        with pytest.raises(KeyError, match="y_im"):
+            var.extract({"y_re": np.zeros(2)})
+
+
+class TestStateHelpers:
+    def test_state_nbytes_sums_variables(self):
+        variables = (CheckpointVariable("a", (10,)),
+                     CheckpointVariable("b", (), VariableKind.INTEGER,
+                                        dtype=np.int32))
+        assert state_nbytes(variables) == 80 + 4
+
+    def test_validate_state_accepts_matching_state(self):
+        variables = (CheckpointVariable("a", (3,)),
+                     CheckpointVariable("n", (), VariableKind.INTEGER,
+                                        dtype=np.int64))
+        validate_state(variables, {"a": np.zeros(3), "n": 7})
+
+    def test_validate_state_reports_missing_entry(self):
+        variables = (CheckpointVariable("a", (3,)),)
+        with pytest.raises(ValueError, match="missing state entry 'a'"):
+            validate_state(variables, {})
+
+    def test_validate_state_reports_wrong_shape(self):
+        variables = (CheckpointVariable("a", (3,)),)
+        with pytest.raises(ValueError, match="expected shape"):
+            validate_state(variables, {"a": np.zeros(4)})
+
+    def test_validate_state_reports_non_scalar_for_scalar_variable(self):
+        variables = (CheckpointVariable("n", (), VariableKind.INTEGER),)
+        with pytest.raises(ValueError, match="expected scalar"):
+            validate_state(variables, {"n": np.zeros(3)})
+
+
+class TestProtocol:
+    def test_npb_ports_satisfy_the_protocol(self):
+        assert isinstance(BT(problem_class="T"), RestartableApplication)

@@ -1,0 +1,50 @@
+"""Tests of the incremental-checkpointing extension experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+from repro.experiments import incremental
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    runner = ExperimentRunner(problem_class="T")
+    return incremental.run(runner, benchmarks=("BT", "MG", "FT"),
+                           directory=tmp_path_factory.mktemp("incremental"))
+
+
+class TestIncrementalExperiment:
+    def test_every_chain_restart_verifies(self, report):
+        assert report.matches_paper, report.text
+        assert all(entry["verified"] for entry in report.data.values())
+
+    def test_pruned_never_larger_than_full(self, report):
+        for entry in report.data.values():
+            assert entry["pruned_nbytes"] <= entry["full_nbytes"] + 64
+
+    def test_combined_never_larger_than_incremental(self, report):
+        for entry in report.data.values():
+            assert entry["combined_nbytes"] <= entry["incremental_nbytes"] \
+                + 64
+
+    def test_ft_delta_collapses_to_the_accumulators(self, report):
+        # FT never rewrites its spectrum, so a per-step delta is dominated
+        # by the container header even at the tiny class-T size
+        entry = report.data["FT"]
+        assert entry["incremental_nbytes"] < 0.2 * entry["full_nbytes"]
+
+    def test_text_lists_every_benchmark(self, report):
+        for name in ("BT", "MG", "FT"):
+            assert name in report.text
+
+
+class TestIncrementalCli:
+    def test_incremental_subcommand(self, capsys):
+        code = cli.main(["--class", "T", "incremental",
+                         "--benchmarks", "CG"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "incremental" in out

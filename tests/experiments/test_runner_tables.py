@@ -1,0 +1,110 @@
+"""Tests of the experiment runner and the Table I-III drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper, table1, table2, table3
+from repro.experiments.runner import ExperimentReport, ExperimentRunner
+
+
+class TestRunner:
+    def test_results_are_cached(self):
+        runner = ExperimentRunner(problem_class="T")
+        first = runner.result("BT")
+        second = runner.result("bt")
+        assert first is second
+
+    def test_benchmarks_are_cached(self):
+        runner = ExperimentRunner(problem_class="T")
+        assert runner.benchmark("CG") is runner.benchmark("CG")
+
+    def test_clear_drops_caches(self):
+        runner = ExperimentRunner(problem_class="T")
+        first = runner.result("CG")
+        runner.clear()
+        assert runner.result("CG") is not first
+
+    def test_criticality_view(self):
+        runner = ExperimentRunner(problem_class="T")
+        crit = runner.criticality(["CG"])
+        assert set(crit) == {"CG"}
+        assert "x" in crit["CG"]
+
+    def test_runner_settings_are_forwarded(self):
+        runner = ExperimentRunner(problem_class="T", method="activity",
+                                  step=2)
+        result = runner.result("CG")
+        assert result.method == "activity"
+        assert result.step == 2
+
+
+class TestTable1:
+    def test_report_structure(self):
+        report = table1.run(ExperimentRunner(problem_class="S"))
+        assert isinstance(report, ExperimentReport)
+        assert report.matches_paper
+        assert "Table I" in report.text
+        assert set(report.data["rows"]) == set(
+            ("BT", "SP", "MG", "CG", "LU", "FT", "EP", "IS"))
+
+    def test_element_counts_recorded(self):
+        report = table1.run(ExperimentRunner(problem_class="S"))
+        counts = report.data["element_counts"]
+        assert counts["BT"]["u"] == 10140
+        assert counts["FT"]["y"] == 266240
+
+    def test_reduced_class_reports_mismatches(self):
+        report = table1.run(ExperimentRunner(problem_class="T"))
+        # class T shapes deliberately differ from the paper's class S sizes
+        assert not report.matches_paper
+        assert report.data["mismatches"]
+
+
+class TestTable2:
+    def test_matches_paper_for_class_s(self, runner_s):
+        report = table2.run(runner_s)
+        assert report.matches_paper, report.text
+        assert not report.data["mismatches"]
+
+    def test_every_expected_row_is_present(self, runner_s):
+        report = table2.run(runner_s)
+        labels = {(row["benchmark"], row["variable"])
+                  for row in report.data["rows"]}
+        assert labels == set(paper.TABLE2_EXPECTED)
+
+    def test_rates_match_paper_percentages(self, runner_s):
+        report = table2.run(runner_s)
+        for row in report.data["rows"]:
+            expected = paper.TABLE2_EXPECTED[(row["benchmark"],
+                                              row["variable"])]
+            assert row["uncritical"] == expected[0]
+            assert row["total"] == expected[1]
+
+    def test_subset_of_benchmarks(self, runner_s):
+        report = table2.run(runner_s, benchmarks=("BT",))
+        assert {r["benchmark"] for r in report.data["rows"]} == {"BT"}
+
+
+class TestTable3:
+    def test_matches_paper_for_class_s(self, runner_s, tmp_path):
+        report = table3.run(runner_s, measure_on_disk=True,
+                            directory=tmp_path)
+        assert report.matches_paper, report.text
+        rows = {r["benchmark"]: r for r in report.data["rows"]}
+        assert set(rows) == set(paper.TABLE3_EXPECTED)
+        for name, expectation in paper.TABLE3_EXPECTED.items():
+            assert rows[name]["saved_fraction"] == pytest.approx(
+                expectation.saved_fraction, abs=0.002)
+
+    def test_on_disk_measurement_close_to_model(self, runner_s, tmp_path):
+        report = table3.run(runner_s, benchmarks=("BT",),
+                            measure_on_disk=True, directory=tmp_path)
+        row = report.data["rows"][0]
+        assert row["disk_full_nbytes"] >= row["original_nbytes"]
+        assert abs(row["disk_saved_fraction"] - row["saved_fraction"]) < 0.02
+
+    def test_without_disk_measurement(self, runner_s):
+        report = table3.run(runner_s, benchmarks=("BT",),
+                            measure_on_disk=False)
+        assert "disk_full_nbytes" not in report.data["rows"][0]

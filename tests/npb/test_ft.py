@@ -1,0 +1,104 @@
+"""Tests of the FT (3-D FFT) port."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import scrutinize
+from repro.npb.ft import FT
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return FT(problem_class="T")
+
+
+@pytest.fixture(scope="module")
+def result(bench):
+    return scrutinize(bench)
+
+
+class TestTransforms:
+    def test_inverse_transform_matches_numpy_ifftn(self, bench, rng):
+        p = bench.params
+        field = rng.random((p.nx, p.ny, p.nz)) \
+            + 1j * rng.random((p.nx, p.ny, p.nz))
+        out_re, out_im = bench._inverse_transform(field.real.copy(),
+                                                  field.imag.copy())
+        expected = np.fft.ifftn(field)
+        np.testing.assert_allclose(out_re, expected.real, atol=1e-10)
+        np.testing.assert_allclose(out_im, expected.imag, atol=1e-10)
+
+    def test_inverse_of_initial_spectrum_recovers_initial_field(self, bench):
+        spec_re, spec_im = bench._initial_spectrum
+        out_re, out_im = bench._inverse_transform(spec_re.copy(),
+                                                  spec_im.copy())
+        # the initial field is real, so the imaginary part must vanish
+        np.testing.assert_allclose(out_im, 0.0, atol=1e-9)
+
+    def test_evolution_factor_decays_with_time(self, bench):
+        f1 = bench._evolution_factor(1)
+        f2 = bench._evolution_factor(2)
+        assert np.all(f2 <= f1)
+        assert f1.max() <= 1.0
+
+
+class TestDynamics:
+    def test_initial_state_pads_last_plane(self, bench):
+        state = bench.initial_state()
+        p = bench.params
+        assert state["y_re"].shape == p.y_shape
+        assert np.all(state["y_re"][:, :, p.nz] == state["y_re"][0, 0, p.nz])
+
+    def test_spectrum_is_never_modified(self, bench):
+        state = bench.initial_state()
+        final = bench.run_full()
+        np.testing.assert_array_equal(final["y_re"], state["y_re"])
+        np.testing.assert_array_equal(final["y_im"], state["y_im"])
+
+    def test_sums_accumulate_one_entry_per_iteration(self, bench):
+        state = bench.initial_state()
+        for t in range(1, bench.total_steps + 1):
+            state = bench._advance(state)
+            filled = np.flatnonzero(state["sums_re"])
+            assert filled.max() == t - 1
+
+    def test_checksums_are_additive_in_the_checkpointed_sums(self, bench):
+        # sums is read-modify-write: pre-loading it shifts the final value
+        state = bench.initial_state()
+        state["sums_re"] = state["sums_re"] + 1.0
+        final = bench.run(state, bench.total_steps)
+        reference = bench.run_full()
+        np.testing.assert_allclose(final["sums_re"],
+                                   reference["sums_re"] + 1.0)
+
+    def test_run_and_verify_passes(self, bench):
+        assert bench.run_and_verify().passed
+
+    def test_verification_fails_on_corrupted_checksums(self, bench):
+        final = bench.run_full()
+        final["sums_re"] = np.array(final["sums_re"], copy=True)
+        final["sums_re"][0] *= 1.1
+        assert not bench.verify(final).passed
+
+
+class TestCriticality:
+    def test_only_padding_plane_uncritical(self, bench, result):
+        mask = result.variables["y"].mask
+        p = bench.params
+        assert mask[:, :, : p.nz].all()
+        assert not mask[:, :, p.nz:].any()
+        assert result.variables["y"].n_uncritical == p.nx * p.ny
+
+    def test_sums_fully_critical(self, result):
+        assert result.variables["sums"].n_uncritical == 0
+
+    def test_kt_rule_critical(self, result):
+        assert result.variables["kt"].method == "rule"
+
+
+class TestClassS:
+    def test_paper_table2_row(self, runner_s):
+        crit = runner_s.result("FT").variables["y"]
+        assert (crit.n_uncritical, crit.n_elements) == (4096, 266240)

@@ -1,0 +1,147 @@
+"""Validating the AD engine against independent derivative estimates on the
+actual benchmark computations.
+
+The whole study hinges on the reverse-mode derivatives being right, so this
+module cross-checks them on the real kernels (reduced problem class) with
+two independent oracles:
+
+* central finite differences of the restart output with respect to a sample
+  of individual elements (the definition of the derivative);
+* a central finite difference of the output along a random *direction*,
+  which must equal the inner product of the reverse-mode gradient with that
+  direction.
+
+These are the benchmark-level counterparts of the synthetic checks in
+``tests/ad``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ad import ops
+from repro.ad.reverse import backward
+from repro.npb import registry
+
+
+def _restart_scalar(bench, state, key, steps):
+    """Scalar restart output as a plain function of one state entry."""
+
+    def fun(values: np.ndarray) -> float:
+        probe_state = dict(state)
+        probe_state[key] = values.reshape(np.shape(state[key]))
+        return float(ops.to_numpy(bench.restart_output(probe_state,
+                                                       steps=steps)))
+
+    return fun
+
+
+def _reverse_gradient(bench, state, key, steps):
+    tape, leaves, out = bench.traced_restart(state, watch=[key], steps=steps)
+    (grad,) = backward(tape, out, [leaves[key]], strict=False)
+    return grad
+
+
+@pytest.mark.parametrize("name,key", [("BT", "u"), ("LU", "rsd"),
+                                      ("MG", "r"), ("CG", "x")])
+def test_reverse_gradient_matches_finite_differences(name, key, rng):
+    """Sampled elements: d(output)/d(element) vs central differences."""
+    bench = registry.create(name, "T")
+    state = bench.checkpoint_state(bench.total_steps // 2)
+    steps = 2  # keep the finite-difference truncation error manageable
+    grad = _reverse_gradient(bench, state, key, steps)
+    fun = _restart_scalar(bench, state, key, steps)
+
+    base = np.asarray(state[key], dtype=np.float64).reshape(-1)
+    flat_grad = grad.reshape(-1)
+    # check a mix of the largest-gradient elements and random ones
+    candidates = np.concatenate([
+        np.argsort(np.abs(flat_grad))[-3:],
+        rng.choice(base.size, size=5, replace=False),
+    ])
+    for index in candidates:
+        h = 1.0e-6 * max(abs(base[index]), 1.0)
+        plus = base.copy()
+        plus[index] += h
+        minus = base.copy()
+        minus[index] -= h
+        fd = (fun(plus) - fun(minus)) / (2.0 * h)
+        scale = max(abs(fd), abs(flat_grad[index]), 1.0e-8)
+        assert abs(fd - flat_grad[index]) / scale < 5.0e-4, \
+            f"{name}.{key}[{index}]: fd={fd}, ad={flat_grad[index]}"
+
+
+@pytest.mark.parametrize("name,key", [("BT", "u"), ("MG", "u"), ("CG", "x")])
+def test_reverse_gradient_matches_directional_derivative(name, key, rng):
+    """<grad, v> must equal the directional derivative along a random v."""
+    bench = registry.create(name, "T")
+    state = bench.checkpoint_state(bench.total_steps // 2)
+    steps = 1
+    grad = _reverse_gradient(bench, state, key, steps)
+    fun = _restart_scalar(bench, state, key, steps)
+
+    base = np.asarray(state[key], dtype=np.float64)
+    direction = rng.standard_normal(base.shape)
+    direction /= np.linalg.norm(direction)
+    scale = max(float(np.max(np.abs(base))), 1.0)
+    h = 1.0e-6 * scale
+    directional = (fun((base + h * direction).reshape(-1))
+                   - fun((base - h * direction).reshape(-1))) / (2.0 * h)
+    pairing = float(np.sum(grad * direction))
+    denom = max(abs(directional), abs(pairing), 1.0e-8)
+    assert abs(directional - pairing) / denom < 5.0e-4
+
+
+@pytest.mark.parametrize("name", ["BT", "LU", "MG", "CG", "FT"])
+def test_zero_gradient_elements_truly_do_not_change_the_output(name, rng):
+    """Perturbing an uncritical element must leave the output bit-identical
+    (not merely close): those elements are never read."""
+    bench = registry.create(name, "T")
+    state = bench.checkpoint_state(bench.total_steps // 2)
+    from repro.core.analysis import scrutinize
+
+    result = scrutinize(bench, state=state)
+    baseline = float(ops.to_numpy(bench.restart_output(dict(state))))
+    for crit in result.variables.values():
+        if crit.n_uncritical == 0 or not crit.gradients:
+            continue
+        flat_mask = crit.mask.reshape(-1)
+        uncritical_indices = np.flatnonzero(~flat_mask)
+        picks = rng.choice(uncritical_indices,
+                           size=min(5, uncritical_indices.size),
+                           replace=False)
+        for key in crit.variable.state_keys():
+            perturbed = dict(state)
+            arr = np.array(np.asarray(state[key], dtype=np.float64),
+                           copy=True).reshape(-1)
+            arr[picks] += 1.0e6
+            perturbed[key] = arr.reshape(np.shape(state[key]))
+            output = float(ops.to_numpy(bench.restart_output(perturbed)))
+            assert output == baseline, \
+                f"{name}.{key}: uncritical element changed the output"
+
+
+@pytest.mark.parametrize("name", ["BT", "MG"])
+def test_critical_elements_do_change_the_output(name, rng):
+    """The complementary check: perturbing a critical element moves the
+    output."""
+    bench = registry.create(name, "T")
+    state = bench.checkpoint_state(bench.total_steps // 2)
+    from repro.core.analysis import scrutinize
+
+    result = scrutinize(bench, state=state)
+    baseline = float(ops.to_numpy(bench.restart_output(dict(state))))
+    for crit in result.variables.values():
+        if not crit.gradients:
+            continue
+        key = crit.variable.state_keys()[0]
+        grad = np.abs(crit.gradients[key]).reshape(-1)
+        index = int(np.argmax(grad))
+        perturbed = dict(state)
+        arr = np.array(np.asarray(state[key], dtype=np.float64),
+                       copy=True).reshape(-1)
+        arr[index] += 1.0e-3 * max(abs(arr[index]), 1.0)
+        perturbed[key] = arr.reshape(np.shape(state[key]))
+        output = float(ops.to_numpy(bench.restart_output(perturbed)))
+        assert output != baseline

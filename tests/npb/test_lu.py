@@ -1,0 +1,113 @@
+"""Tests of the LU (SSOR) port."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import scrutinize
+from repro.npb.lu import LU
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return LU(problem_class="T")
+
+
+@pytest.fixture(scope="module")
+def result(bench):
+    return scrutinize(bench)
+
+
+class TestDynamics:
+    def test_initial_state_has_all_table1_variables(self, bench):
+        state = bench.initial_state()
+        assert set(state) == {"u", "rho_i", "qs", "rsd", "istep"}
+
+    def test_auxiliary_fields_consistent_with_u(self, bench):
+        state = bench.initial_state()
+        gp = bench.params.grid_points
+        rho_i, qs = bench._auxiliary_fields(state["u"])
+        block = state["u"][:gp, :gp, :gp, :]
+        np.testing.assert_allclose(rho_i[:gp, :gp, :gp], 1.0 / block[..., 0])
+        expected_q = 0.5 * (block[..., 1] ** 2 + block[..., 2] ** 2
+                            + block[..., 3] ** 2) / block[..., 0]
+        np.testing.assert_allclose(qs[:gp, :gp, :gp], expected_q)
+
+    def test_advance_refreshes_auxiliary_fields(self, bench):
+        state = bench.initial_state()
+        new = bench._advance(state)
+        rho_expected, qs_expected = bench._auxiliary_fields(new["u"])
+        np.testing.assert_allclose(new["rho_i"], rho_expected)
+        np.testing.assert_allclose(new["qs"], qs_expected)
+
+    def test_solution_stays_bounded(self, bench):
+        final = bench.run_full()
+        assert np.all(np.isfinite(final["u"]))
+        assert np.max(np.abs(final["u"])) < 1e3
+
+    def test_run_and_verify_passes(self, bench):
+        assert bench.run_and_verify().passed
+
+    def test_verification_fails_on_corrupted_solution(self, bench):
+        final = bench.run_full()
+        final["u"] = np.array(final["u"], copy=True)
+        final["u"][1, 1, 1, :] += 0.5
+        assert not bench.verify(final).passed
+
+
+class TestCriticality:
+    def test_scalar_fields_critical_on_full_used_grid(self, bench, result):
+        gp = bench.params.grid_points
+        for name in ("rho_i", "qs"):
+            mask = result.variables[name].mask
+            assert mask[:gp, :gp, :gp].all()
+            assert not mask[:, gp:, :].any()
+            assert not mask[:, :, gp:].any()
+
+    def test_rsd_follows_figure3_pattern(self, bench, result):
+        gp = bench.params.grid_points
+        mask = result.variables["rsd"].mask
+        assert mask[:gp, :gp, :gp, :].all()
+        assert not mask[:, gp:, :, :].any()
+        assert not mask[:, :, gp:, :].any()
+
+    def test_u_components_0_to_3_follow_figure3(self, bench, result):
+        gp = bench.params.grid_points
+        mask = result.variables["u"].mask
+        for m in range(4):
+            assert mask[:gp, :gp, :gp, m].all()
+            assert not mask[:, gp:, :, m].any()
+
+    def test_u_energy_component_is_union_of_flux_boxes(self, bench, result):
+        gp = bench.params.grid_points
+        energy = result.variables["u"].mask[..., 4]
+        expected = np.zeros_like(energy)
+        expected[1:gp - 1, 1:gp - 1, 0:gp] = True
+        expected[1:gp - 1, 0:gp, 1:gp - 1] = True
+        expected[0:gp, 1:gp - 1, 1:gp - 1] = True
+        np.testing.assert_array_equal(energy, expected)
+
+    def test_u_has_more_uncritical_than_rsd(self, result):
+        # the energy component's extra edge elements (Figure 7)
+        assert result.variables["u"].n_uncritical \
+            > result.variables["rsd"].n_uncritical
+
+    def test_istep_critical_by_rule(self, result):
+        assert result.variables["istep"].method == "rule"
+        assert result.variables["istep"].n_uncritical == 0
+
+
+class TestClassS:
+    def test_paper_table2_rows(self, runner_s):
+        variables = runner_s.result("LU").variables
+        assert variables["u"].n_uncritical == 1628
+        assert variables["rho_i"].n_uncritical == 300
+        assert variables["qs"].n_uncritical == 300
+        assert variables["rsd"].n_uncritical == 1500
+
+    def test_energy_component_has_128_extra_uncritical(self, runner_s):
+        mask = runner_s.result("LU").variables["u"].mask
+        figure3_critical = 12 ** 3
+        energy_critical = int(np.count_nonzero(mask[..., 4]))
+        assert figure3_critical - energy_critical == 128

@@ -1,0 +1,113 @@
+"""Tests of the MG (multigrid) port."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import scrutinize
+from repro.npb.mg import MG
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return MG(problem_class="T")
+
+
+@pytest.fixture(scope="module")
+def result(bench):
+    return scrutinize(bench)
+
+
+class TestSetup:
+    def test_right_hand_side_is_deterministic(self):
+        a = MG(problem_class="T")
+        b = MG(problem_class="T")
+        np.testing.assert_array_equal(a._v, b._v)
+
+    def test_transfer_matrices_have_positive_rows_summing_to_one(self, bench):
+        for matrix in bench._restriction + bench._prolongation:
+            assert np.all(matrix > 0.0)
+            np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_initial_residual_equals_rhs_minus_operator(self, bench):
+        state = bench.initial_state()
+        n = bench._fine
+        u0 = state["u"][: n ** 3].reshape(n, n, n)
+        r0 = state["r"][: n ** 3].reshape(n, n, n)
+        np.testing.assert_allclose(r0, bench._v - bench._apply_operator(u0))
+
+    def test_operator_annihilates_constants_on_interior(self, bench):
+        n = bench._fine
+        out = bench._apply_operator(np.ones((n, n, n)))
+        # weights sum to -3 + 6*0.25 + 12*0.125 + 8*0.0625 = 0.5 per point
+        interior = out[1:n - 1, 1:n - 1, 1:n - 1]
+        np.testing.assert_allclose(interior, 0.5)
+        # boundary rows are written as zero, not left untouched
+        assert np.all(out[0] == 0.0)
+
+
+class TestDynamics:
+    def test_advance_increments_iteration(self, bench):
+        new = bench._advance(bench.initial_state())
+        assert new["it"] == 1
+
+    def test_residual_norm_decreases_over_the_run(self, bench):
+        state = bench.initial_state()
+        initial = float(bench._residual_norm(state["u"]))
+        final = bench.run_full()
+        assert float(bench._residual_norm(final["u"])) < initial
+
+    def test_allocation_tail_never_touched(self, bench):
+        state = bench.initial_state()
+        used = bench.params.used_elements
+        final = bench.run_full()
+        np.testing.assert_array_equal(final["u"][used:], state["u"][used:])
+        np.testing.assert_array_equal(final["r"][used:], state["r"][used:])
+
+    def test_run_and_verify_passes(self, bench):
+        assert bench.run_and_verify().passed
+
+    def test_verification_fails_on_corrupted_solution(self, bench):
+        final = bench.run_full()
+        final["u"] = np.array(final["u"], copy=True)
+        final["u"][5] += 1.0
+        assert not bench.verify(final).passed
+
+
+class TestCriticality:
+    def test_u_critical_prefix_is_finest_level(self, bench, result):
+        n = bench._fine
+        mask = result.variables["u"].mask
+        assert mask[: n ** 3].all()
+        assert not mask[n ** 3:].any()
+
+    def test_r_critical_region_is_restriction_read_set(self, bench, result):
+        n = bench._fine
+        mask = result.variables["r"].mask
+        cube = mask[: n ** 3].reshape(n, n, n)
+        expected = np.zeros((n, n, n), dtype=bool)
+        expected[: n - 1, : n - 1, : n - 1] = True
+        np.testing.assert_array_equal(cube, expected)
+        assert not mask[n ** 3:].any()
+
+    def test_r_has_more_uncritical_than_u(self, result):
+        assert result.variables["r"].n_uncritical \
+            > result.variables["u"].n_uncritical
+
+    def test_iteration_counter_rule_critical(self, result):
+        assert result.variables["it"].method == "rule"
+        assert result.variables["it"].n_uncritical == 0
+
+
+class TestClassS:
+    def test_paper_table2_rows(self, runner_s):
+        variables = runner_s.result("MG").variables
+        assert variables["u"].n_uncritical == 7176
+        assert variables["r"].n_uncritical == 10543
+        assert variables["u"].n_elements == 46480
+
+    def test_figure4_prefix_structure(self, runner_s):
+        mask = runner_s.result("MG").variables["u"].mask
+        assert mask[: 34 ** 3].all()
+        assert not mask[34 ** 3:].any()

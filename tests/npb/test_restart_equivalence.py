@@ -1,0 +1,55 @@
+"""Checkpoint/restart equivalence: restarting from a mid-run state and
+finishing must reproduce the uninterrupted run bit-for-bit.
+
+This is the fundamental property the whole checkpoint library relies on --
+the benchmarks are deterministic functions of their checkpoint variables, so
+a restart from the saved state continues the identical trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.npb import registry
+from repro.npb.base import concrete_state
+
+
+def _final_states(bench, split_step):
+    full = concrete_state(bench.run_full())
+    mid = bench.checkpoint_state(split_step)
+    resumed = concrete_state(bench.run(mid, bench.total_steps - split_step))
+    return full, resumed
+
+
+@pytest.mark.parametrize("name", registry.available_benchmarks())
+def test_restart_reproduces_full_run_exactly(name):
+    bench = registry.create(name, "T")
+    split = bench.total_steps // 2
+    full, resumed = _final_states(bench, split)
+    assert set(full) == set(resumed)
+    for key, value in full.items():
+        np.testing.assert_array_equal(
+            np.asarray(value), np.asarray(resumed[key]),
+            err_msg=f"{name}: state entry {key!r} diverged after restart")
+
+
+@pytest.mark.parametrize("name", ["BT", "MG", "CG", "FT"])
+def test_restart_from_every_step_is_exact(name):
+    bench = registry.create(name, "T")
+    full = concrete_state(bench.run_full())
+    for split in range(1, bench.total_steps, max(bench.total_steps // 3, 1)):
+        mid = bench.checkpoint_state(split)
+        resumed = concrete_state(bench.run(mid, bench.total_steps - split))
+        for key in full:
+            np.testing.assert_array_equal(np.asarray(full[key]),
+                                          np.asarray(resumed[key]))
+
+
+@pytest.mark.parametrize("name", registry.available_benchmarks())
+def test_verification_passes_after_restart(name):
+    bench = registry.create(name, "T")
+    split = max(bench.total_steps - 2, 1)
+    mid = bench.checkpoint_state(split)
+    final = bench.run(mid, bench.total_steps - split)
+    assert bench.verify(final).passed

@@ -1,0 +1,147 @@
+"""Tests of the BT and SP structured-grid ports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import scrutinize
+from repro.core.masks import uncritical_planes
+from repro.npb.bt import BT
+from repro.npb.pde_common import (PADDING_FILL, exact_field, forcing_field,
+                                  initial_field, laplacian_interior)
+from repro.npb.sp import SP
+
+
+@pytest.fixture(scope="module", params=[BT, SP], ids=["BT", "SP"])
+def bench(request):
+    return request.param(problem_class="T")
+
+
+class TestPdeCommon:
+    def test_exact_field_pads_outside_used_grid(self):
+        field = exact_field((6, 7, 7, 5), 6)
+        assert np.all(field[:, 6, :, :] == PADDING_FILL)
+        assert np.all(field[:, :, 6, :] == PADDING_FILL)
+        # the used block is a smooth non-constant field
+        assert field[:6, :6, :6, :].std() > 0.0
+
+    def test_exact_field_rejects_oversized_grid(self):
+        with pytest.raises(ValueError):
+            exact_field((6, 7, 7, 5), 8)
+
+    def test_initial_field_differs_from_exact_everywhere_used(self):
+        exact = exact_field((6, 7, 7, 5), 6)
+        init = initial_field((6, 7, 7, 5), 6)
+        assert np.all(init[:6, :6, :6, :] != exact[:6, :6, :6, :])
+        # padding identical (never touched)
+        assert np.array_equal(init[:, 6, :, :], exact[:, 6, :, :])
+
+    def test_laplacian_of_linear_field_is_zero(self):
+        gp = 6
+        axis = np.arange(gp, dtype=np.float64)
+        linear = np.zeros((gp, gp, gp, 2))
+        linear += axis[:, None, None, None]
+        linear += 2.0 * axis[None, :, None, None]
+        lap = laplacian_interior(linear, gp)
+        assert np.allclose(lap, 0.0)
+
+    def test_forcing_makes_exact_field_a_fixed_point(self):
+        shape, gp, nl = (6, 7, 7, 5), 6, 0.1
+        exact = exact_field(shape, gp)
+        forcing = forcing_field(shape, gp, nl)
+        lap = laplacian_interior(exact, gp)
+        q = 0.5 * (exact[1:gp - 1, 1:gp - 1, 1:gp - 1, 1:2] ** 2
+                   + exact[1:gp - 1, 1:gp - 1, 1:gp - 1, 2:3] ** 2)
+        nonlinear = nl * exact[1:gp - 1, 1:gp - 1, 1:gp - 1, :] * (
+            q - exact[1:gp - 1, 1:gp - 1, 1:gp - 1, :])
+        rhs = lap + nonlinear + forcing[1:gp - 1, 1:gp - 1, 1:gp - 1, :]
+        assert np.allclose(rhs, 0.0, atol=1e-12)
+
+
+class TestDynamics:
+    def test_advance_increments_step_and_keeps_shapes(self, bench):
+        state = bench.initial_state()
+        new = bench._advance(state)
+        assert new["step"] == 1
+        assert new["u"].shape == bench.params.u_shape
+
+    def test_advance_never_touches_padding(self, bench):
+        state = bench.initial_state()
+        final = bench.run(state, 3)
+        gp = bench.params.grid_points
+        np.testing.assert_array_equal(final["u"][:, gp:, :, :],
+                                      state["u"][:, gp:, :, :])
+        np.testing.assert_array_equal(final["u"][:, :, gp:, :],
+                                      state["u"][:, :, gp:, :])
+
+    def test_advance_does_not_mutate_input_state(self, bench):
+        state = bench.initial_state()
+        before = state["u"].copy()
+        bench._advance(state)
+        np.testing.assert_array_equal(state["u"], before)
+
+    def test_solution_stays_bounded(self, bench):
+        final = bench.run(bench.initial_state(), bench.total_steps)
+        assert np.all(np.isfinite(final["u"]))
+        assert np.max(np.abs(final["u"])) < 1e3
+
+    def test_run_and_verify_passes(self, bench):
+        assert bench.run_and_verify().passed
+
+    def test_verification_fails_on_corrupted_interior(self, bench):
+        final = bench.run_full()
+        final["u"] = np.array(final["u"], copy=True)
+        final["u"][2, 2, 2, 0] *= 1.5
+        assert not bench.verify(final).passed
+
+
+class TestCriticality:
+    def test_uncritical_exactly_on_padded_planes(self, bench):
+        result = scrutinize(bench)
+        mask = result.variables["u"].mask
+        gp = bench.params.grid_points
+        # the used sub-grid is fully critical
+        assert mask[:gp, :gp, :gp, :].all()
+        # the padded j/i planes are fully uncritical
+        assert not mask[:, gp:, :, :].any()
+        assert not mask[:, :, gp:, :].any()
+
+    def test_uncritical_count_formula(self, bench):
+        result = scrutinize(bench)
+        crit = result.variables["u"]
+        gp = bench.params.grid_points
+        kmax, jmax, imax, ncomp = bench.params.u_shape
+        expected_critical = kmax * gp * gp * ncomp
+        assert crit.n_critical == expected_critical
+        assert crit.n_uncritical == crit.n_elements - expected_critical
+
+    def test_all_five_components_share_the_pattern(self, bench):
+        mask = scrutinize(bench).variables["u"].mask
+        for m in range(1, 5):
+            np.testing.assert_array_equal(mask[..., m], mask[..., 0])
+
+    def test_step_counter_is_rule_critical(self, bench):
+        result = scrutinize(bench)
+        step_crit = result.variables["step"]
+        assert step_crit.method == "rule"
+        assert step_crit.n_uncritical == 0
+
+    def test_uncritical_planes_helper_reports_padded_faces(self, bench):
+        mask = scrutinize(bench).variables["u"].mask[..., 0]
+        gp = bench.params.grid_points
+        assert uncritical_planes(mask) == {1: [gp], 2: [gp]}
+
+
+class TestClassS:
+    """Spot checks at the paper's scale (shared session cache keeps it to
+    one analysis per benchmark)."""
+
+    def test_bt_paper_numbers(self, runner_s):
+        crit = runner_s.result("BT").variables["u"]
+        assert (crit.n_uncritical, crit.n_elements) == (1500, 10140)
+
+    def test_sp_matches_bt_pattern(self, runner_s):
+        bt_mask = runner_s.result("BT").variables["u"].mask
+        sp_mask = runner_s.result("SP").variables["u"].mask
+        np.testing.assert_array_equal(bt_mask, sp_mask)

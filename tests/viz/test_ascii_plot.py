@@ -1,0 +1,95 @@
+"""Tests of the text-mode mask rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_plot as ap
+
+
+class TestDownsample:
+    def test_short_masks_pass_through(self):
+        mask = np.array([True, False, True])
+        np.testing.assert_array_equal(ap.downsample_mask(mask, 10), mask)
+
+    def test_bucket_is_critical_if_any_element_is(self):
+        mask = np.zeros(100, dtype=bool)
+        mask[55] = True
+        buckets = ap.downsample_mask(mask, 10)
+        assert buckets.size == 10
+        assert buckets[5] and buckets.sum() == 1
+
+    def test_uncritical_buckets_are_entirely_uncritical(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random(1000) > 0.7
+        buckets = ap.downsample_mask(mask, 37)
+        edges = np.linspace(0, mask.size, 38).astype(int)
+        for i, (a, b) in enumerate(zip(edges[:-1], edges[1:])):
+            if not buckets[i]:
+                assert not mask[a:b].any()
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            ap.downsample_mask(np.ones(4, dtype=bool), 0)
+
+
+class TestRender1D:
+    def test_uses_both_characters(self):
+        text = ap.render_mask_1d(np.array([True, False]), show_counts=False)
+        assert text == ap.CRITICAL_CHAR + ap.UNCRITICAL_CHAR
+
+    def test_counts_suffix(self):
+        text = ap.render_mask_1d(np.array([True, False, False]))
+        assert "[1 critical / 2 uncritical of 3]" in text
+
+    def test_flattens_multidimensional_masks(self):
+        mask = np.ones((3, 4), dtype=bool)
+        text = ap.render_mask_1d(mask, show_counts=False)
+        assert text == ap.CRITICAL_CHAR * 12
+
+    def test_long_masks_are_downsampled_to_width(self):
+        mask = np.ones(10_000, dtype=bool)
+        text = ap.render_mask_1d(mask, width=50, show_counts=False)
+        assert len(text) == 50
+
+
+class TestRender2D:
+    def test_grid_shape(self):
+        mask = np.zeros((3, 5), dtype=bool)
+        mask[1, :] = True
+        text = ap.render_mask_2d(mask)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[1].endswith(ap.CRITICAL_CHAR * 5)
+
+    def test_row_and_column_labels(self):
+        text = ap.render_mask_2d(np.ones((2, 2), dtype=bool),
+                                 row_label="j", col_label="i")
+        assert "i ->" in text
+        assert "j=0" in text and "j=1" in text
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ap.render_mask_2d(np.ones(4, dtype=bool))
+
+
+class TestRenderRuns:
+    def test_no_critical_elements(self):
+        assert "no critical elements" in ap.render_runs(np.zeros(5, bool))
+
+    def test_lists_runs_and_counts(self):
+        mask = np.array([True, True, False, True])
+        text = ap.render_runs(mask)
+        assert "2 critical runs" in text
+        assert "[0, 2)" in text and "[3, 4)" in text
+
+    def test_truncates_long_run_lists(self):
+        mask = np.zeros(100, dtype=bool)
+        mask[::2] = True
+        text = ap.render_runs(mask, max_runs=5)
+        assert "more runs" in text
+
+    def test_legend_mentions_both_symbols(self):
+        text = ap.legend()
+        assert ap.CRITICAL_CHAR in text and ap.UNCRITICAL_CHAR in text

@@ -1,0 +1,123 @@
+"""Tests of mask slicing/description helpers and the file exporters."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.viz import export as ex
+from repro.viz import slices as sl
+
+
+@pytest.fixture()
+def figure3_like_mask():
+    """A 4-D mask shaped like BT's u with padded j/i faces uncritical."""
+    mask = np.zeros((4, 5, 5, 3), dtype=bool)
+    mask[:4, :4, :4, :] = True
+    return mask
+
+
+class TestComponentCubes:
+    def test_split_and_identity(self, figure3_like_mask):
+        cubes = sl.component_cubes(figure3_like_mask)
+        assert len(cubes) == 3
+        assert cubes[0].shape == (4, 5, 5)
+        assert sl.identical_components(figure3_like_mask)
+
+    def test_non_identical_components_detected(self, figure3_like_mask):
+        mask = figure3_like_mask.copy()
+        mask[0, 0, 0, 2] = False
+        assert not sl.identical_components(mask)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            sl.component_cubes(np.ones((2, 2), dtype=bool))
+
+
+class TestCubePlanes:
+    def test_planes_along_each_axis(self):
+        mask = np.zeros((2, 3, 4), dtype=bool)
+        planes = sl.cube_planes(mask, axis=2)
+        assert len(planes) == 4
+        assert planes[0].shape == (2, 3)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            sl.cube_planes(np.ones((2, 2), dtype=bool))
+
+    def test_render_cube_mentions_every_plane(self):
+        mask = np.ones((3, 2, 2), dtype=bool)
+        text = sl.render_cube(mask)
+        assert text.count("--- k =") == 3
+
+
+class TestDescribeMask:
+    def test_fully_critical(self):
+        text = sl.describe_mask(np.ones((4,), dtype=bool))
+        assert "every element is critical" in text
+
+    def test_reports_uncritical_planes(self, figure3_like_mask):
+        text = sl.describe_mask(figure3_like_mask[..., 0], ("k", "j", "i"))
+        assert "j = 4" in text
+        assert "i = 4" in text
+
+    def test_reports_contiguous_prefix(self):
+        mask = np.array([True] * 7 + [False] * 3)
+        text = sl.describe_mask(mask)
+        assert "contiguous critical prefix of 7" in text
+
+    def test_counts_line(self):
+        text = sl.describe_mask(np.array([True, False, False, False]))
+        assert "1 critical, 3 uncritical of 4" in text
+        assert "75.0%" in text
+
+
+class TestExport:
+    def test_csv_lists_every_element(self, tmp_path):
+        mask = np.array([[True, False], [False, True]])
+        path = ex.mask_to_csv(mask, tmp_path / "m.csv")
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["i0", "i1", "critical"]
+        assert len(rows) == 5
+        assert rows[1] == ["0", "0", "1"]
+        assert rows[2] == ["0", "1", "0"]
+
+    def test_json_summary_fields(self, tmp_path):
+        mask = np.array([True, True, False])
+        path = ex.mask_to_json(mask, tmp_path / "m.json", name="x",
+                               metadata={"benchmark": "CG"})
+        payload = json.loads(path.read_text())
+        assert payload["critical"] == 2
+        assert payload["uncritical"] == 1
+        assert payload["critical_regions"] == [[0, 2]]
+        assert payload["metadata"]["benchmark"] == "CG"
+
+    def test_pgm_format(self, tmp_path):
+        mask = np.array([[True, False]])
+        path = ex.plane_to_pgm(mask, tmp_path / "m.pgm")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "P2"
+        assert lines[1] == "2 1"
+        assert lines[3] == "255 0"
+
+    def test_pgm_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            ex.plane_to_pgm(np.ones(3, dtype=bool), tmp_path / "x.pgm")
+
+    def test_export_mask_writes_expected_artefacts(self, tmp_path):
+        mask = np.zeros((3, 4, 5), dtype=bool)
+        mask[0] = True
+        artefacts = ex.export_mask(mask, tmp_path, "cube",
+                                   metadata={"figure": "figure4"})
+        assert set(artefacts) == {"json", "csv", "pgm"}
+        for path in artefacts.values():
+            assert path.exists()
+
+    def test_export_mask_can_skip_csv(self, tmp_path):
+        artefacts = ex.export_mask(np.ones((2, 2), dtype=bool), tmp_path,
+                                   "small", write_csv=False)
+        assert "csv" not in artefacts
