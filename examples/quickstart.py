@@ -8,7 +8,14 @@ Two minutes of API tour:
    mask (derivative zero or not);
 2. the application-level entry point -- ``scrutinize`` an NPB benchmark port
    and see which elements of its checkpoint variables can be dropped;
-3. write a pruned checkpoint with the homemade library and restart from it.
+3. write a pruned checkpoint with the homemade library and restart from it;
+4. the scaled-up workflow -- fan the whole suite's analyses out across
+   worker processes and persist the results in an on-disk store, so the
+   second sweep (and every table/figure regeneration after it) is instant.
+   The CLI exposes the same engine::
+
+       repro-scrutinize --workers 4 --cache-dir out/cache all   # cold
+       repro-scrutinize --cache-dir out/cache all               # warm
 
 Run with::
 
@@ -18,12 +25,14 @@ Run with::
 from __future__ import annotations
 
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
 
 from repro import ad, ckpt
 from repro.core import element_criticality, scrutinize
+from repro.experiments import ExperimentRunner
 from repro.npb import registry
 from repro.viz import legend, render_mask_1d
 
@@ -81,9 +90,37 @@ def benchmark_level_demo() -> Path:
     return workdir
 
 
+def suite_level_demo() -> None:
+    """Parallel + cached analysis of the whole suite."""
+    print("=" * 72)
+    print("4. parallel sweep with a persistent result store")
+    print("=" * 72)
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro_cache_"))
+    names = registry.available_benchmarks()
+
+    t0 = time.perf_counter()
+    cold = ExperimentRunner(problem_class="T", workers=2,
+                            cache_dir=cache_dir)
+    cold.prefetch(names)                      # fans out, fills the store
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = ExperimentRunner(problem_class="T", cache_dir=cache_dir)
+    results = warm.results(names)             # served entirely from disk
+    warm_s = time.perf_counter() - t0
+
+    for name, result in results.items():
+        print(f"{name:>3}: {result.n_uncritical}/{result.n_elements} "
+              f"elements uncritical")
+    print(f"cold sweep {cold_s * 1000:.0f} ms -> warm sweep "
+          f"{warm_s * 1000:.0f} ms ({warm.store.hits} store hits, "
+          f"{warm.store.misses} misses); cache at {cache_dir}")
+
+
 def main() -> None:
     function_level_demo()
     benchmark_level_demo()
+    suite_level_demo()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Lightweight CI gate: tier-1 test suite + the quickstart example.
+#
+# Usage:  scripts/ci_check.sh [extra pytest args...]
+#
+# Mirrors what the repo's ROADMAP calls the tier-1 verify, then smoke-runs
+# the quickstart (which exercises analysis, pruned checkpointing and
+# restart end-to-end, including the --workers/cache workflow).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+export PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q tests/ "$@"
+
+echo "== quickstart example =="
+python examples/quickstart.py
+
+echo "== CLI smoke: warm-cache analyze =="
+cache_dir="$(mktemp -d)"
+trap 'rm -rf "$cache_dir"' EXIT
+python -m repro.cli --class T --cache-dir "$cache_dir" analyze CG >/dev/null
+python -m repro.cli --class T --cache-dir "$cache_dir" analyze CG
+
+echo "ci_check: OK"

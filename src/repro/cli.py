@@ -16,6 +16,12 @@ Sub-commands map one-to-one onto the experiment drivers plus a per-benchmark
 
 Every command prints the same text the experiment report carries and exits
 non-zero when the result deviates from the paper (useful in CI).
+
+Global ``--workers N`` fans the per-benchmark AD analyses out across worker
+processes and ``--cache-dir DIR`` persists results on disk, so e.g.::
+
+    repro-scrutinize --workers 4 --cache-dir out/cache all   # cold: parallel
+    repro-scrutinize --cache-dir out/cache all               # warm: instant
 """
 
 from __future__ import annotations
@@ -24,7 +30,6 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core import scrutinize
 from repro.experiments import (ExperimentRunner, ablation, figures,
                                incremental, precision, table1, table2,
                                table3, verify)
@@ -49,6 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="criticality analysis method")
     parser.add_argument("--probes", type=int, default=1,
                         help="number of AD probes per variable")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the per-benchmark "
+                             "analyses (1 = in-process, the default)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist scrutiny results in this directory "
+                             "so repeated runs skip the AD sweeps")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir and recompute everything")
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -103,10 +116,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_runner(args: argparse.Namespace,
+                 step: int | None = None) -> ExperimentRunner:
+    return ExperimentRunner(problem_class=args.problem_class,
+                            method=args.method, n_probes=args.probes,
+                            step=step, workers=args.workers,
+                            cache_dir=args.cache_dir,
+                            use_cache=not args.no_cache)
+
+
 def _run_analyze(args: argparse.Namespace) -> int:
-    bench = registry.create(args.benchmark, args.problem_class)
-    result = scrutinize(bench, step=args.step, method=args.method,
-                        n_probes=args.probes)
+    runner = _make_runner(args, step=args.step)
+    result = runner.result(args.benchmark)
     print(result.describe())
     if args.show_masks:
         print()
@@ -126,8 +147,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "analyze":
         return _run_analyze(args)
 
-    runner = ExperimentRunner(problem_class=args.problem_class,
-                              method=args.method, n_probes=args.probes)
+    runner = _make_runner(args)
     reports = []
     if args.command == "table1":
         reports.append(table1.run(runner))
@@ -168,6 +188,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.benchmarks else incremental.DEFAULT_BENCHMARKS
         reports.append(incremental.run(runner, benchmarks=benchmarks))
     elif args.command == "all":
+        runner.prefetch(registry.available_benchmarks())
         reports.append(table1.run(runner))
         reports.append(table2.run(runner))
         reports.append(table3.run(runner))

@@ -11,7 +11,9 @@ Layering (lowest first):
 * :mod:`repro.core.impact` -- impact scores and mixed-precision planning
   (the paper's future-work extension);
 * :mod:`repro.core.report` -- Table II / Table III row generation;
-* :mod:`repro.core.analysis` -- the one-call ``scrutinize`` orchestration.
+* :mod:`repro.core.analysis` -- the one-call ``scrutinize`` orchestration;
+* :mod:`repro.core.store` -- persistent, content-addressed cache of
+  scrutiny results (the disk half of the parallel scrutiny engine).
 
 Typical use::
 
@@ -29,6 +31,7 @@ from .impact import (PrecisionPlan, VariableImpact, plan_precision,
                      plan_precision_for_budget, variable_impact)
 from .masks import MaskSummary, summarize_mask
 from .regions import Region, decode_regions, encode_mask
+from .store import ResultStore, cache_key
 from .variables import (CheckpointVariable, RestartableApplication,
                         VariableKind, state_nbytes, validate_state)
 
@@ -54,4 +57,6 @@ __all__ = [
     "element_criticality",
     "ScrutinyResult",
     "scrutinize",
+    "ResultStore",
+    "cache_key",
 ]

@@ -247,6 +247,11 @@ def run_all(runner: ExperimentRunner | None = None,
             export_dir: str | Path | None = None) -> ExperimentReport:
     """Regenerate every figure and aggregate the checks."""
     runner = runner or ExperimentRunner()
+    # batch the underlying analyses so a parallel runner fans them out
+    # once; SP is not a FIGURES key but _figure3 reads it for the
+    # shared-pattern cross-check
+    runner.prefetch(sorted({bench for bench, _var in FIGURES.values()}
+                           | {"SP"}))
     reports = [run(figure, runner, export_dir) for figure in _BUILDERS]
     text = "\n\n".join(r.text for r in reports)
     return ExperimentReport(

@@ -38,6 +38,8 @@ def run(runner: ExperimentRunner | None = None,
         directory: str | Path | None = None) -> ExperimentReport:
     """Compare full / pruned / incremental / combined checkpoint sizes."""
     runner = runner or ExperimentRunner()
+    # batch the underlying analyses so a parallel runner fans them out once
+    runner.prefetch(benchmarks)
     workdir = Path(directory) if directory is not None \
         else Path(tempfile.mkdtemp(prefix="repro_incremental_"))
 

@@ -1,0 +1,183 @@
+"""Parallel scrutiny engine.
+
+The per-benchmark (and per-method) analyses are embarrassingly parallel:
+each job instantiates its own benchmark port, runs it to the checkpoint
+step and performs the AD sweep with no shared mutable state.  This module
+fans such jobs out across a :mod:`multiprocessing` pool and merges the
+results back deterministically:
+
+* :class:`ScrutinyJob` -- a picklable, hashable description of one analysis
+  (benchmark, problem class, method, n_probes, step, steps);
+* :func:`run_job` -- the module-level (hence spawn-safe) worker function;
+* :class:`ParallelRunner` -- schedules jobs over an optional
+  :class:`~repro.core.store.ResultStore` (cache first, pool second),
+  deduplicates identical jobs, preserves input order in the output, and
+  falls back to in-process execution when ``workers == 1``, when only one
+  job is left after cache hits, or when the platform cannot deliver a
+  working pool.
+
+Determinism: every job builds its own fixed-seed probe generator inside
+:func:`~repro.core.analysis.scrutinize` (``rng=None``), so the masks are
+bitwise-identical no matter how jobs are distributed over workers -- the
+parallel-equivalence tests in ``tests/experiments/test_parallel.py`` pin
+this down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.analysis import ScrutinyResult, scrutinize
+from repro.core.store import ResultStore
+from repro.npb import registry
+
+__all__ = ["ScrutinyJob", "ParallelRunner", "run_job", "default_workers"]
+
+
+@dataclass(frozen=True)
+class ScrutinyJob:
+    """One unit of analysis work; picklable and usable as a dict key."""
+
+    benchmark: str
+    problem_class: str = "S"
+    method: str = "ad"
+    n_probes: int = 1
+    step: int | None = None
+    steps: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmark", self.benchmark.upper())
+
+    def key_params(self) -> dict[str, Any]:
+        """The job's identity as :class:`ResultStore` key parameters."""
+        return {
+            "benchmark": self.benchmark,
+            "problem_class": self.problem_class,
+            "method": self.method,
+            "n_probes": self.n_probes,
+            "step": self.step,
+            "steps": self.steps,
+        }
+
+
+def run_job(job: ScrutinyJob) -> ScrutinyResult:
+    """Execute one job from scratch.
+
+    Module-level so it pickles under every multiprocessing start method
+    (``spawn`` included); builds its own benchmark instance and its own
+    fixed-seed generator, so workers share nothing.
+    """
+    bench = registry.create(job.benchmark, job.problem_class)
+    return scrutinize(bench, step=job.step, method=job.method,
+                      n_probes=job.n_probes, steps=job.steps)
+
+
+def default_workers() -> int:
+    """Worker count saturating the local machine (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _pick_context() -> multiprocessing.context.BaseContext:
+    """``fork`` on Linux (no re-import cost), platform default elsewhere.
+
+    macOS lists ``fork`` as available but defaults to ``spawn`` because
+    forking a threaded/Accelerate-backed process is crash-prone there;
+    respect that choice rather than forcing fork wherever it exists.
+    """
+    if sys.platform.startswith("linux"):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ParallelRunner:
+    """Schedules scrutiny jobs over a result store and a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``1`` (the default) runs every job in
+        the calling process.
+    store:
+        Optional :class:`~repro.core.store.ResultStore` consulted before
+        computing and updated after; ``None`` disables persistence.
+    mp_context:
+        Multiprocessing start-method name to force (``"spawn"``,
+        ``"fork"``, ...); ``None`` picks ``fork`` when available.
+    """
+
+    def __init__(self, workers: int = 1, store: ResultStore | None = None,
+                 mp_context: str | None = None) -> None:
+        self.workers = max(1, int(workers))
+        self.store = store
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[ScrutinyJob]) -> list[ScrutinyResult]:
+        """Results of ``jobs``, in input order.
+
+        Cache hits are served from the store; the remaining distinct jobs
+        are computed (in parallel when configured) and persisted.  The
+        returned list always aligns index-for-index with ``jobs``,
+        regardless of worker scheduling.
+        """
+        jobs = list(jobs)
+        results: dict[ScrutinyJob, ScrutinyResult] = {}
+
+        todo: list[ScrutinyJob] = []
+        for job in dict.fromkeys(jobs):
+            cached = self.store.fetch(**job.key_params()) \
+                if self.store is not None else None
+            if cached is not None:
+                results[job] = cached
+            else:
+                todo.append(job)
+
+        if todo:
+            for job, result in zip(todo, self._execute(todo)):
+                results[job] = result
+                if self.store is not None:
+                    try:
+                        self.store.put(result, n_probes=job.n_probes,
+                                       step=job.step, steps=job.steps)
+                    except OSError:
+                        # an unwritable store degrades to no persistence;
+                        # it must never lose a computed result
+                        pass
+
+        return [results[job] for job in jobs]
+
+    def run_one(self, job: ScrutinyJob) -> ScrutinyResult:
+        """Convenience wrapper for a single job."""
+        return self.run([job])[0]
+
+    # ------------------------------------------------------------------
+    # execution backends
+    # ------------------------------------------------------------------
+    def _execute(self, jobs: Sequence[ScrutinyJob]) -> list[ScrutinyResult]:
+        if self.workers == 1 or len(jobs) <= 1:
+            return [run_job(job) for job in jobs]
+        try:
+            ctx = multiprocessing.get_context(self.mp_context) \
+                if self.mp_context else _pick_context()
+            pool = ctx.Pool(processes=min(self.workers, len(jobs)))
+        except (OSError, ValueError, ImportError, RuntimeError,
+                multiprocessing.ProcessError):
+            # no /dev/shm, sandboxed fork, missing start method, ...:
+            # degrade to the sequential path, which is always available.
+            # Only pool *creation* falls back -- an exception raised by a
+            # job itself propagates from map() below, rather than silently
+            # re-running the whole batch sequentially first.
+            return [run_job(job) for job in jobs]
+        with pool:
+            # map (not imap_unordered) so output order matches input order
+            return pool.map(run_job, jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ParallelRunner(workers={self.workers}, "
+                f"store={self.store!r})")

@@ -93,6 +93,8 @@ def run(runner: ExperimentRunner | None = None,
         directory: str | Path | None = None) -> ExperimentReport:
     """Run the mixed-precision study; tolerance-driven restarts must verify."""
     runner = runner or ExperimentRunner()
+    # batch the underlying analyses so a parallel runner fans them out once
+    runner.prefetch(benchmarks)
     workdir = Path(directory) if directory is not None \
         else Path(tempfile.mkdtemp(prefix="repro_precision_"))
 

@@ -1,22 +1,36 @@
 """Shared experiment infrastructure.
 
 Every table and figure of the paper is regenerated from the same per-
-benchmark :class:`~repro.core.analysis.ScrutinyResult`; the runner caches
-those results so the experiment drivers (and the pytest-benchmark harness,
-which calls several of them in one session) do not redo the AD analysis for
-every table.
+benchmark :class:`~repro.core.analysis.ScrutinyResult`.  The runner now
+routes all analysis requests through the parallel scrutiny engine
+(:mod:`repro.experiments.parallel`): results are looked up in an optional
+persistent :class:`~repro.core.store.ResultStore` first, missing ones are
+fanned out across a worker pool (``workers > 1``) or computed in process
+(``workers == 1``, the default), and everything is memoised in process so
+the experiment drivers (and the pytest-benchmark harness, which calls
+several of them in one session) never redo an AD sweep.
+
+Typical accelerated use::
+
+    runner = ExperimentRunner(workers=4, cache_dir="~/.cache/repro")
+    runner.prefetch(["BT", "SP", "MG", "CG", "LU", "FT", "EP", "IS"])
+    table2.run(runner)          # no AD sweep happens here any more
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.analysis import ScrutinyResult, scrutinize
 from repro.core.criticality import VariableCriticality
+from repro.core.store import ResultStore
 from repro.npb import registry
+
+from .parallel import ParallelRunner, ScrutinyJob
 
 __all__ = ["ExperimentRunner", "ExperimentReport"]
 
@@ -61,16 +75,38 @@ class ExperimentRunner:
         Number of AD probes per variable (1 = the paper's single sweep).
     step:
         Checkpoint step; ``None`` uses each benchmark's mid-run default.
+    rng:
+        Explicit probe generator.  When given, analyses run sequentially in
+        process and bypass the persistent store, because a shared stateful
+        generator is neither parallelisable nor a valid cache key;
+        ``None`` (the default) lets every analysis build its own fixed-seed
+        generator, which is deterministic, parallel-safe and cacheable.
+    workers:
+        Worker processes for fanning out missing analyses (1 = in process).
+    cache_dir:
+        Directory of the persistent result store; ``None`` disables
+        persistence (results are still memoised in process).
+    use_cache:
+        Set ``False`` to ignore ``cache_dir`` (the CLI's ``--no-cache``).
     """
 
     def __init__(self, problem_class: str = "S", method: str = "ad",
                  n_probes: int = 1, step: int | None = None,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 workers: int = 1,
+                 cache_dir: str | Path | None = None,
+                 use_cache: bool = True) -> None:
         self.problem_class = problem_class
         self.method = method
         self.n_probes = int(n_probes)
         self.step = step
         self.rng = rng
+        self.workers = max(1, int(workers))
+        store = None
+        if cache_dir is not None and use_cache and rng is None:
+            store = ResultStore(cache_dir)
+        self.store = store
+        self.engine = ParallelRunner(workers=self.workers, store=store)
         self._benchmarks: dict[str, object] = {}
         self._results: dict[str, ScrutinyResult] = {}
 
@@ -88,16 +124,31 @@ class ExperimentRunner:
         """The (cached) scrutiny result for benchmark ``name``."""
         key = name.upper()
         if key not in self._results:
-            bench = self.benchmark(key)
-            self._results[key] = scrutinize(
-                bench, step=self.step, method=self.method,
-                n_probes=self.n_probes, rng=self.rng)
+            self._results.update(self._compute([key]))
         return self._results[key]
 
     def results(self, names: Iterable[str]
                 ) -> dict[str, ScrutinyResult]:
-        """Scrutiny results for several benchmarks, keyed by name."""
-        return {name.upper(): self.result(name) for name in names}
+        """Scrutiny results for several benchmarks, keyed by name.
+
+        Missing results are computed as one batch, so with ``workers > 1``
+        this is where the per-benchmark analyses fan out across processes.
+        """
+        names = [name.upper() for name in names]
+        missing = [name for name in dict.fromkeys(names)
+                   if name not in self._results]
+        if missing:
+            self._results.update(self._compute(missing))
+        return {name: self._results[name] for name in names}
+
+    def prefetch(self, names: Iterable[str]) -> "ExperimentRunner":
+        """Ensure results for ``names`` exist (parallel when configured).
+
+        Returns the runner so drivers can chain ``runner.prefetch(...)``
+        in front of their per-benchmark accesses.
+        """
+        self.results(names)
+        return self
 
     def criticality(self, names: Iterable[str]
                     ) -> dict[str, Mapping[str, VariableCriticality]]:
@@ -106,6 +157,23 @@ class ExperimentRunner:
                 for name, result in self.results(names).items()}
 
     def clear(self) -> None:
-        """Drop all cached benchmarks and results."""
+        """Drop all in-process caches (the persistent store is untouched)."""
         self._benchmarks.clear()
         self._results.clear()
+
+    # ------------------------------------------------------------------
+    # computation backends
+    # ------------------------------------------------------------------
+    def _compute(self, names: Sequence[str]) -> dict[str, ScrutinyResult]:
+        if self.rng is not None:
+            # legacy sequential path: the caller's generator is shared
+            # (stateful) across benchmarks, so order must be preserved and
+            # neither the pool nor the store may be involved
+            return {name: scrutinize(self.benchmark(name), step=self.step,
+                                     method=self.method,
+                                     n_probes=self.n_probes, rng=self.rng)
+                    for name in names}
+        jobs = [ScrutinyJob(benchmark=name, problem_class=self.problem_class,
+                            method=self.method, n_probes=self.n_probes,
+                            step=self.step) for name in names]
+        return dict(zip(names, self.engine.run(jobs)))

@@ -58,6 +58,8 @@ def run(runner: ExperimentRunner | None = None,
         failure.
     """
     runner = runner or ExperimentRunner()
+    # batch the underlying analyses so a parallel runner fans them out once
+    runner.prefetch(benchmarks)
     workdir = Path(directory) if directory is not None \
         else Path(tempfile.mkdtemp(prefix="repro_verify_"))
 

@@ -1,0 +1,1 @@
+"""Top-level test package; see pytest.ini for the collection setup."""

@@ -1,0 +1,1 @@
+"""Test package: ad — unique module paths for same-basename test files."""

@@ -1,0 +1,1 @@
+"""Test package: ckpt — unique module paths for same-basename test files."""

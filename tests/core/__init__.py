@@ -1,0 +1,1 @@
+"""Test package: core — unique module paths for same-basename test files."""

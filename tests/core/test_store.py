@@ -1,0 +1,204 @@
+"""Tests of the persistent result store (:mod:`repro.core.store`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import analysis
+from repro.core.store import ResultStore, cache_key
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "cache")
+
+
+KEY_PARAMS = dict(benchmark="BT", problem_class="T", method="ad", n_probes=1)
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key(**KEY_PARAMS) == cache_key(**KEY_PARAMS)
+
+    def test_depends_on_every_parameter(self):
+        base = cache_key(**KEY_PARAMS)
+        variants = [
+            dict(KEY_PARAMS, benchmark="MG"),
+            dict(KEY_PARAMS, problem_class="S"),
+            dict(KEY_PARAMS, method="activity"),
+            dict(KEY_PARAMS, n_probes=2),
+            dict(KEY_PARAMS, step=3),
+            dict(KEY_PARAMS, steps=1),
+            dict(KEY_PARAMS, version="0.0.0-other"),
+        ]
+        keys = [cache_key(**params) for params in variants]
+        assert base not in keys
+        assert len(set(keys)) == len(keys)
+
+    def test_defaults_to_package_version(self):
+        assert cache_key(**KEY_PARAMS) == cache_key(
+            **KEY_PARAMS, version=repro.__version__)
+
+    def test_benchmark_name_case_insensitive(self):
+        assert cache_key(**dict(KEY_PARAMS, benchmark="bt")) \
+            == cache_key(**KEY_PARAMS)
+
+
+class TestRoundTrip:
+    def test_result_survives_save_load(self, store, bt_t_result):
+        key = store.key(**KEY_PARAMS)
+        store.save(key, bt_t_result)
+        loaded = store.load("BT", key)
+
+        assert loaded is not None
+        assert loaded.benchmark == bt_t_result.benchmark
+        assert loaded.problem_class == bt_t_result.problem_class
+        assert loaded.step == bt_t_result.step
+        assert loaded.method == bt_t_result.method
+        assert list(loaded.variables) == list(bt_t_result.variables)
+        for name, crit in bt_t_result.variables.items():
+            got = loaded.variables[name]
+            assert got.variable == crit.variable
+            assert got.method == crit.method
+            assert np.array_equal(got.mask, crit.mask)
+            assert set(got.gradients) == set(crit.gradients)
+            for state_key, grad in crit.gradients.items():
+                assert np.array_equal(got.gradients[state_key], grad)
+
+    def test_state_types_and_values_preserved(self, store, bt_t_result):
+        key = store.key(**KEY_PARAMS)
+        store.save(key, bt_t_result)
+        loaded = store.load("BT", key)
+        assert set(loaded.state) == set(bt_t_result.state)
+        for state_key, value in bt_t_result.state.items():
+            restored = loaded.state[state_key]
+            assert type(restored) is type(value)
+            assert np.array_equal(np.asarray(restored), np.asarray(value))
+
+    def test_derived_quantities_identical(self, store, bt_t_result):
+        key = store.key(**KEY_PARAMS)
+        store.save(key, bt_t_result)
+        loaded = store.load("BT", key)
+        assert loaded.n_uncritical == bt_t_result.n_uncritical
+        assert loaded.pruned_nbytes == bt_t_result.pruned_nbytes
+        assert loaded.regions() == bt_t_result.regions()
+        assert loaded.to_dict() == bt_t_result.to_dict()
+
+    def test_contains(self, store, bt_t_result):
+        key = store.key(**KEY_PARAMS)
+        assert not store.contains("BT", key)
+        store.save(key, bt_t_result)
+        assert store.contains("BT", key)
+
+
+class TestMissBehaviour:
+    def test_empty_store_misses(self, store):
+        assert store.load("BT", store.key(**KEY_PARAMS)) is None
+        assert store.misses == 1 and store.hits == 0
+
+    def test_corrupt_metadata_is_a_miss(self, store, bt_t_result):
+        key = store.key(**KEY_PARAMS)
+        meta_path = store.save(key, bt_t_result)
+        meta_path.write_text("{ not json")
+        assert store.load("BT", key) is None
+
+    def test_missing_array_file_is_a_miss(self, store, bt_t_result):
+        key = store.key(**KEY_PARAMS)
+        store.save(key, bt_t_result)
+        (store.root / "BT" / f"{key}.npz").unlink()
+        assert store.load("BT", key) is None
+
+    def test_truncated_array_file_is_a_miss(self, store, bt_t_result):
+        key = store.key(**KEY_PARAMS)
+        store.save(key, bt_t_result)
+        npz_path = store.root / "BT" / f"{key}.npz"
+        npz_path.write_bytes(npz_path.read_bytes()[:100])
+        assert store.load("BT", key) is None
+
+    def test_unwritable_store_does_not_lose_results(self, tmp_path):
+        # cache dir path occupied by a regular file: computation must
+        # succeed anyway, persistence silently degrades
+        blocker = tmp_path / "notadir"
+        blocker.write_text("")
+        runner = ExperimentRunner(problem_class="T", cache_dir=blocker)
+        result = runner.result("CG")
+        assert result.benchmark == "CG"
+
+    def test_format_bump_is_a_miss(self, store, bt_t_result):
+        key = store.key(**KEY_PARAMS)
+        meta_path = store.save(key, bt_t_result)
+        meta = json.loads(meta_path.read_text())
+        meta["format"] = 999
+        meta_path.write_text(json.dumps(meta))
+        assert store.load("BT", key) is None
+
+
+class TestRunnerIntegration:
+    def _counting_runner(self, tmp_path, monkeypatch, **kwargs):
+        calls = []
+        real = analysis.scrutinize
+
+        def counting(bench, **kw):
+            calls.append(bench.name)
+            return real(bench, **kw)
+
+        # the parallel module resolves scrutinize at call time via run_job
+        monkeypatch.setattr("repro.experiments.parallel.scrutinize",
+                            counting)
+        runner = ExperimentRunner(problem_class="T",
+                                  cache_dir=tmp_path / "cache", **kwargs)
+        return runner, calls
+
+    def test_cache_hit_skips_recomputation(self, tmp_path, monkeypatch):
+        cold, cold_calls = self._counting_runner(tmp_path, monkeypatch)
+        first = cold.result("CG")
+        assert cold_calls == ["CG"]
+
+        warm, warm_calls = self._counting_runner(tmp_path, monkeypatch)
+        second = warm.result("CG")
+        assert warm_calls == []          # served entirely from disk
+        assert warm.store.hits == 1
+        assert np.array_equal(first.variables["x"].mask,
+                              second.variables["x"].mask)
+
+    def test_no_cache_flag_disables_store(self, tmp_path, monkeypatch):
+        cold, _ = self._counting_runner(tmp_path, monkeypatch)
+        cold.result("CG")
+
+        runner, calls = self._counting_runner(tmp_path, monkeypatch,
+                                              use_cache=False)
+        assert runner.store is None
+        runner.result("CG")
+        assert calls == ["CG"]           # recomputed despite the warm dir
+
+    def test_method_change_invalidates(self, tmp_path, monkeypatch):
+        ad, _ = self._counting_runner(tmp_path, monkeypatch)
+        ad.result("CG")
+
+        activity, calls = self._counting_runner(tmp_path, monkeypatch,
+                                                method="activity")
+        result = activity.result("CG")
+        assert calls == ["CG"]           # different method -> different key
+        assert result.method == "activity"
+
+    def test_n_probes_change_invalidates(self, tmp_path, monkeypatch):
+        one, _ = self._counting_runner(tmp_path, monkeypatch)
+        one.result("CG")
+
+        three, calls = self._counting_runner(tmp_path, monkeypatch,
+                                             n_probes=3)
+        three.result("CG")
+        assert calls == ["CG"]
+
+    def test_version_change_invalidates(self, tmp_path, bt_t_result):
+        v1 = ResultStore(tmp_path / "cache", version="1.0.0")
+        v1.put(bt_t_result, n_probes=1)
+        assert v1.fetch(**KEY_PARAMS) is not None
+
+        v2 = ResultStore(tmp_path / "cache", version="2.0.0")
+        assert v2.fetch(**KEY_PARAMS) is None

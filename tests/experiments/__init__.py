@@ -1,0 +1,1 @@
+"""Test package: experiments — unique module paths for same-basename test files."""

@@ -1,0 +1,1 @@
+"""Test package: npb — unique module paths for same-basename test files."""

@@ -1,0 +1,1 @@
+"""Test package: viz — unique module paths for same-basename test files."""
