@@ -24,4 +24,14 @@ trap 'rm -rf "$cache_dir"' EXIT
 python -m repro.cli --class T --cache-dir "$cache_dir" analyze CG >/dev/null
 python -m repro.cli --class T --cache-dir "$cache_dir" analyze CG
 
+echo "== segmented sweep: bitwise equivalence =="
+python -m pytest -q tests/ad/test_segmented.py \
+    tests/experiments/test_sweep_plumbing.py tests/npb/test_class_a.py
+
+echo "== CLI smoke: segmented sweep, enlarged class A =="
+python -m repro.cli --class A --sweep segmented analyze CG >/dev/null
+
+echo "== perf baseline: BENCH_segmented.json =="
+python benchmarks/test_segmented_memory.py --json BENCH_segmented.json
+
 echo "ci_check: OK"

@@ -10,6 +10,9 @@ ports of the NPB benchmarks:
 * :mod:`repro.ad.ops` -- the primitive library and numpy-like facade the
   kernels are written against.
 * :mod:`repro.ad.reverse` -- the reverse sweep (``grad``, ``value_and_grad``).
+* :mod:`repro.ad.segmented` -- iteration-granular (checkpointed) reverse
+  sweep: one main-loop iteration's tape at a time, peak memory O(1
+  iteration) instead of O(remaining steps).
 * :mod:`repro.ad.forward` -- an independent dual-number forward mode used for
   cross-validation.
 * :mod:`repro.ad.activity` -- read-set (liveness) analysis over a recorded
@@ -31,9 +34,11 @@ Quick example::
     # g == [0, 2, 4, 0, 0]: elements 3 and 4 are "uncritical"
 """
 
-from . import activity, checks, forward, ops, reverse, seeding
+from . import activity, checks, forward, ops, reverse, seeding, segmented
 from .ops import *  # noqa: F401,F403 - re-export the numpy-like facade
-from .reverse import backward, grad, gradient, value_and_grad
+from .reverse import (backward, backward_from_seeds, grad, gradient,
+                      value_and_grad)
+from .segmented import SweepStats, segmented_gradients
 from .tape import Tape, no_tape
 from .tensor import ADArray, is_traced, value_of
 
@@ -44,13 +49,17 @@ __all__ = [
     "is_traced",
     "value_of",
     "backward",
+    "backward_from_seeds",
     "grad",
     "gradient",
     "value_and_grad",
+    "segmented_gradients",
+    "SweepStats",
     "ops",
     "reverse",
     "forward",
     "activity",
     "checks",
     "seeding",
+    "segmented",
 ]

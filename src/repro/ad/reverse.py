@@ -22,7 +22,72 @@ import numpy as np
 from .tape import Tape
 from .tensor import ADArray, value_of
 
-__all__ = ["backward", "grad", "value_and_grad", "gradient"]
+__all__ = ["backward", "backward_from_seeds", "grad", "value_and_grad",
+           "gradient"]
+
+
+def _run_sweep(tape: Tape, grads: dict[int, np.ndarray],
+               owned: dict[int, bool], start_index: int) -> None:
+    """Propagate the seeded cotangents in ``grads`` down to the leaves.
+
+    ``grads``/``owned`` are updated in place; after the sweep they hold one
+    buffer per *leaf* node that received a cotangent, with ``owned`` marking
+    buffers private to this sweep (safe to hand out without copying).
+    """
+    for index in range(start_index, -1, -1):
+        if index not in grads:
+            continue
+        g = grads.pop(index)
+        g_owned = owned.pop(index, False)
+        node = tape.nodes[index]
+        if not node.parents:
+            # leaf: stash the final gradient (and its ownership) back so
+            # inputs can read it after the sweep
+            grads[index] = g
+            owned[index] = g_owned
+            continue
+        parent_grads = node.vjp(g)
+        if len(parent_grads) != len(node.parents):  # pragma: no cover - guard
+            raise RuntimeError(
+                f"primitive {node.op!r} returned {len(parent_grads)} "
+                f"cotangents for {len(node.parents)} traced parents")
+        for parent, pg in zip(node.parents, parent_grads):
+            pidx = parent.index
+            if pidx in grads:
+                if owned.get(pidx, False):
+                    grads[pidx] += pg
+                else:
+                    grads[pidx] = grads[pidx] + pg
+                    owned[pidx] = True
+            else:
+                grads[pidx] = pg
+                owned[pidx] = False
+
+
+def _collect_results(grads: dict[int, np.ndarray], owned: dict[int, bool],
+                     inputs: Sequence[ADArray]) -> list[np.ndarray]:
+    """Read the leaf gradients for ``inputs`` out of a finished sweep.
+
+    Buffers that are not owned by the sweep may alias arrays captured by vjp
+    closures (a primitive's saved operand, or a view of the caller's seed),
+    so the caller mutating a returned gradient could corrupt a later sweep
+    over the same tape; such buffers are defensively copied exactly once.
+    """
+    results: list[np.ndarray] = []
+    for x in inputs:
+        if not isinstance(x, ADArray) or x.node is None:
+            raise ValueError("inputs must be traced ADArrays (use Tape.watch)")
+        idx = x.node.index
+        g = grads.get(idx)
+        if g is None:
+            g = np.zeros(x.node.shape, dtype=np.float64)
+        elif not owned.get(idx, False):
+            g = np.array(g, dtype=np.float64, copy=True)
+            # duplicate inputs share the single defensive copy
+            grads[idx] = g
+            owned[idx] = True
+        results.append(np.asarray(g, dtype=np.float64).reshape(x.node.shape))
+    return results
 
 
 def backward(tape: Tape, output: ADArray, inputs: Sequence[ADArray],
@@ -76,42 +141,56 @@ def backward(tape: Tape, output: ADArray, inputs: Sequence[ADArray],
     grads: dict[int, np.ndarray] = {out_node.index: seed_arr}
     owned: dict[int, bool] = {out_node.index: True}
 
-    for index in range(out_node.index, -1, -1):
-        if index not in grads:
-            continue
-        g = grads.pop(index)
-        owned.pop(index, None)
-        node = tape.nodes[index]
-        if not node.parents:
-            # leaf: stash the final gradient back so inputs can read it
-            grads[index] = g
-            continue
-        parent_grads = node.vjp(g)
-        if len(parent_grads) != len(node.parents):  # pragma: no cover - guard
-            raise RuntimeError(
-                f"primitive {node.op!r} returned {len(parent_grads)} "
-                f"cotangents for {len(node.parents)} traced parents")
-        for parent, pg in zip(node.parents, parent_grads):
-            pidx = parent.index
-            if pidx in grads:
-                if owned.get(pidx, False):
-                    grads[pidx] += pg
-                else:
-                    grads[pidx] = grads[pidx] + pg
-                    owned[pidx] = True
-            else:
-                grads[pidx] = pg
-                owned[pidx] = False
+    _run_sweep(tape, grads, owned, out_node.index)
+    return _collect_results(grads, owned, inputs)
 
-    results: list[np.ndarray] = []
-    for x in inputs:
-        if not isinstance(x, ADArray) or x.node is None:
-            raise ValueError("inputs must be traced ADArrays (use Tape.watch)")
-        g = grads.get(x.node.index)
-        if g is None:
-            g = np.zeros(x.node.shape, dtype=np.float64)
-        results.append(np.asarray(g, dtype=np.float64).reshape(x.node.shape))
-    return results
+
+def backward_from_seeds(tape: Tape,
+                        seeds: Sequence[tuple[ADArray, np.ndarray]],
+                        inputs: Sequence[ADArray]) -> list[np.ndarray]:
+    """Reverse sweep seeded at several traced outputs at once.
+
+    This is the multi-output counterpart of :func:`backward` used by the
+    segmented sweep (:mod:`repro.ad.segmented`): instead of differentiating
+    one scalar, every ``(output, cotangent)`` pair in ``seeds`` injects its
+    cotangent at the output's node and a single sweep propagates the sum of
+    all of them down to the leaves -- exactly the chain-rule contraction
+    ``J^T @ c`` of one recorded segment.
+
+    Parameters
+    ----------
+    tape:
+        The tape on which the seeded outputs and ``inputs`` were recorded.
+    seeds:
+        Pairs of a traced output and its incoming cotangent (broadcastable
+        to the output's shape).  Seeding the same node twice accumulates.
+        Caller-provided cotangents are copied, never mutated.
+    inputs:
+        Traced leaf arrays whose gradients are returned (zeros for leaves
+        no seeded output depends on).
+    """
+    grads: dict[int, np.ndarray] = {}
+    owned: dict[int, bool] = {}
+    start_index = -1
+    for output, cotangent in seeds:
+        if not isinstance(output, ADArray) or output.node is None:
+            raise ValueError("seeded outputs must be traced ADArrays")
+        node = output.node
+        if node.index >= len(tape.nodes) or tape.nodes[node.index] is not node:
+            raise ValueError("a seeded output was recorded on a different "
+                             "tape")
+        seed_arr = np.broadcast_to(
+            np.asarray(cotangent, dtype=np.float64), node.shape)
+        if node.index in grads:
+            grads[node.index] = grads[node.index] + seed_arr
+        else:
+            grads[node.index] = np.array(seed_arr, dtype=np.float64,
+                                         copy=True)
+        owned[node.index] = True
+        start_index = max(start_index, node.index)
+
+    _run_sweep(tape, grads, owned, start_index)
+    return _collect_results(grads, owned, inputs)
 
 
 def gradient(output: ADArray, inputs: Sequence[ADArray],

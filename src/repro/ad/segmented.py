@@ -1,0 +1,228 @@
+"""Segmented reverse sweep: bound tape memory to a single iteration.
+
+The monolithic AD path (:meth:`repro.npb.base.NPBBenchmark.traced_restart` +
+:func:`repro.ad.reverse.backward`) records every primitive of *all* remaining
+main-loop iterations on one tape before sweeping it, so peak tape memory
+grows linearly with the number of remaining steps.  That linear growth is
+what caps the analysable problem sizes.
+
+This module implements the standard fix -- checkpointing the reverse sweep at
+iteration granularity (Griewank's *revolve* idea, at its simplest schedule):
+
+1. run the remaining iterations **forward on concrete numpy state**, keeping
+   the (cheap) state snapshot at every iteration boundary;
+2. trace only the final output reduction and sweep it, producing the
+   cotangent of every state entry of the last boundary;
+3. walk the boundaries backwards: re-trace *one* iteration, seed the traced
+   next-state entries with the chained cotangents
+   (:func:`repro.ad.reverse.backward_from_seeds`), sweep, and free the tape
+   before tracing the previous iteration.
+
+Peak tape memory is therefore O(1 iteration) instead of O(remaining steps),
+while stored snapshots cost O(steps x state) -- for the NPB kernels the
+state is orders of magnitude smaller than one iteration's tape.
+
+Bitwise equivalence
+-------------------
+The chained sweep reproduces the monolithic gradients **bit for bit**, not
+just approximately:
+
+* the concrete forward values at every boundary equal the traced forward
+  values (the ops compute with the same numpy calls either way);
+* the tape is append-only and swept in strictly decreasing node order, so
+  all cotangent contributions from later iterations accumulate into a
+  boundary value *before* any same-iteration contribution -- which is
+  exactly the order in which the segmented sweep applies them: the chained
+  seed first, then the segment's own contributions;
+* seeds are injected by buffer copy and in-place addition, the same float
+  operations the monolithic sweep performs.
+
+``tests/ad/test_segmented.py`` pins the bitwise identity of both the
+gradients and the criticality masks for all eight NPB ports.
+
+Every floating-point entry of the state dict is chained across segment
+boundaries -- not only the keys the caller asked for -- because a dependence
+may flow through an auxiliary float entry (e.g. LU's recomputed ``rho_i``)
+even when that entry itself is not under analysis.  Integer entries advance
+concretely, exactly as in the monolithic trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from .reverse import backward, backward_from_seeds
+from .tape import Tape
+from .tensor import ADArray, value_of
+
+__all__ = ["SweepStats", "float_state_keys", "segmented_gradients"]
+
+
+@dataclass
+class SweepStats:
+    """Peak/total tape telemetry of one (segmented or monolithic) sweep.
+
+    Pass an instance to :func:`segmented_gradients` to observe how large the
+    per-segment tapes actually get; :meth:`observe` also works on the single
+    tape of a monolithic sweep, so the memory benchmark
+    (``benchmarks/test_segmented_memory.py``) reports both sides with the
+    same meter.
+    """
+
+    #: number of tapes observed (segments + the output segment)
+    n_segments: int = 0
+    #: largest node count of any single observed tape
+    peak_nodes: int = 0
+    #: largest gradient-buffer footprint estimate of any single tape (bytes)
+    peak_nbytes: int = 0
+    #: node count summed over all observed tapes
+    total_nodes: int = 0
+    #: per-segment node counts, in observation order (output segment first
+    #: for a segmented sweep)
+    segment_nodes: list[int] = field(default_factory=list)
+
+    def observe(self, tape: Tape) -> None:
+        """Record one tape's size before it is freed."""
+        nodes = len(tape)
+        self.n_segments += 1
+        self.total_nodes += nodes
+        self.segment_nodes.append(nodes)
+        self.peak_nodes = max(self.peak_nodes, nodes)
+        self.peak_nbytes = max(self.peak_nbytes, tape.nbytes())
+
+
+def float_state_keys(state: Mapping[str, Any]) -> list[str]:
+    """Keys of every floating-point entry of ``state``, in dict order.
+
+    These are the entries the segmented sweep must chain cotangents for;
+    integer entries (loop counters, key arrays) carry no derivative and pass
+    between segments concretely.
+    """
+    keys: list[str] = []
+    for key, value in state.items():
+        arr = np.asarray(value_of(value))
+        if np.issubdtype(arr.dtype, np.floating):
+            keys.append(key)
+    return keys
+
+
+def _default_steps(bench, state: Mapping[str, Any]) -> int:
+    """Remaining iterations implied by the state's step counter."""
+    default = getattr(bench, "_default_remaining_steps", None)
+    if callable(default):
+        return int(default(state))
+    return 1
+
+
+def segmented_gradients(bench, state: Mapping[str, Any],
+                        watch: Sequence[str] | None = None,
+                        steps: int | None = None,
+                        stats: SweepStats | None = None
+                        ) -> dict[str, np.ndarray]:
+    """Gradients of the restart output w.r.t. ``watch``, one tape at a time.
+
+    Drop-in replacement for the monolithic ``traced_restart`` + ``backward``
+    pair: returns the derivative of the benchmark's scalar verification
+    output (after ``steps`` more iterations) with respect to every watched
+    entry of ``state``, but never materialises more than one iteration's
+    tape.
+
+    Parameters
+    ----------
+    bench:
+        A benchmark exposing the per-iteration tracing API
+        (:meth:`~repro.npb.base.NPBBenchmark.traced_step` /
+        :meth:`~repro.npb.base.NPBBenchmark.traced_output`).
+    state:
+        Concrete checkpoint state the analysis is based on.
+    watch:
+        State keys to return gradients for; defaults to the benchmark's
+        default watch list (every float component of every checkpoint
+        variable).  Internally every float entry of the state dict is
+        chained regardless, so cross-iteration dependences through
+        unwatched auxiliaries are never severed.
+    steps:
+        Remaining iterations to analyse; ``None`` derives them from the
+        state's step counter (the monolithic default).
+    stats:
+        Optional :class:`SweepStats` collector observing every segment tape.
+
+    Returns
+    -------
+    dict mapping each watched key to its gradient array (float64, the
+    entry's shape).
+    """
+    for hook in ("traced_step", "traced_output"):
+        if not callable(getattr(bench, hook, None)):
+            raise TypeError(
+                f"benchmark {getattr(bench, 'name', bench)!r} does not "
+                f"expose {hook}(); the segmented sweep needs the "
+                f"per-iteration tracing API (use sweep='monolithic')")
+
+    state = {key: value_of(value) for key, value in state.items()}
+    if watch is None:
+        watch = bench.default_watch_keys() if callable(
+            getattr(bench, "default_watch_keys", None)) \
+            else float_state_keys(state)
+    watch = list(watch)
+    for key in watch:
+        if key not in state:
+            raise KeyError(f"cannot watch unknown state entry {key!r}")
+
+    if steps is None:
+        steps = _default_steps(bench, state)
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+
+    # -- forward pass: concrete snapshots at every iteration boundary ------
+    boundaries: list[dict[str, Any]] = [dict(state)]
+    current = dict(state)
+    for _ in range(steps):
+        current = bench.run(current, 1)
+        boundaries.append({key: value_of(val)
+                           for key, val in current.items()})
+
+    # chain every float entry, not just the requested keys (see module docs)
+    chain = float_state_keys(boundaries[0])
+
+    # -- output segment: trace and sweep only the final reduction ----------
+    tape, leaves, out = bench.traced_output(boundaries[-1], watch=chain)
+    if stats is not None:
+        stats.observe(tape)
+    if isinstance(out, ADArray) and out.node is not None:
+        grads = backward(tape, out, [leaves[key] for key in chain],
+                         strict=False)
+        cotangents = dict(zip(chain, grads))
+    else:
+        # the output never touched a watched input (the monolithic
+        # strict=False case): every gradient is exactly zero
+        cotangents = {key: np.zeros(np.shape(boundaries[-1][key]),
+                                    dtype=np.float64) for key in chain}
+    del tape, leaves, out
+
+    # -- reverse walk: one iteration's tape at a time ----------------------
+    for k in range(steps - 1, -1, -1):
+        tape, leaves, next_state = bench.traced_step(boundaries[k],
+                                                     watch=chain)
+        if stats is not None:
+            stats.observe(tape)
+        seeds: list[tuple[ADArray, np.ndarray]] = []
+        for key in chain:
+            produced = next_state.get(key)
+            if isinstance(produced, ADArray) and produced.node is not None:
+                seeds.append((produced, cotangents[key]))
+            # a next-state entry that is a plain constant does not depend on
+            # this segment's inputs; its cotangent dies here, exactly as it
+            # would on the monolithic tape
+        grads = backward_from_seeds(tape, seeds,
+                                    [leaves[key] for key in chain])
+        cotangents = dict(zip(chain, grads))
+        del tape, leaves, next_state
+
+    return {key: np.asarray(cotangents[key], dtype=np.float64)
+            if key in cotangents
+            else np.zeros(np.shape(state[key]), dtype=np.float64)
+            for key in watch}

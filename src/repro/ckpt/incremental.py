@@ -199,6 +199,12 @@ def apply_incremental(state: Mapping[str, Any],
         if rec.key not in out:
             raise KeyError(f"state has no entry {rec.key!r} to apply the "
                            f"delta to")
+        current_shape = tuple(np.asarray(out[rec.key]).shape)
+        if current_shape != tuple(rec.shape):
+            raise CheckpointFormatError(
+                f"delta record {rec.key!r} has shape {tuple(rec.shape)} but "
+                f"the state entry has shape {current_shape}; the delta was "
+                f"written against a different problem configuration")
         target = np.asarray(out[rec.key]).reshape(-1)
         values = delta.arrays[rec.key]
         cursor = 0

@@ -9,6 +9,7 @@ honestly included in what we report.
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
@@ -61,7 +62,8 @@ class StorageComparison:
 
 
 def measure_checkpoint_storage(bench, result: ScrutinyResult,
-                               directory: str | Path) -> StorageComparison:
+                               directory: str | Path | None = None,
+                               keep_files: bool = False) -> StorageComparison:
     """Write a full and a pruned checkpoint of the analysed state and
     compare their on-disk sizes.
 
@@ -73,20 +75,41 @@ def measure_checkpoint_storage(bench, result: ScrutinyResult,
         A :class:`~repro.core.analysis.ScrutinyResult` whose ``state`` is the
         checkpointed state and whose ``variables`` drive the pruning.
     directory:
-        Where the two checkpoint files (and the auxiliary file) are written.
+        Where the two checkpoint files (and the auxiliary file) are written;
+        ``None`` (the default) measures inside a temporary directory that is
+        removed afterwards.
+    keep_files:
+        When false (the default) the measurement checkpoints are deleted
+        after their sizes are read, so repeated Table III runs never
+        accumulate stale ``*_full.ckpt`` / ``*_pruned.ckpt`` / aux files
+        that could skew a later re-measurement.  Requires an explicit
+        ``directory``; combining ``keep_files=True`` with the throwaway
+        default tempdir would silently discard the files anyway, so that is
+        rejected.
     """
-    directory = Path(directory)
+    if directory is None:
+        if keep_files:
+            raise ValueError("keep_files=True requires an explicit "
+                             "directory; the default measures inside a "
+                             "temporary directory that is always removed")
+        with tempfile.TemporaryDirectory(prefix="repro_storage_") as tmp:
+            return _measure_in(bench, result, Path(tmp), keep_files=True)
+    return _measure_in(bench, result, Path(directory), keep_files=keep_files)
+
+
+def _measure_in(bench, result: ScrutinyResult, directory: Path,
+                keep_files: bool) -> StorageComparison:
     state = result.state
     if not state:
         raise ValueError("ScrutinyResult carries no state to checkpoint")
 
-    full = write_full_checkpoint(directory / f"{bench.name.lower()}_full.ckpt",
-                                 bench, state, step=result.step)
-    pruned = write_pruned_checkpoint(
-        directory / f"{bench.name.lower()}_pruned.ckpt", bench, state,
-        result.variables, step=result.step)
+    full_path = directory / f"{bench.name.lower()}_full.ckpt"
+    pruned_path = directory / f"{bench.name.lower()}_pruned.ckpt"
+    full = write_full_checkpoint(full_path, bench, state, step=result.step)
+    pruned = write_pruned_checkpoint(pruned_path, bench, state,
+                                     result.variables, step=result.step)
 
-    return StorageComparison(
+    comparison = StorageComparison(
         benchmark=bench.name,
         full_nbytes=full.nbytes,
         pruned_nbytes=pruned.nbytes,
@@ -94,3 +117,9 @@ def measure_checkpoint_storage(bench, result: ScrutinyResult,
         full_payload_nbytes=result.full_nbytes,
         pruned_payload_nbytes=result.pruned_nbytes,
     )
+    if not keep_files:
+        for written in (full, pruned):
+            for path in (written.path, written.aux_path):
+                if path is not None:
+                    Path(path).unlink(missing_ok=True)
+    return comparison

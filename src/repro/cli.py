@@ -22,6 +22,12 @@ processes and ``--cache-dir DIR`` persists results on disk, so e.g.::
 
     repro-scrutinize --workers 4 --cache-dir out/cache all   # cold: parallel
     repro-scrutinize --cache-dir out/cache all               # warm: instant
+
+Global ``--sweep segmented`` bounds the AD tape memory to one main-loop
+iteration (bitwise-identical masks), which is what makes the enlarged
+problem class A analysable::
+
+    repro-scrutinize --class A --sweep segmented analyze FT
 """
 
 from __future__ import annotations
@@ -46,14 +52,23 @@ def build_parser() -> argparse.ArgumentParser:
         description="Scrutinize checkpoint variables with automatic "
                     "differentiation (SC 2024 reproduction)")
     parser.add_argument("--class", dest="problem_class", default="S",
-                        choices=("S", "T"),
+                        choices=("S", "T", "A"),
                         help="problem class (S reproduces the paper, "
-                             "T is a reduced size for quick runs)")
+                             "T is a reduced size for quick runs, A is the "
+                             "enlarged class unlocked by --sweep segmented; "
+                             "class A is only registered for CG and FT)")
     parser.add_argument("--method", default="ad",
                         choices=("ad", "activity", "rule"),
                         help="criticality analysis method")
     parser.add_argument("--probes", type=int, default=1,
                         help="number of AD probes per variable")
+    parser.add_argument("--sweep", default="monolithic",
+                        choices=("monolithic", "segmented"),
+                        help="reverse-sweep strategy of the AD analyses: "
+                             "'monolithic' records every remaining "
+                             "iteration on one tape, 'segmented' chains "
+                             "per-iteration tapes so peak memory is bounded "
+                             "by a single iteration (identical masks)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the per-benchmark "
                              "analyses (1 = in-process, the default)")
@@ -122,7 +137,8 @@ def _make_runner(args: argparse.Namespace,
                             method=args.method, n_probes=args.probes,
                             step=step, workers=args.workers,
                             cache_dir=args.cache_dir,
-                            use_cache=not args.no_cache)
+                            use_cache=not args.no_cache,
+                            sweep=args.sweep)
 
 
 def _run_analyze(args: argparse.Namespace) -> int:

@@ -168,7 +168,8 @@ def scrutinize(bench, step: int | None = None,
                state: Mapping[str, Any] | None = None,
                method: str = "ad", n_probes: int = 1,
                steps: int | None = None,
-               rng: np.random.Generator | None = None) -> ScrutinyResult:
+               rng: np.random.Generator | None = None,
+               sweep: str = "monolithic") -> ScrutinyResult:
     """Run the full element-level analysis of one benchmark.
 
     Parameters
@@ -183,19 +184,28 @@ def scrutinize(bench, step: int | None = None,
         benchmarks -- see the property tests).
     state:
         Explicit checkpoint state; overrides ``step`` when given.
-    method, n_probes, steps, rng:
-        Forwarded to :class:`~repro.core.criticality.CriticalityAnalyzer`.
+    method, n_probes, steps, rng, sweep:
+        Forwarded to :class:`~repro.core.criticality.CriticalityAnalyzer`;
+        ``sweep="segmented"`` bounds the AD tape memory to one main-loop
+        iteration (bitwise-identical masks).
     """
+    # ``analysis_step`` feeds the analyzer's per-analysis probe-rng
+    # derivation: for an explicit state with no explicit step it stays
+    # ``None`` so the analyzer derives the rng from the state's own step
+    # counter -- exactly what a direct ``analyze(bench, state=...)`` call
+    # does.  ``step`` itself only labels the result then.
+    analysis_step = step
     if step is None:
         step = bench.total_steps // 2
     if state is None:
         state = bench.checkpoint_state(step)
+        analysis_step = step
     else:
         state = dict(state)
 
     analyzer = CriticalityAnalyzer(method=method, n_probes=n_probes,
-                                   steps=steps, rng=rng)
-    variables = analyzer.analyze(bench, state=state)
+                                   steps=steps, rng=rng, sweep=sweep)
+    variables = analyzer.analyze(bench, state=state, step=analysis_step)
     return ScrutinyResult(
         benchmark=bench.name,
         problem_class=str(getattr(bench.params, "problem_class", "S")),

@@ -32,6 +32,7 @@ treatment of loop counters, keys and bucket pointers.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -39,6 +40,7 @@ import numpy as np
 
 from repro.ad import activity as activity_mod
 from repro.ad.reverse import backward
+from repro.ad.segmented import segmented_gradients
 from repro.ad.tensor import value_of
 from repro.core.masks import MaskSummary, combine_or, summarize_mask
 from repro.core.regions import Region, encode_mask
@@ -46,6 +48,7 @@ from repro.core.variables import CheckpointVariable, VariableKind
 
 __all__ = [
     "METHODS",
+    "SWEEPS",
     "VariableCriticality",
     "CriticalityAnalyzer",
     "criticality_from_gradient",
@@ -55,6 +58,12 @@ __all__ = [
 
 #: recognised analysis methods
 METHODS = ("ad", "activity", "rule")
+
+#: recognised reverse-sweep strategies for the AD method
+SWEEPS = ("monolithic", "segmented")
+
+#: base seed of the per-analysis probe generators (and the legacy default)
+_PROBE_SEED = 20241117
 
 
 def criticality_from_gradient(gradient: np.ndarray) -> np.ndarray:
@@ -178,27 +187,42 @@ class CriticalityAnalyzer:
     probe_scale:
         Relative magnitude of the probe perturbations.
     rng:
-        Generator used for probe perturbations (fixed default for
-        reproducibility).
+        Explicit generator used *statefully* for probe perturbations (legacy
+        behaviour: the caller owns the stream, so reuse across analyses is
+        order-dependent).  ``None`` (the default) derives a fresh,
+        deterministic generator per :meth:`analyze` call from the benchmark
+        name, problem class and checkpoint step, so a reused sequential
+        analyzer is guaranteed to produce exactly what a fresh analyzer (the
+        parallel engine's fresh-per-job path) produces.
     steps:
         Number of remaining main-loop iterations to analyse; ``None`` means
         every iteration left until the benchmark completes (the paper's
         setting: criticality with respect to the final output).
+    sweep:
+        Reverse-sweep strategy of the AD method: ``"monolithic"`` (one tape
+        for the whole remaining computation, the default) or ``"segmented"``
+        (:mod:`repro.ad.segmented` -- one iteration's tape at a time, peak
+        memory bounded by a single iteration, bitwise-identical masks).
+        Ignored by the "activity" and "rule" methods.
     """
 
     def __init__(self, method: str = "ad", n_probes: int = 1,
                  probe_scale: float = 1.0e-3,
                  rng: np.random.Generator | None = None,
-                 steps: int | None = None) -> None:
+                 steps: int | None = None,
+                 sweep: str = "monolithic") -> None:
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
         if n_probes < 1:
             raise ValueError("n_probes must be at least 1")
+        if sweep not in SWEEPS:
+            raise ValueError(f"unknown sweep {sweep!r}; choose from {SWEEPS}")
         self.method = method
         self.n_probes = int(n_probes)
         self.probe_scale = float(probe_scale)
-        self.rng = rng or np.random.default_rng(20241117)
+        self.rng = rng
         self.steps = steps
+        self.sweep = sweep
 
     # ------------------------------------------------------------------
     # public API
@@ -236,10 +260,48 @@ class CriticalityAnalyzer:
             elif self.method == "activity":
                 results.update(self._activity_masks(bench, state, ad_vars))
             else:
-                results.update(self._ad_masks(bench, state, ad_vars))
+                rng = self.rng if self.rng is not None \
+                    else self._analysis_rng(bench, state, step)
+                results.update(self._ad_masks(bench, state, ad_vars, rng))
 
         # preserve Table I ordering
         return {v.name: results[v.name] for v in variables}
+
+    def _analysis_rng(self, bench, state: Mapping[str, Any],
+                      step: int | None) -> np.random.Generator:
+        """Deterministic per-analysis probe generator.
+
+        Seeded from the benchmark identity (name, problem class) and the
+        checkpoint step, so the draws depend only on *what* is analysed --
+        never on what the same analyzer instance analysed before.  A reused
+        sequential analyzer therefore matches the parallel engine's
+        fresh-analyzer-per-job path bit for bit.
+        """
+        if step is None:
+            step = self._state_step(bench, state)
+        tag = "|".join([
+            str(getattr(bench, "name", type(bench).__name__)),
+            str(getattr(getattr(bench, "params", None), "problem_class", "")),
+            str(step),
+        ]).encode("utf-8")
+        digest = hashlib.sha256(tag).digest()
+        words = [int.from_bytes(digest[i:i + 4], "little")
+                 for i in range(0, 16, 4)]
+        return np.random.default_rng(
+            np.random.SeedSequence([_PROBE_SEED, *words]))
+
+    @staticmethod
+    def _state_step(bench, state: Mapping[str, Any]) -> int:
+        """Step counter carried by ``state``, or ``-1`` when undiscoverable."""
+        step_variable = getattr(bench, "step_variable", None)
+        if callable(step_variable):
+            try:
+                name = step_variable()
+                if name is not None and name in state:
+                    return int(value_of(state[name]))
+            except Exception:
+                pass
+        return -1
 
     # ------------------------------------------------------------------
     # AD method
@@ -251,7 +313,8 @@ class CriticalityAnalyzer:
         return keys
 
     def _ad_masks(self, bench, state: Mapping[str, Any],
-                  variables: Sequence[CheckpointVariable]
+                  variables: Sequence[CheckpointVariable],
+                  rng: np.random.Generator
                   ) -> dict[str, VariableCriticality]:
         watch = self._watched_keys(variables)
         base_grads = self._gradients(bench, state, watch)
@@ -259,7 +322,7 @@ class CriticalityAnalyzer:
                      for key, g in base_grads.items()}
 
         for probe in range(1, self.n_probes):
-            probed_state = self._perturb_state(state, watch, probe)
+            probed_state = self._perturb_state(state, watch, probe, rng)
             probe_grads = self._gradients(bench, probed_state, watch)
             for key, g in probe_grads.items():
                 key_masks[key] |= criticality_from_gradient(g)
@@ -276,7 +339,15 @@ class CriticalityAnalyzer:
 
     def _gradients(self, bench, state: Mapping[str, Any],
                    watch: Sequence[str]) -> dict[str, np.ndarray]:
-        """One reverse sweep: derivative of the output w.r.t. every key."""
+        """One reverse sweep: derivative of the output w.r.t. every key.
+
+        ``sweep="monolithic"`` traces the whole remaining computation on one
+        tape; ``sweep="segmented"`` chains per-iteration tapes instead
+        (bitwise-identical result, peak memory bounded by one iteration).
+        """
+        if self.sweep == "segmented":
+            return segmented_gradients(bench, state, watch=list(watch),
+                                       steps=self.steps)
         tape, leaves, output = bench.traced_restart(state, watch=list(watch),
                                                     steps=self.steps)
         keys = list(leaves)
@@ -286,7 +357,8 @@ class CriticalityAnalyzer:
                 for key, g in zip(keys, grads)}
 
     def _perturb_state(self, state: Mapping[str, Any],
-                       watch: Sequence[str], probe: int) -> dict[str, Any]:
+                       watch: Sequence[str], probe: int,
+                       rng: np.random.Generator) -> dict[str, Any]:
         """Perturbed copy of the floating-point checkpoint state."""
         del probe  # each call draws fresh noise from the generator
         perturbed = dict(state)
@@ -294,7 +366,7 @@ class CriticalityAnalyzer:
             base = np.asarray(value_of(state[key]), dtype=np.float64)
             rms = float(np.sqrt(np.mean(base ** 2)))
             scale = self.probe_scale * (rms if rms > 0 else 1.0)
-            perturbed[key] = base + scale * self.rng.standard_normal(base.shape)
+            perturbed[key] = base + scale * rng.standard_normal(base.shape)
         return perturbed
 
     # ------------------------------------------------------------------

@@ -62,7 +62,7 @@ _FORMAT = 1
 
 #: key-parameter names, in canonical order
 _KEY_FIELDS = ("benchmark", "problem_class", "method", "n_probes", "step",
-               "steps", "version")
+               "steps", "sweep", "version")
 
 
 def _package_version() -> str:
@@ -75,13 +75,17 @@ def _package_version() -> str:
 
 def cache_key(*, benchmark: str, problem_class: str, method: str,
               n_probes: int, step: int | None = None,
-              steps: int | None = None, version: str | None = None) -> str:
+              steps: int | None = None, sweep: str = "monolithic",
+              version: str | None = None) -> str:
     """Content address of one analysis configuration.
 
     ``step``/``steps`` of ``None`` mean the benchmark defaults (mid-run
     checkpoint, analyse to completion) and key as such; they are resolved
     deterministically from the other parameters, so the defaults never
-    alias an explicit value.
+    alias an explicit value.  ``sweep`` is part of the key even though both
+    strategies produce bitwise-identical masks: keeping the entries separate
+    lets the equivalence be *checked* from cached artefacts rather than
+    assumed.
     """
     payload = {
         "format": _FORMAT,
@@ -91,6 +95,7 @@ def cache_key(*, benchmark: str, problem_class: str, method: str,
         "n_probes": int(n_probes),
         "step": None if step is None else int(step),
         "steps": None if steps is None else int(steps),
+        "sweep": str(sweep),
         "version": version if version is not None else _package_version(),
     }
     blob = json.dumps(payload, sort_keys=True).encode("ascii")
@@ -152,11 +157,11 @@ class ResultStore:
     # ------------------------------------------------------------------
     def key(self, *, benchmark: str, problem_class: str, method: str,
             n_probes: int, step: int | None = None,
-            steps: int | None = None) -> str:
+            steps: int | None = None, sweep: str = "monolithic") -> str:
         """Cache key of one analysis configuration under this store."""
         return cache_key(benchmark=benchmark, problem_class=problem_class,
                          method=method, n_probes=n_probes, step=step,
-                         steps=steps, version=self.version)
+                         steps=steps, sweep=sweep, version=self.version)
 
     def _paths(self, benchmark: str, key: str) -> tuple[Path, Path]:
         directory = self.root / str(benchmark).upper()
@@ -290,15 +295,17 @@ class ResultStore:
     # ------------------------------------------------------------------
     def fetch(self, *, benchmark: str, problem_class: str, method: str,
               n_probes: int, step: int | None = None,
-              steps: int | None = None) -> ScrutinyResult | None:
+              steps: int | None = None,
+              sweep: str = "monolithic") -> ScrutinyResult | None:
         """``load`` keyed directly by analysis parameters."""
         key = self.key(benchmark=benchmark, problem_class=problem_class,
                        method=method, n_probes=n_probes, step=step,
-                       steps=steps)
+                       steps=steps, sweep=sweep)
         return self.load(benchmark, key)
 
     def put(self, result: ScrutinyResult, *, n_probes: int,
-            step: int | None = None, steps: int | None = None) -> Path:
+            step: int | None = None, steps: int | None = None,
+            sweep: str = "monolithic") -> Path:
         """``save`` keyed by the parameters that produced ``result``.
 
         ``step`` is the *requested* checkpoint step (``None`` for the
@@ -308,7 +315,7 @@ class ResultStore:
         key = self.key(benchmark=result.benchmark,
                        problem_class=result.problem_class,
                        method=result.method, n_probes=n_probes, step=step,
-                       steps=steps)
+                       steps=steps, sweep=sweep)
         self.save(key, result)
         return self._paths(result.benchmark, key)[0]
 

@@ -48,6 +48,7 @@ class ScrutinyJob:
     n_probes: int = 1
     step: int | None = None
     steps: int | None = None
+    sweep: str = "monolithic"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmark", self.benchmark.upper())
@@ -61,6 +62,7 @@ class ScrutinyJob:
             "n_probes": self.n_probes,
             "step": self.step,
             "steps": self.steps,
+            "sweep": self.sweep,
         }
 
 
@@ -73,7 +75,8 @@ def run_job(job: ScrutinyJob) -> ScrutinyResult:
     """
     bench = registry.create(job.benchmark, job.problem_class)
     return scrutinize(bench, step=job.step, method=job.method,
-                      n_probes=job.n_probes, steps=job.steps)
+                      n_probes=job.n_probes, steps=job.steps,
+                      sweep=job.sweep)
 
 
 def default_workers() -> int:
@@ -144,7 +147,8 @@ class ParallelRunner:
                 if self.store is not None:
                     try:
                         self.store.put(result, n_probes=job.n_probes,
-                                       step=job.step, steps=job.steps)
+                                       step=job.step, steps=job.steps,
+                                       sweep=job.sweep)
                     except OSError:
                         # an unwritable store degrades to no persistence;
                         # it must never lose a computed result

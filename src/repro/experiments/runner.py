@@ -88,6 +88,11 @@ class ExperimentRunner:
         persistence (results are still memoised in process).
     use_cache:
         Set ``False`` to ignore ``cache_dir`` (the CLI's ``--no-cache``).
+    sweep:
+        Reverse-sweep strategy of the AD analyses: ``"monolithic"`` (one
+        tape for the whole remaining computation) or ``"segmented"``
+        (per-iteration tapes, peak memory bounded by one iteration;
+        bitwise-identical masks).  The CLI's ``--sweep``.
     """
 
     def __init__(self, problem_class: str = "S", method: str = "ad",
@@ -95,12 +100,14 @@ class ExperimentRunner:
                  rng: np.random.Generator | None = None,
                  workers: int = 1,
                  cache_dir: str | Path | None = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True,
+                 sweep: str = "monolithic") -> None:
         self.problem_class = problem_class
         self.method = method
         self.n_probes = int(n_probes)
         self.step = step
         self.rng = rng
+        self.sweep = sweep
         self.workers = max(1, int(workers))
         store = None
         if cache_dir is not None and use_cache and rng is None:
@@ -171,9 +178,11 @@ class ExperimentRunner:
             # neither the pool nor the store may be involved
             return {name: scrutinize(self.benchmark(name), step=self.step,
                                      method=self.method,
-                                     n_probes=self.n_probes, rng=self.rng)
+                                     n_probes=self.n_probes, rng=self.rng,
+                                     sweep=self.sweep)
                     for name in names}
         jobs = [ScrutinyJob(benchmark=name, problem_class=self.problem_class,
                             method=self.method, n_probes=self.n_probes,
-                            step=self.step) for name in names]
+                            step=self.step, sweep=self.sweep)
+                for name in names]
         return dict(zip(names, self.engine.run(jobs)))

@@ -17,7 +17,6 @@ reported (they match up to the paper's rounding).
 
 from __future__ import annotations
 
-import tempfile
 from pathlib import Path
 
 from repro.ckpt.storage import measure_checkpoint_storage
@@ -44,12 +43,15 @@ def run(runner: ExperimentRunner | None = None,
 
     measured = {}
     if measure_on_disk:
-        workdir = Path(directory) if directory is not None \
-            else Path(tempfile.mkdtemp(prefix="repro_table3_"))
+        # an explicit directory is a request for inspectable artefacts, so
+        # the measurement checkpoints are kept there; the default measures
+        # inside a self-removing tempdir (no stale files between runs)
+        workdir = Path(directory) if directory is not None else None
         for name in benchmarks:
             result = runner.result(name)
-            comparison = measure_checkpoint_storage(runner.benchmark(name),
-                                                    result, workdir)
+            comparison = measure_checkpoint_storage(
+                runner.benchmark(name), result, workdir,
+                keep_files=workdir is not None)
             measured[name.upper()] = comparison
 
     comparisons: list[dict] = []

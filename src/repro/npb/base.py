@@ -204,21 +204,75 @@ class NPBBenchmark:
             The traced scalar output.
         """
         state = concrete_state(state)
+        traced_state, leaves, tape = self._watched_trace_state(state, watch)
+        with tape:
+            out = self.restart_output(traced_state, steps=steps)
+        return tape, leaves, out
+
+    def default_watch_keys(self) -> list[str]:
+        """State keys watched by default: every floating point component."""
+        watch: list[str] = []
+        for var in self.checkpoint_variables():
+            if var.kind is VariableKind.INTEGER:
+                continue
+            watch.extend(var.state_keys())
+        return watch
+
+    def _watched_trace_state(self, state: Mapping[str, Any],
+                             watch: Sequence[str] | None
+                             ) -> tuple[dict[str, Any], dict[str, ADArray],
+                                        Tape]:
+        """Fresh tape plus a state dict whose ``watch`` entries are leaves."""
         if watch is None:
-            watch = []
-            for var in self.checkpoint_variables():
-                if var.kind is VariableKind.INTEGER:
-                    continue
-                watch.extend(var.state_keys())
+            watch = self.default_watch_keys()
         traced_state: dict[str, Any] = dict(state)
         leaves: dict[str, ADArray] = {}
-        with Tape() as tape:
+        tape = Tape()
+        with tape:
             for key in watch:
                 if key not in state:
                     raise KeyError(f"cannot watch unknown state entry {key!r}")
                 leaves[key] = tape.watch(state[key], name=key)
                 traced_state[key] = leaves[key]
-            out = self.restart_output(traced_state, steps=steps)
+        return traced_state, leaves, tape
+
+    def traced_step(self, state: Mapping[str, Any],
+                    watch: Sequence[str] | None = None):
+        """Trace exactly **one** main-loop iteration from ``state``.
+
+        This is the per-segment building block of the segmented reverse
+        sweep (:mod:`repro.ad.segmented`): the returned tape records only a
+        single iteration's primitives, so its memory footprint is O(1
+        iteration) regardless of how many iterations remain.
+
+        Returns
+        -------
+        tape:
+            The recorded :class:`~repro.ad.tape.Tape` of the one iteration.
+        leaves:
+            Mapping from watched state key to its traced leaf ``ADArray``.
+        next_state:
+            The state dict after the iteration; watched entries that depend
+            on the inputs are traced ``ADArray`` values on ``tape``.
+        """
+        state = concrete_state(state)
+        traced_state, leaves, tape = self._watched_trace_state(state, watch)
+        with tape:
+            next_state = self._advance(traced_state)
+        return tape, leaves, next_state
+
+    def traced_output(self, state: Mapping[str, Any],
+                      watch: Sequence[str] | None = None):
+        """Trace only the output (verification) reduction from ``state``.
+
+        The final segment of the segmented reverse sweep: no main-loop
+        iteration is traced, just the reduction of ``state`` to the scalar
+        verification output.  Returns ``(tape, leaves, output)``.
+        """
+        state = concrete_state(state)
+        traced_state, leaves, tape = self._watched_trace_state(state, watch)
+        with tape:
+            out = self.output(traced_state)
         return tape, leaves, out
 
     # ------------------------------------------------------------------

@@ -26,8 +26,10 @@ __all__ = [
 
 
 #: recognised problem classes; "S" reproduces the paper, "T" is a reduced
-#: size for fast unit testing
-CLASSES = ("T", "S")
+#: size for fast unit testing, "A" is the enlarged scenario unlocked by the
+#: segmented reverse sweep (registered for the benchmarks where the larger
+#: size is interesting: CG and FT)
+CLASSES = ("T", "S", "A")
 
 
 class ProblemClass(str):
@@ -268,10 +270,27 @@ _T_PARAMS = {
 }
 
 
+# The enlarged "A" scenario: larger arrays and/or more main-loop iterations
+# than class S.  Sized so a *segmented* reverse sweep analyses them
+# comfortably while a monolithic tape of the whole remaining loop is an
+# order of magnitude more memory-hungry -- the problem sizes the segmented
+# sweep unlocks.  (The original NPB class-A dimensions are larger still;
+# these keep the pure-numpy ports tractable while preserving the paper's
+# structural findings: CG's two trailing slack slots, FT's padding plane.)
+_A_PARAMS = {
+    "CG": CGParams(problem_class="A", na=2800, x_len=2802, nonzer=9,
+                   niter=30, cgit=25, shift=20.0,
+                   zeta_verify=float("nan")),
+    "FT": FTParams(problem_class="A", nx=96, ny=96, nz_pad=65, nz=64,
+                   niter=10),
+}
+
+
 def params_for(benchmark: str, problem_class: str = "S"):
     """Return the parameter dataclass for ``benchmark`` and ``problem_class``.
 
-    Raises ``KeyError`` for unknown benchmarks and ``ValueError`` for unknown
+    Raises ``KeyError`` for unknown benchmarks (or for benchmarks the
+    requested class is not registered for) and ``ValueError`` for unknown
     classes, so callers get precise error messages.
     """
     benchmark = benchmark.upper()
@@ -280,10 +299,17 @@ def params_for(benchmark: str, problem_class: str = "S"):
         table = _S_PARAMS
     elif problem_class == "T":
         table = _T_PARAMS
+    elif problem_class == "A":
+        table = _A_PARAMS
     else:
         raise ValueError(f"unknown problem class {problem_class!r}; "
                          f"supported classes: {CLASSES}")
     if benchmark not in table:
+        if benchmark in _S_PARAMS:
+            raise KeyError(
+                f"benchmark {benchmark!r} has no class-{problem_class} "
+                f"parameters; class {problem_class} is registered for: "
+                f"{sorted(table)}")
         raise KeyError(f"unknown benchmark {benchmark!r}; "
-                       f"known: {sorted(table)}")
+                       f"known: {sorted(_S_PARAMS)}")
     return table[benchmark]

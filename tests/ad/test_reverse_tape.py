@@ -211,3 +211,41 @@ class TestZeroGradientExactness:
 
         g = ad.grad(f)(np.array([5.0, 2.0, 3.0]))
         assert g[0] == 4.0
+
+
+class TestReturnedGradientOwnership:
+    """Leaf gradients handed to the caller must be private copies.
+
+    A gradient buffer that reached the leaf with ``owned=False`` can alias an
+    array living inside a vjp closure (a broadcast view of the seed, a
+    reshaped cotangent, ...).  If such a buffer were returned as-is, the
+    caller mutating "their" gradient would corrupt a later sweep over the
+    same tape -- or blow up immediately on a read-only broadcast view.
+    """
+
+    def test_returned_gradients_are_writable(self):
+        with Tape() as t:
+            x = t.watch(np.arange(4.0))
+            out = ops.sum(x)                 # vjp: broadcast view of the seed
+        g = t.gradient(out, [x])[0]
+        g[0] = 123.0                         # must not raise (read-only view)
+        assert g[0] == 123.0
+
+    def test_mutating_returned_gradient_does_not_corrupt_resweep(self):
+        with Tape() as t:
+            x = t.watch(np.arange(6.0))
+            y = ops.reshape(x, (2, 3))       # vjp: reshaped (aliasing) view
+            out = ops.sum(y)
+        first = t.gradient(out, [x])[0]
+        expected = np.array(first, copy=True)
+        first[:] = -77.0                     # caller scribbles on the result
+        second = t.gradient(out, [x])[0]
+        np.testing.assert_array_equal(second, expected)
+
+    def test_duplicate_inputs_share_one_defensive_copy(self):
+        with Tape() as t:
+            x = t.watch(np.ones(3))
+            out = ops.sum(x)
+        g1, g2 = t.gradient(out, [x, x])
+        assert np.shares_memory(g1, g2)      # one copy serves both requests
+        g1[0] = 9.0                          # still writable

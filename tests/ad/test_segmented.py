@@ -1,0 +1,252 @@
+"""Segmented reverse sweep: bitwise equivalence and bounded tape memory.
+
+The acceptance bar of the segmented subsystem is *bitwise* identity with the
+monolithic sweep -- not approximate agreement -- because the criticality
+criterion is "derivative exactly 0.0"; any rounding drift between the two
+strategies could flip an element between critical and uncritical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ad import ops
+from repro.ad.reverse import backward, backward_from_seeds
+from repro.ad.segmented import (SweepStats, float_state_keys,
+                                segmented_gradients)
+from repro.ad.tape import Tape
+from repro.core.analysis import scrutinize
+from repro.npb import registry
+
+ALL_BENCHMARKS = registry.available_benchmarks()
+
+
+def _monolithic_gradients(bench, state, watch):
+    tape, leaves, out = bench.traced_restart(state, watch=list(watch))
+    grads = backward(tape, out, [leaves[k] for k in watch], strict=False)
+    return dict(zip(watch, grads)), len(tape)
+
+
+def _assert_bitwise_equal(a, b, label):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    assert a.shape == b.shape, label
+    # view as raw bits so -0.0 vs 0.0 or NaN payload drift also fails
+    assert np.array_equal(a.view(np.uint64), b.view(np.uint64)), \
+        f"{label}: gradients differ bitwise"
+
+
+# ---------------------------------------------------------------------------
+# gradient-level equivalence
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_segmented_gradients_bitwise_equal_monolithic(name):
+    bench = registry.create(name, "T")
+    watch = bench.default_watch_keys()
+    if not watch:  # IS is all-integer: nothing for the AD sweep to do
+        pytest.skip(f"{name} has no floating point checkpoint variables")
+    state = bench.checkpoint_state(bench.total_steps // 2)
+    mono, _ = _monolithic_gradients(bench, state, watch)
+    seg = segmented_gradients(bench, state, watch=watch)
+    assert list(seg) == list(watch)
+    for key in watch:
+        _assert_bitwise_equal(mono[key], seg[key], f"{name}[{key}]")
+
+
+def test_segmented_matches_for_watch_subset():
+    # chaining must cover unwatched float auxiliaries (LU recomputes
+    # rho_i/qs from u), so asking only for "u" still matches exactly
+    bench = registry.create("LU", "T")
+    state = bench.checkpoint_state(2)
+    mono, _ = _monolithic_gradients(bench, state, ["u"])
+    seg = segmented_gradients(bench, state, watch=["u"])
+    assert list(seg) == ["u"]
+    _assert_bitwise_equal(mono["u"], seg["u"], "LU[u] (watch subset)")
+
+
+def test_segmented_explicit_steps_and_zero_steps():
+    bench = registry.create("CG", "T")
+    state = bench.checkpoint_state(1)
+    for steps in (0, 1, 2):
+        tape, leaves, out = bench.traced_restart(state, watch=["x"],
+                                                 steps=steps)
+        mono = backward(tape, out, [leaves["x"]], strict=False)[0]
+        seg = segmented_gradients(bench, state, watch=["x"], steps=steps)
+        _assert_bitwise_equal(mono, seg["x"], f"CG steps={steps}")
+
+
+def test_segmented_default_steps_follow_state_counter():
+    bench = registry.create("EP", "T")
+    state = bench.checkpoint_state(bench.total_steps - 3)
+    stats = SweepStats()
+    segmented_gradients(bench, state, stats=stats)
+    # 3 remaining iterations + the output segment
+    assert stats.n_segments == 4
+
+
+def test_segmented_rejects_negative_steps_and_unknown_watch():
+    bench = registry.create("CG", "T")
+    state = bench.checkpoint_state(1)
+    with pytest.raises(ValueError):
+        segmented_gradients(bench, state, steps=-1)
+    with pytest.raises(KeyError, match="unknown state entry"):
+        segmented_gradients(bench, state, watch=["nope"])
+
+
+def test_segmented_requires_per_iteration_api():
+    class NotABenchmark:
+        name = "NOPE"
+
+    with pytest.raises(TypeError, match="traced_step"):
+        segmented_gradients(NotABenchmark(), {"x": np.ones(3)}, watch=["x"])
+
+
+def test_float_state_keys_filters_integers():
+    state = {"x": np.ones(3), "it": 4, "keys": np.arange(5),
+             "s": np.float64(2.0)}
+    assert float_state_keys(state) == ["x", "s"]
+
+
+# ---------------------------------------------------------------------------
+# mask-level equivalence (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_segmented_masks_bitwise_identical_all_benchmarks(name):
+    bench = registry.create(name, "T")
+    mono = scrutinize(bench, sweep="monolithic")
+    seg = scrutinize(registry.create(name, "T"), sweep="segmented")
+    assert list(mono.variables) == list(seg.variables)
+    for var in mono.variables:
+        assert np.array_equal(mono.variables[var].mask,
+                              seg.variables[var].mask), \
+            f"{name}({var}): masks differ between sweeps"
+        for key, grad in mono.variables[var].gradients.items():
+            _assert_bitwise_equal(grad, seg.variables[var].gradients[key],
+                                  f"{name}({var}/{key})")
+    assert mono.n_uncritical == seg.n_uncritical
+
+
+def test_segmented_multi_probe_masks_identical():
+    mono = scrutinize(registry.create("CG", "T"), n_probes=3,
+                      sweep="monolithic")
+    seg = scrutinize(registry.create("CG", "T"), n_probes=3,
+                     sweep="segmented")
+    for var in mono.variables:
+        assert np.array_equal(mono.variables[var].mask,
+                              seg.variables[var].mask)
+
+
+# ---------------------------------------------------------------------------
+# memory bound
+# ---------------------------------------------------------------------------
+
+def test_peak_tape_bounded_by_single_iteration():
+    bench = registry.create("CG", "T")
+    state = bench.checkpoint_state(0)  # analyse the whole main loop
+    steps = bench.total_steps
+
+    _, mono_nodes = _monolithic_gradients(bench, state,
+                                          bench.default_watch_keys())
+    stats = SweepStats()
+    segmented_gradients(bench, state, stats=stats)
+
+    assert stats.n_segments == steps + 1
+    # every per-segment tape must be no bigger than the largest single
+    # iteration, i.e. peak ~ monolithic / steps (with slack for the output
+    # segment, which re-runs one solve for CG)
+    assert stats.peak_nodes * steps <= mono_nodes * 2
+    assert stats.peak_nodes < mono_nodes
+    # and the total work recorded is the same order as the monolithic tape
+    assert stats.total_nodes >= mono_nodes
+
+
+def test_sweep_stats_observe_tracks_peaks():
+    stats = SweepStats()
+    with Tape() as t1:
+        x = t1.watch(np.ones(4))
+        (x * 2.0).sum()
+    with Tape() as t2:
+        y = t2.watch(np.ones(8))
+        ops.sum(ops.square(y) + y)
+    stats.observe(t1)
+    stats.observe(t2)
+    assert stats.n_segments == 2
+    assert stats.peak_nodes == max(len(t1), len(t2))
+    assert stats.total_nodes == len(t1) + len(t2)
+    assert stats.segment_nodes == [len(t1), len(t2)]
+    assert stats.peak_nbytes >= 8 * 8
+
+
+# ---------------------------------------------------------------------------
+# backward_from_seeds
+# ---------------------------------------------------------------------------
+
+class TestBackwardFromSeeds:
+    def test_single_seed_matches_backward(self):
+        with Tape() as tape:
+            x = tape.watch(np.arange(1.0, 5.0), name="x")
+            y = ops.sum(ops.square(x))
+        expected = backward(tape, y, [x], seed=3.0)[0]
+        got = backward_from_seeds(tape, [(y, np.float64(3.0))], [x])[0]
+        np.testing.assert_array_equal(expected, got)
+
+    def test_multiple_outputs_accumulate(self):
+        with Tape() as tape:
+            x = tape.watch(np.arange(1.0, 4.0), name="x")
+            a = x * 2.0
+            b = ops.square(x)
+        ga = backward_from_seeds(tape, [(a, np.ones(3))], [x])[0]
+        gb = backward_from_seeds(tape, [(b, np.ones(3))], [x])[0]
+        both = backward_from_seeds(tape, [(a, np.ones(3)), (b, np.ones(3))],
+                                   [x])[0]
+        np.testing.assert_array_equal(both, ga + gb)
+
+    def test_same_output_seeded_twice_accumulates(self):
+        with Tape() as tape:
+            x = tape.watch(np.ones(3), name="x")
+            y = x * 5.0
+        g = backward_from_seeds(tape, [(y, np.ones(3)), (y, np.ones(3))],
+                                [x])[0]
+        np.testing.assert_array_equal(g, np.full(3, 10.0))
+
+    def test_seeding_a_leaf_directly(self):
+        # the pass-through case: the seeded "output" is the leaf itself
+        with Tape() as tape:
+            x = tape.watch(np.ones(4), name="x")
+            ops.sum(x * 3.0)  # extra consumer, not seeded
+        g = backward_from_seeds(tape, [(x, np.arange(4.0))], [x])[0]
+        np.testing.assert_array_equal(g, np.arange(4.0))
+
+    def test_caller_seed_array_not_mutated(self):
+        seed = np.ones(3)
+        with Tape() as tape:
+            x = tape.watch(np.ones(3), name="x")
+            y = x + x
+        g = backward_from_seeds(tape, [(x, seed), (y, seed)], [x])[0]
+        np.testing.assert_array_equal(seed, np.ones(3))
+        np.testing.assert_array_equal(g, np.full(3, 3.0))
+
+    def test_untraced_output_rejected(self):
+        with Tape() as tape:
+            x = tape.watch(np.ones(2), name="x")
+        with pytest.raises(ValueError, match="traced"):
+            backward_from_seeds(tape, [(np.ones(2), np.ones(2))], [x])
+
+    def test_foreign_tape_rejected(self):
+        with Tape() as tape:
+            x = tape.watch(np.ones(2), name="x")
+            y = x * 2.0
+        with Tape() as other:
+            z = other.watch(np.ones(2), name="z")
+        with pytest.raises(ValueError, match="different tape"):
+            backward_from_seeds(other, [(y, np.ones(2))], [z])
+
+    def test_no_seeds_yield_zeros(self):
+        with Tape() as tape:
+            x = tape.watch(np.ones(3), name="x")
+            x * 2.0
+        g = backward_from_seeds(tape, [], [x])[0]
+        np.testing.assert_array_equal(g, np.zeros(3))

@@ -129,3 +129,40 @@ class TestStorageMeasurement:
         empty = dataclasses.replace(analysis, state={})
         with pytest.raises(ValueError, match="no state"):
             measure_checkpoint_storage(bench, empty, tmp_path)
+
+
+class TestStorageMeasurementCleanup:
+    def test_default_removes_measurement_files(self, tmp_path, bench,
+                                               analysis):
+        before = set(tmp_path.iterdir())
+        measure_checkpoint_storage(bench, analysis, tmp_path)
+        assert set(tmp_path.iterdir()) == before   # no stale ckpt/aux files
+
+    def test_keep_files_leaves_checkpoints_behind(self, tmp_path, bench,
+                                                  analysis):
+        measure_checkpoint_storage(bench, analysis, tmp_path,
+                                   keep_files=True)
+        names = {p.name for p in tmp_path.iterdir()}
+        stem = bench.name.lower()
+        assert f"{stem}_full.ckpt" in names
+        assert f"{stem}_pruned.ckpt" in names
+
+    def test_no_directory_measures_in_a_tempdir(self, bench, analysis,
+                                                tmp_path, monkeypatch):
+        import tempfile as _tempfile
+
+        monkeypatch.setenv("TMPDIR", str(tmp_path))
+        monkeypatch.setattr(_tempfile, "tempdir", None)
+        comparison = measure_checkpoint_storage(bench, analysis)
+        assert comparison.full_nbytes > comparison.pruned_nbytes
+        assert list(tmp_path.iterdir()) == []      # tempdir fully removed
+
+    def test_keep_files_without_directory_rejected(self, bench, analysis):
+        with pytest.raises(ValueError, match="keep_files"):
+            measure_checkpoint_storage(bench, analysis, keep_files=True)
+
+    def test_repeated_measurements_are_stable(self, tmp_path, bench,
+                                              analysis):
+        first = measure_checkpoint_storage(bench, analysis, tmp_path)
+        second = measure_checkpoint_storage(bench, analysis, tmp_path)
+        assert first == second

@@ -172,3 +172,71 @@ class TestReductionComparison:
                 np.testing.assert_array_equal(
                     got.reshape(-1)[crit.mask.reshape(-1)],
                     want.reshape(-1)[crit.mask.reshape(-1)])
+
+
+class TestChainFailureModes:
+    """Broken chains must fail loudly, never restore a silently-wrong state."""
+
+    def _chain(self, tmp_path, bench, states):
+        base = write_full_checkpoint(tmp_path / "base.ckpt", bench,
+                                     states[2], step=2)
+        d3 = write_incremental_checkpoint(tmp_path / "d3.ckpt", bench,
+                                          states[3], states[2], step=3,
+                                          base_step=2)
+        d4 = write_incremental_checkpoint(tmp_path / "d4.ckpt", bench,
+                                          states[4], states[3], step=4,
+                                          base_step=3)
+        return base, d3, d4
+
+    def test_missing_base_checkpoint(self, tmp_path, bench, states):
+        _, d3, _ = self._chain(tmp_path, bench, states)
+        with pytest.raises(FileNotFoundError):
+            restore_chain(bench, tmp_path / "never_written.ckpt", [d3.path])
+
+    def test_missing_delta_file(self, tmp_path, bench, states):
+        base, _, _ = self._chain(tmp_path, bench, states)
+        with pytest.raises(FileNotFoundError):
+            restore_chain(bench, base.path,
+                          [tmp_path / "never_written_delta.ckpt"])
+
+    def test_swapped_delta_order_rejected(self, tmp_path, bench, states):
+        base, d3, d4 = self._chain(tmp_path, bench, states)
+        with pytest.raises(CheckpointFormatError, match="chain"):
+            restore_chain(bench, base.path, [d4.path, d3.path])
+
+    def test_same_delta_applied_twice_rejected(self, tmp_path, bench,
+                                               states):
+        base, d3, _ = self._chain(tmp_path, bench, states)
+        with pytest.raises(CheckpointFormatError, match="chain"):
+            restore_chain(bench, base.path, [d3.path, d3.path])
+
+    def test_shape_mismatched_delta_rejected(self, tmp_path, bench, states):
+        _, d3, _ = self._chain(tmp_path, bench, states)
+        delta = read_incremental_checkpoint(d3.path)
+        wrong = {key: np.zeros((3,) + np.asarray(value).shape)
+                 if np.ndim(value) else value
+                 for key, value in states[2].items()}
+        with pytest.raises(CheckpointFormatError, match="shape"):
+            apply_incremental(wrong, delta)
+
+    def test_cross_class_delta_rejected_at_apply(self, tmp_path, states):
+        # a class-T delta chained onto a class-S base reaches the right
+        # step but carries the wrong array shapes: it must not apply
+        bench_t = registry.create("BT", "T")
+        bench_s = registry.create("BT", "S")
+        base_s = write_full_checkpoint(tmp_path / "base_s.ckpt", bench_s,
+                                       bench_s.checkpoint_state(2), step=2)
+        d3_t = write_incremental_checkpoint(
+            tmp_path / "d3_t.ckpt", bench_t, states[3], states[2], step=3,
+            base_step=2)
+        with pytest.raises(CheckpointFormatError, match="shape"):
+            restore_chain(bench_s, base_s.path, [d3_t.path])
+
+    def test_delta_onto_state_missing_the_entry(self, tmp_path, bench,
+                                                states):
+        _, d3, _ = self._chain(tmp_path, bench, states)
+        delta = read_incremental_checkpoint(d3.path)
+        partial = {key: value for key, value in states[2].items()
+                   if key != "u"}
+        with pytest.raises(KeyError, match="no entry"):
+            apply_incremental(partial, delta)

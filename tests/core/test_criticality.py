@@ -161,3 +161,92 @@ class TestMultiProbeCatchesCoincidentalZero:
         # probing perturbs the base point and recovers the dependence
         assert multi["v"].mask[0]
         assert multi["v"].mask[1]
+
+
+class TestPerAnalysisProbeGenerator:
+    """The probe noise must depend only on *what* is analysed.
+
+    Regression for a reuse bug: the analyzer used to draw probe noise from
+    one mutable generator shared across ``analyze()`` calls, so with
+    ``n_probes > 1`` a benchmark's mask depended on what the same analyzer
+    instance had analysed before it.  A reused sequential analyzer must be
+    indistinguishable from the parallel engine's fresh-analyzer-per-job
+    path.
+    """
+
+    @staticmethod
+    def _masks(result):
+        return {name: crit.mask for name, crit in result.items()}
+
+    def test_reused_analyzer_matches_fresh_analyzers(self):
+        cg = registry.create("CG", "T")
+        ep = registry.create("EP", "T")
+
+        reused = CriticalityAnalyzer("ad", n_probes=3)
+        first_cg = reused.analyze(cg, step=2)
+        _ = reused.analyze(ep, step=2)       # interleaved other work
+        second_cg = reused.analyze(cg, step=2)
+
+        fresh_cg = CriticalityAnalyzer("ad", n_probes=3).analyze(cg, step=2)
+
+        for name in fresh_cg:
+            np.testing.assert_array_equal(first_cg[name].mask,
+                                          fresh_cg[name].mask)
+            np.testing.assert_array_equal(second_cg[name].mask,
+                                          fresh_cg[name].mask)
+
+    def test_analysis_order_does_not_leak_between_benchmarks(self):
+        cg = registry.create("CG", "T")
+        ep = registry.create("EP", "T")
+
+        forward_order = CriticalityAnalyzer("ad", n_probes=2)
+        a_then_b = (forward_order.analyze(cg, step=1),
+                    forward_order.analyze(ep, step=1))
+
+        reverse_order = CriticalityAnalyzer("ad", n_probes=2)
+        b_second = reverse_order.analyze(ep, step=1)
+        a_second = reverse_order.analyze(cg, step=1)
+
+        for name in a_then_b[0]:
+            np.testing.assert_array_equal(a_then_b[0][name].mask,
+                                          a_second[name].mask)
+        for name in a_then_b[1]:
+            np.testing.assert_array_equal(a_then_b[1][name].mask,
+                                          b_second[name].mask)
+
+    def test_explicit_generator_keeps_legacy_stateful_behaviour(self):
+        bench = registry.create("CG", "T")
+        rng = np.random.default_rng(7)
+        analyzer = CriticalityAnalyzer("ad", n_probes=2, rng=rng)
+        result = analyzer.analyze(bench, step=1)
+        assert analyzer.rng is rng           # caller still owns the stream
+        assert result["x"].mask.shape == (bench.params.x_len,)
+
+
+class TestSweepOption:
+    def test_unknown_sweep_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep"):
+            CriticalityAnalyzer(sweep="sideways")
+
+    def test_segmented_analyzer_masks_match_monolithic(self, bench):
+        state = bench.checkpoint_state(4)
+        mono = CriticalityAnalyzer("ad").analyze(bench, state=state)
+        seg = CriticalityAnalyzer("ad", sweep="segmented").analyze(
+            bench, state=state)
+        for name in mono:
+            np.testing.assert_array_equal(mono[name].mask, seg[name].mask)
+
+    def test_scrutinize_with_explicit_state_matches_direct_analyze(self):
+        # both public entry points must derive the same probe noise for
+        # the same analysis (scrutinize must not inject its mid-run
+        # default step into the rng derivation when given a state)
+        from repro.core.analysis import scrutinize
+
+        bench = registry.create("CG", "T")
+        state = bench.checkpoint_state(3)
+        via_scrutinize = scrutinize(bench, state=state, n_probes=3)
+        direct = CriticalityAnalyzer("ad", n_probes=3).analyze(bench,
+                                                               state=state)
+        for name in direct:
+            np.testing.assert_array_equal(
+                via_scrutinize.variables[name].mask, direct[name].mask)

@@ -1,0 +1,81 @@
+"""Class A: the enlarged scenario unlocked by the segmented reverse sweep.
+
+Class A is deliberately sized so the *monolithic* tape of a full remaining
+loop is an order of magnitude larger than one iteration's tape; the
+segmented sweep analyses it with per-iteration memory.  The smoke tests run
+one class-A analysis end-to-end and check that the paper's structural
+findings survive the larger size (CG's two trailing slack slots, FT's
+padding plane).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ad.segmented import SweepStats, segmented_gradients
+from repro.core.analysis import scrutinize
+from repro.npb import registry
+from repro.npb.params import CLASSES, params_for
+
+
+class TestClassARegistration:
+    def test_class_a_is_a_known_class(self):
+        assert "A" in CLASSES
+
+    @pytest.mark.parametrize("name", ["CG", "FT"])
+    def test_class_a_params_registered(self, name):
+        params = params_for(name, "A")
+        assert params.problem_class == "A"
+
+    def test_class_a_is_larger_than_class_s(self):
+        assert params_for("CG", "A").na > params_for("CG", "S").na
+        assert params_for("CG", "A").niter > params_for("CG", "S").niter
+        a, s = params_for("FT", "A"), params_for("FT", "S")
+        assert a.nx * a.ny * a.nz_pad > s.nx * s.ny * s.nz_pad
+
+    def test_unregistered_benchmark_gets_actionable_error(self):
+        with pytest.raises(KeyError, match="no class-A parameters"):
+            params_for("BT", "A")
+
+    def test_truly_unknown_benchmark_still_reported_as_unknown(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            params_for("XX", "A")
+
+
+class TestClassAEndToEnd:
+    def test_cg_class_a_segmented_scrutiny(self):
+        """Full end-to-end class-A analysis under the segmented sweep."""
+        bench = registry.create("CG", "A")
+        result = scrutinize(bench, sweep="segmented")
+        assert result.problem_class == "A"
+        # the paper's CG finding scales with NA: the two trailing slots of
+        # the declared NA + 2 iterate are still the only uncritical elements
+        assert result.variables["x"].n_uncritical == 2
+        assert not result.variables["x"].mask[-2:].any()
+        assert result.variables["x"].mask[: bench.params.na].all()
+
+    def test_ft_class_a_padding_plane_uncritical(self):
+        """FT's structural finding at class A (analysis depth limited to
+        keep the suite fast; the padding plane is step-independent)."""
+        bench = registry.create("FT", "A")
+        state = bench.checkpoint_state(bench.total_steps - 2)
+        result = scrutinize(bench, state=state, steps=2, sweep="segmented")
+        p = bench.params
+        for comp in ("y_re", "y_im"):
+            grad = result.variables["y"].gradients[comp]
+            assert grad.shape == p.y_shape
+        mask = result.variables["y"].mask
+        assert not mask[:, :, p.nz:].any()      # padding plane uncritical
+        assert result.variables["sums"].mask.all()
+
+    def test_cg_class_a_peak_tape_is_per_iteration(self):
+        bench = registry.create("CG", "A")
+        state = bench.checkpoint_state(bench.total_steps - 5)
+        stats = SweepStats()
+        segmented_gradients(bench, state, stats=stats)
+        assert stats.n_segments == 6            # 5 iterations + output
+        # a monolithic tape would hold all segments at once; the segmented
+        # peak must stay close to the largest single segment
+        assert stats.peak_nodes <= max(stats.segment_nodes)
+        assert stats.peak_nodes * 3 < stats.total_nodes
