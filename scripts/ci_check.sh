@@ -28,10 +28,20 @@ echo "== segmented sweep: bitwise equivalence =="
 python -m pytest -q tests/ad/test_segmented.py \
     tests/experiments/test_sweep_plumbing.py tests/npb/test_class_a.py
 
+echo "== batched probe sweep: per-probe equivalence =="
+python -m pytest -q tests/ad/test_probes.py \
+    tests/experiments/test_probe_plumbing.py
+
 echo "== CLI smoke: segmented sweep, enlarged class A =="
 python -m repro.cli --class A --sweep segmented analyze CG >/dev/null
 
+echo "== CLI smoke: batched multi-probe analysis =="
+python -m repro.cli --class T --probes 4 analyze CG >/dev/null
+
 echo "== perf baseline: BENCH_segmented.json =="
 python benchmarks/test_segmented_memory.py --json BENCH_segmented.json
+
+echo "== perf baseline: BENCH_probes.json =="
+python benchmarks/test_probe_batching.py --json BENCH_probes.json
 
 echo "ci_check: OK"

@@ -13,6 +13,10 @@ ports of the NPB benchmarks:
 * :mod:`repro.ad.segmented` -- iteration-granular (checkpointed) reverse
   sweep: one main-loop iteration's tape at a time, peak memory O(1
   iteration) instead of O(remaining steps).
+* :mod:`repro.ad.probes` -- batched multi-probe sweeps: the base state and
+  all perturbed probe states stacked along a leading probe axis, one traced
+  forward and one reverse sweep yielding every probe's gradients at once
+  (in both monolithic and segmented modes).
 * :mod:`repro.ad.forward` -- an independent dual-number forward mode used for
   cross-validation.
 * :mod:`repro.ad.activity` -- read-set (liveness) analysis over a recorded
@@ -34,8 +38,11 @@ Quick example::
     # g == [0, 2, 4, 0, 0]: elements 3 and 4 are "uncritical"
 """
 
-from . import activity, checks, forward, ops, reverse, seeding, segmented
+from . import activity, checks, forward, ops, probes, reverse, seeding, \
+    segmented
 from .ops import *  # noqa: F401,F403 - re-export the numpy-like facade
+from .probes import (ProbeBatchingError, batched_gradients, probe_axis,
+                     segmented_batched_gradients)
 from .reverse import (backward, backward_from_seeds, grad, gradient,
                       value_and_grad)
 from .segmented import SweepStats, segmented_gradients
@@ -55,7 +62,12 @@ __all__ = [
     "value_and_grad",
     "segmented_gradients",
     "SweepStats",
+    "batched_gradients",
+    "segmented_batched_gradients",
+    "probe_axis",
+    "ProbeBatchingError",
     "ops",
+    "probes",
     "reverse",
     "forward",
     "activity",

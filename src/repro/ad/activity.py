@@ -39,6 +39,16 @@ Two op categories are distinguished:
     moved value is live depends on what later consumes it, which the
     element-level analysis intentionally over-approximates by following
     movements transitively.
+
+The two indexed-write primitives are role-sensitive: which category applies
+depends on *which operand* the leaf is.  ``index_update(a, idx, b)`` moves
+the complement of ``idx`` out of ``a`` (the updated region of ``a`` is
+destroyed) and moves all of ``b`` into the copy.  ``index_add(a, idx, b)``
+moves all of ``a`` (every old value survives, summed or not) but **reads**
+all of ``b`` -- the addend's values are consumed by the addition, not
+relocated, so a leaf appearing as the addend is live.  The primitives record
+their traced-operand roles in ``Node.meta["roles"]`` for exactly this
+distinction.
 """
 
 from __future__ import annotations
@@ -169,18 +179,48 @@ def _read_mask_with_children(tape: Tape, leaf: ADArray,
             read |= region
         elif child.op in CONSUMING_OPS:
             read[...] = True
+        elif child.op in ("index_update", "index_add"):
+            for role in _leaf_roles(child, leaf):
+                if child.op == "index_update":
+                    if role == "target":
+                        # the leaf is the "old value"; only the complement
+                        # of the updated region survives into the copy
+                        moved |= ~_indexed_region(shape, child)
+                    else:
+                        # the update values are relocated verbatim
+                        moved[...] = True
+                else:  # index_add
+                    if role == "target":
+                        # every old value survives (summed at the updated
+                        # region, untouched elsewhere): pure movement
+                        moved[...] = True
+                    else:
+                        # the addend's *values* are consumed by the
+                        # addition -- a real read, not data movement
+                        read[...] = True
         elif child.op in MOVEMENT_OPS:
-            if child.op == "index_update":
-                # the leaf appears as the "old value"; only the complement of
-                # the updated region survives into the copy
-                region = _indexed_region(shape, child)
-                moved |= ~region
-            else:
-                moved[...] = True
+            moved[...] = True
         else:  # unknown primitive: be conservative
             read[...] = True
 
     return ActivityResult(tape.watched.get(leaf.node.index), read, moved)
+
+
+def _leaf_roles(child: Node, leaf: ADArray) -> list[str]:
+    """Roles (``"target"``/``"value"``) the leaf plays in an indexed write.
+
+    The roles tuple recorded by :func:`repro.ad.ops.index_update` /
+    :func:`~repro.ad.ops.index_add` is aligned with the node's traced
+    parents; a leaf may appear in several slots (e.g. ``a[idx] += a``
+    spelled functionally).  Tapes recorded before roles existed fall back
+    to the historical assumption that the leaf is the target.
+    """
+    meta = child.meta or {}
+    roles = meta.get("roles")
+    if roles is None:
+        return ["target"]
+    return [role for role, parent in zip(roles, child.parents)
+            if parent is leaf.node]
 
 
 def read_masks(tape: Tape, leaves: Iterable[ADArray]) -> list[ActivityResult]:

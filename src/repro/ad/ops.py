@@ -28,6 +28,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from .probes import ProbeBatchingError, probe_axis_size
 from .tape import Tape, _TAPES, get_active_tape
 from .tensor import ADArray, value_of
 
@@ -53,7 +54,7 @@ __all__ = [
     "zeros", "ones", "full", "zeros_like", "ones_like", "arange", "linspace",
     "asarray", "array",
     # misc
-    "isnan", "isfinite", "allclose", "to_numpy",
+    "isnan", "isfinite", "allclose", "to_numpy", "logical_shape",
 ]
 
 
@@ -95,6 +96,14 @@ def _record(op: str, value: np.ndarray, parents: Sequence[ADArray],
     tape = _target_tape(parents)
     if tape is None:
         return value
+    nb = probe_axis_size()
+    if nb is not None and (np.ndim(value) == 0 or np.shape(value)[0] != nb):
+        # a traced result lost the probe axis: abort the batched trace so
+        # the caller falls back to the per-probe path instead of silently
+        # mixing probes
+        raise ProbeBatchingError(
+            f"primitive {op!r} produced shape {np.shape(value)} without a "
+            f"leading probe axis of length {nb}")
     node = tape.add_node(op, [p.node for p in parents], vjp,
                          np.shape(value), np.asarray(value).dtype, meta=meta)
     return ADArray(value, node=node, tape=tape)
@@ -121,75 +130,240 @@ def to_numpy(x: Any) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
+# probe-batching support (see repro.ad.probes)
+#
+# Inside a ``probes.probe_axis(n)`` context every *traced* array carries a
+# leading probe axis of length ``n``; plain numpy operands never do.  The
+# helpers below implement the two adjustments the primitives need to keep
+# that invariant:
+#
+# * value alignment for elementwise broadcasting (numpy aligns shapes from
+#   the right, the probe axis sits on the left, so a batched operand of
+#   lower logical rank gains singleton logical axes just after the probe
+#   axis);
+# * axis/index shifting for reductions, shape manipulation and indexing
+#   (logical axis ``k`` lives at position ``k + 1`` of a batched array;
+#   negative axes are untouched because the trailing dimensions are
+#   unchanged).
+# ---------------------------------------------------------------------------
+
+def _is_traced(x: Any) -> bool:
+    return isinstance(x, ADArray) and x.node is not None
+
+
+def _probe_batch(*operands: Any) -> int | None:
+    """Probe-axis size when batched tracing is active for these operands."""
+    n = probe_axis_size()
+    if n is None:
+        return None
+    for x in operands:
+        if _is_traced(x):
+            return n
+    return None
+
+
+def logical_shape(x: Any) -> tuple:
+    """Shape of ``x`` with the probe axis stripped.
+
+    Identical to ``numpy.shape(value_of(x))`` outside batched tracing (and
+    for plain operands inside it); kernels that introspect traced shapes to
+    build reshape targets must use this instead of the raw value shape so
+    they work unchanged under a batched probe sweep.
+    """
+    shape = tuple(np.shape(value_of(x)))
+    if probe_axis_size() is not None and _is_traced(x):
+        return shape[1:]
+    return shape
+
+
+def _probe_align(nb: int, *pairs: tuple[Any, bool]) -> list[np.ndarray]:
+    """Lift batched operands so elementwise broadcasting stays per-probe.
+
+    ``pairs`` are ``(value, traced)`` tuples; traced values carry the probe
+    axis.  Every traced value is reshaped to
+    ``(nb,) + (1,)*(L - logical_ndim) + logical_shape`` where ``L`` is the
+    largest logical rank among all operands, which makes numpy's
+    right-aligned broadcasting match the unbatched semantics with the probe
+    axis on the left.  Plain operands are returned untouched.
+    """
+    values = [np.asarray(value) for value, _ in pairs]
+    target = 0
+    for value, traced in zip(values, (t for _, t in pairs)):
+        target = builtins.max(target, value.ndim - 1 if traced else value.ndim)
+    lifted = []
+    for value, (_, traced) in zip(values, pairs):
+        if traced and value.ndim - 1 < target:
+            value = value.reshape(value.shape[:1]
+                                  + (1,) * (target - (value.ndim - 1))
+                                  + value.shape[1:])
+        lifted.append(value)
+    return lifted
+
+
+def _probe_reduce_axis(axis: Any, ndim: int, nb: int | None) -> Any:
+    """Map logical reduction axes onto a batched array (keep the probe axis)."""
+    if nb is None:
+        return axis
+    if axis is None:
+        return tuple(range(1, ndim))
+    if isinstance(axis, (tuple, list)):
+        return tuple(ax + 1 if ax >= 0 else ax for ax in axis)
+    return axis + 1 if axis >= 0 else axis
+
+
+def _probe_shift_axis(axis: Any, nb: int | None) -> Any:
+    """Shift non-negative logical axes past the probe axis (None unchanged)."""
+    if nb is None or axis is None:
+        return axis
+    if isinstance(axis, (tuple, list, np.ndarray)):
+        return tuple(int(ax) + 1 if int(ax) >= 0 else int(ax) for ax in axis)
+    return axis + 1 if axis >= 0 else axis
+
+
+def _probe_index(index: Any, nb: int | None) -> Any:
+    """Prepend a full probe-axis slice to a logical index expression.
+
+    Advanced indices separated by a slice/ellipsis are rejected: numpy
+    moves their broadcast subspace *in front of* the prepended probe
+    slice, which would silently transpose the probe axis away (the
+    ``_record`` shape guard cannot catch it when the subspace length
+    coincides with the probe count).  No NPB kernel uses the pattern; a
+    custom kernel that does falls back to the per-probe path.
+    """
+    if nb is None:
+        return index
+    if isinstance(index, tuple):
+        if _has_separated_advanced(index):
+            raise ProbeBatchingError(
+                "advanced indices separated by slices place their "
+                "subspace in front of the probe axis; this index "
+                "expression cannot be probe-batched")
+        return (slice(None),) + index
+    return (slice(None), index)
+
+
+def _has_separated_advanced(index: tuple) -> bool:
+    """True when ``index`` holds advanced entries split by a basic one.
+
+    Mirrors numpy's placement rule: advanced indexing is only in play
+    when an array/list entry is present; integers then join the advanced
+    group for adjacency purposes (they broadcast as 0-d indices).
+    """
+    if not builtins.any(isinstance(entry, (np.ndarray, list))
+                        for entry in index):
+        return False     # ints + slices only: basic indexing, no reorder
+
+    def is_advanced(entry: Any) -> bool:
+        return isinstance(entry, (np.ndarray, list)) \
+            or (isinstance(entry, (int, np.integer))
+                and not isinstance(entry, bool))
+
+    flags = [is_advanced(entry) for entry in index]
+    if builtins.sum(flags) < 2:
+        return False
+    first = flags.index(True)
+    last = len(flags) - 1 - flags[::-1].index(True)
+    return not builtins.all(flags[first:last + 1])
+
+
+def _unbroadcast_keep_probe(g: np.ndarray, shape: tuple,
+                            batched: bool) -> np.ndarray:
+    """:func:`_unbroadcast`, but never collapse a leading probe axis.
+
+    When ``batched``, ``g`` and ``shape`` both start with the probe axis;
+    surplus broadcast dimensions are summed just *after* it instead of at
+    axis 0.
+    """
+    if not batched:
+        return _unbroadcast(g, shape)
+    g = np.asarray(g)
+    if g.shape == tuple(shape):
+        return g
+    while g.ndim > len(shape):
+        g = g.sum(axis=1)
+    for axis, dim in enumerate(shape):
+        if axis > 0 and dim == 1 and g.shape[axis] != 1:
+            g = g.sum(axis=axis, keepdims=True)
+    return g.reshape(shape)
+
+
+# ---------------------------------------------------------------------------
 # elementwise binary primitives
 # ---------------------------------------------------------------------------
 
-def add(a: Any, b: Any) -> Any:
-    """Elementwise ``a + b`` with NumPy broadcasting."""
-    av, bv = value_of(a), value_of(b)
-    out = av + bv
+def _probe_restore(g: np.ndarray, true_shape: tuple) -> np.ndarray:
+    """Collapse a lifted-shape cotangent back to the operand's node shape."""
+    g = np.asarray(g)
+    if g.shape == tuple(true_shape):
+        return g
+    return g.reshape(true_shape)
+
+
+def _elementwise_binary(op: str, a: Any, b: Any,
+                        compute: Callable[[np.ndarray, np.ndarray], np.ndarray],
+                        grad_a: Callable[..., np.ndarray],
+                        grad_b: Callable[..., np.ndarray]) -> Any:
+    """Record one elementwise binary primitive with probe-aware broadcasting.
+
+    ``compute(av, bv)`` produces the value; ``grad_a(g, av, bv)`` /
+    ``grad_b(g, av, bv)`` produce the raw cotangents, which are then
+    unbroadcast to the (possibly probe-lifted) operand shape and restored to
+    the operand's true node shape.
+    """
+    av0, bv0 = value_of(a), value_of(b)
+    nb = _probe_batch(a, b)
+    if nb is not None:
+        av, bv = _probe_align(nb, (av0, _is_traced(a)), (bv0, _is_traced(b)))
+    else:
+        av, bv = av0, bv0
+    out = compute(av, bv)
     parents = _traced_parents(a, b)
+    a_shape, b_shape = np.shape(av0), np.shape(bv0)
+    a_lift, b_lift = np.shape(av), np.shape(bv)
 
     def vjp(g: np.ndarray) -> tuple:
         grads = []
-        if isinstance(a, ADArray) and a.node is not None:
-            grads.append(_unbroadcast(g, av.shape))
-        if isinstance(b, ADArray) and b.node is not None:
-            grads.append(_unbroadcast(g, bv.shape))
+        if _is_traced(a):
+            grads.append(_probe_restore(
+                _unbroadcast(grad_a(g, av, bv), a_lift), a_shape))
+        if _is_traced(b):
+            grads.append(_probe_restore(
+                _unbroadcast(grad_b(g, av, bv), b_lift), b_shape))
         return tuple(grads)
 
-    return _record("add", out, parents, vjp)
+    return _record(op, out, parents, vjp)
+
+
+def add(a: Any, b: Any) -> Any:
+    """Elementwise ``a + b`` with NumPy broadcasting."""
+    return _elementwise_binary(
+        "add", a, b, lambda av, bv: av + bv,
+        lambda g, av, bv: g,
+        lambda g, av, bv: g)
 
 
 def subtract(a: Any, b: Any) -> Any:
     """Elementwise ``a - b`` with NumPy broadcasting."""
-    av, bv = value_of(a), value_of(b)
-    out = av - bv
-    parents = _traced_parents(a, b)
-
-    def vjp(g: np.ndarray) -> tuple:
-        grads = []
-        if isinstance(a, ADArray) and a.node is not None:
-            grads.append(_unbroadcast(g, av.shape))
-        if isinstance(b, ADArray) and b.node is not None:
-            grads.append(_unbroadcast(-g, bv.shape))
-        return tuple(grads)
-
-    return _record("subtract", out, parents, vjp)
+    return _elementwise_binary(
+        "subtract", a, b, lambda av, bv: av - bv,
+        lambda g, av, bv: g,
+        lambda g, av, bv: -g)
 
 
 def multiply(a: Any, b: Any) -> Any:
     """Elementwise ``a * b`` with NumPy broadcasting."""
-    av, bv = value_of(a), value_of(b)
-    out = av * bv
-    parents = _traced_parents(a, b)
-
-    def vjp(g: np.ndarray) -> tuple:
-        grads = []
-        if isinstance(a, ADArray) and a.node is not None:
-            grads.append(_unbroadcast(g * bv, av.shape))
-        if isinstance(b, ADArray) and b.node is not None:
-            grads.append(_unbroadcast(g * av, bv.shape))
-        return tuple(grads)
-
-    return _record("multiply", out, parents, vjp)
+    return _elementwise_binary(
+        "multiply", a, b, lambda av, bv: av * bv,
+        lambda g, av, bv: g * bv,
+        lambda g, av, bv: g * av)
 
 
 def divide(a: Any, b: Any) -> Any:
     """Elementwise true division ``a / b``."""
-    av, bv = value_of(a), value_of(b)
-    out = av / bv
-    parents = _traced_parents(a, b)
-
-    def vjp(g: np.ndarray) -> tuple:
-        grads = []
-        if isinstance(a, ADArray) and a.node is not None:
-            grads.append(_unbroadcast(g / bv, av.shape))
-        if isinstance(b, ADArray) and b.node is not None:
-            grads.append(_unbroadcast(-g * av / (bv * bv), bv.shape))
-        return tuple(grads)
-
-    return _record("divide", out, parents, vjp)
+    return _elementwise_binary(
+        "divide", a, b, lambda av, bv: av / bv,
+        lambda g, av, bv: g / bv,
+        lambda g, av, bv: -g * av / (bv * bv))
 
 
 def power(a: Any, b: Any) -> Any:
@@ -199,67 +373,72 @@ def power(a: Any, b: Any) -> Any:
     constant scalar exponent, for which the VJP reduces to
     ``g * b * a**(b-1)``.
     """
-    av, bv = value_of(a), value_of(b)
-    out = av ** bv
+
+    def grad_b(g: np.ndarray, av: np.ndarray, bv: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            loga = np.where(av > 0, np.log(np.where(av > 0, av, 1.0)), 0.0)
+        return g * (av ** bv) * loga
+
+    return _elementwise_binary(
+        "power", a, b, lambda av, bv: av ** bv,
+        lambda g, av, bv: g * bv * av ** (bv - 1.0),
+        grad_b)
+
+
+def _minmax_binary(op: str, a: Any, b: Any, compute, mask_of) -> Any:
+    """Shared maximum/minimum recorder; the tie mask is computed once at
+    trace time and shared by both cotangents."""
+    av0, bv0 = value_of(a), value_of(b)
+    nb = _probe_batch(a, b)
+    if nb is not None:
+        av, bv = _probe_align(nb, (av0, _is_traced(a)), (bv0, _is_traced(b)))
+    else:
+        av, bv = av0, bv0
+    out = compute(av, bv)
+    mask_a = mask_of(av, bv)
     parents = _traced_parents(a, b)
+    a_shape, b_shape = np.shape(av0), np.shape(bv0)
+    a_lift, b_lift = np.shape(av), np.shape(bv)
 
     def vjp(g: np.ndarray) -> tuple:
         grads = []
-        if isinstance(a, ADArray) and a.node is not None:
-            grads.append(_unbroadcast(g * bv * av ** (bv - 1.0), av.shape))
-        if isinstance(b, ADArray) and b.node is not None:
-            with np.errstate(divide="ignore", invalid="ignore"):
-                loga = np.where(av > 0, np.log(np.where(av > 0, av, 1.0)), 0.0)
-            grads.append(_unbroadcast(g * out * loga, np.shape(bv)))
+        if _is_traced(a):
+            grads.append(_probe_restore(
+                _unbroadcast(g * mask_a, a_lift), a_shape))
+        if _is_traced(b):
+            grads.append(_probe_restore(
+                _unbroadcast(g * ~mask_a, b_lift), b_shape))
         return tuple(grads)
 
-    return _record("power", out, parents, vjp)
+    return _record(op, out, parents, vjp)
 
 
 def maximum(a: Any, b: Any) -> Any:
     """Elementwise maximum; ties send the cotangent to the first operand."""
-    av, bv = value_of(a), value_of(b)
-    out = np.maximum(av, bv)
-    parents = _traced_parents(a, b)
-    mask_a = av >= bv
-
-    def vjp(g: np.ndarray) -> tuple:
-        grads = []
-        if isinstance(a, ADArray) and a.node is not None:
-            grads.append(_unbroadcast(g * mask_a, np.shape(av)))
-        if isinstance(b, ADArray) and b.node is not None:
-            grads.append(_unbroadcast(g * (~mask_a), np.shape(bv)))
-        return tuple(grads)
-
-    return _record("maximum", out, parents, vjp)
+    return _minmax_binary("maximum", a, b, np.maximum,
+                          lambda av, bv: av >= bv)
 
 
 def minimum(a: Any, b: Any) -> Any:
     """Elementwise minimum; ties send the cotangent to the first operand."""
-    av, bv = value_of(a), value_of(b)
-    out = np.minimum(av, bv)
-    parents = _traced_parents(a, b)
-    mask_a = av <= bv
-
-    def vjp(g: np.ndarray) -> tuple:
-        grads = []
-        if isinstance(a, ADArray) and a.node is not None:
-            grads.append(_unbroadcast(g * mask_a, np.shape(av)))
-        if isinstance(b, ADArray) and b.node is not None:
-            grads.append(_unbroadcast(g * (~mask_a), np.shape(bv)))
-        return tuple(grads)
-
-    return _record("minimum", out, parents, vjp)
+    return _minmax_binary("minimum", a, b, np.minimum,
+                          lambda av, bv: av <= bv)
 
 
 def mod(a: Any, b: Any) -> Any:
     """Elementwise ``a % b``; derivative taken w.r.t. ``a`` only."""
-    av, bv = value_of(a), value_of(b)
+    av0, bv0 = value_of(a), value_of(b)
+    nb = _probe_batch(a, b)
+    if nb is not None:
+        av, bv = _probe_align(nb, (av0, _is_traced(a)), (bv0, _is_traced(b)))
+    else:
+        av, bv = av0, bv0
     out = np.mod(av, bv)
     parents = _traced_parents(a)
+    a_shape, a_lift = np.shape(av0), np.shape(av)
 
     def vjp(g: np.ndarray) -> tuple:
-        return (_unbroadcast(g, np.shape(av)),)
+        return (_probe_restore(_unbroadcast(g, a_lift), a_shape),)
 
     return _record("mod", out, parents, vjp)
 
@@ -400,6 +579,7 @@ def allclose(a: Any, b: Any, rtol: float = 1e-5, atol: float = 1e-8) -> bool:
 def sum(a: Any, axis=None, keepdims: bool = False) -> Any:
     """Sum of elements over the given axis."""
     av = value_of(a)
+    axis = _probe_reduce_axis(axis, av.ndim, _probe_batch(a))
     out = np.sum(av, axis=axis, keepdims=keepdims)
     parents = _traced_parents(a)
 
@@ -415,6 +595,7 @@ def sum(a: Any, axis=None, keepdims: bool = False) -> Any:
 def mean(a: Any, axis=None, keepdims: bool = False) -> Any:
     """Arithmetic mean over the given axis."""
     av = value_of(a)
+    axis = _probe_reduce_axis(axis, av.ndim, _probe_batch(a))
     out = np.mean(av, axis=axis, keepdims=keepdims)
     parents = _traced_parents(a)
     count = av.size if axis is None else np.prod(
@@ -448,6 +629,7 @@ def _minmax_vjp(av: np.ndarray, out: np.ndarray, axis, keepdims: bool):
 def max(a: Any, axis=None, keepdims: bool = False) -> Any:
     """Maximum over the given axis (ties share the cotangent equally)."""
     av = value_of(a)
+    axis = _probe_reduce_axis(axis, av.ndim, _probe_batch(a))
     out = np.max(av, axis=axis, keepdims=keepdims)
     parents = _traced_parents(a)
     return _record("max", out, parents, _minmax_vjp(av, out, axis, keepdims))
@@ -456,6 +638,7 @@ def max(a: Any, axis=None, keepdims: bool = False) -> Any:
 def min(a: Any, axis=None, keepdims: bool = False) -> Any:
     """Minimum over the given axis (ties share the cotangent equally)."""
     av = value_of(a)
+    axis = _probe_reduce_axis(axis, av.ndim, _probe_batch(a))
     out = np.min(av, axis=axis, keepdims=keepdims)
     parents = _traced_parents(a)
     return _record("min", out, parents, _minmax_vjp(av, out, axis, keepdims))
@@ -464,6 +647,7 @@ def min(a: Any, axis=None, keepdims: bool = False) -> Any:
 def prod(a: Any, axis=None, keepdims: bool = False) -> Any:
     """Product over the given axis (assumes no exact zeros for the VJP)."""
     av = value_of(a)
+    axis = _probe_reduce_axis(axis, av.ndim, _probe_batch(a))
     out = np.prod(av, axis=axis, keepdims=keepdims)
     parents = _traced_parents(a)
 
@@ -499,8 +683,15 @@ def norm(a: Any, ord: int = 2) -> Any:
 # ---------------------------------------------------------------------------
 
 def reshape(a: Any, shape) -> Any:
-    """Reshape to ``shape`` (a view-like differentiable operation)."""
+    """Reshape to ``shape`` (a view-like differentiable operation).
+
+    ``shape`` is the *logical* target shape; under a batched probe sweep the
+    probe axis is preserved in front of it.
+    """
     av = value_of(a)
+    if _probe_batch(a) is not None:
+        shape = (av.shape[0],) + ((shape,) if np.ndim(shape) == 0
+                                  else tuple(shape))
     out = np.reshape(av, shape)
     parents = _traced_parents(a)
 
@@ -516,8 +707,14 @@ def ravel(a: Any) -> Any:
 
 
 def transpose(a: Any, axes=None) -> Any:
-    """Permute array axes."""
+    """Permute array axes (the probe axis, when present, stays in front)."""
     av = value_of(a)
+    if _probe_batch(a) is not None:
+        if axes is None:
+            axes = (0,) + tuple(range(av.ndim - 1, 0, -1))
+        else:
+            axes = (0,) + tuple(ax + 1 if ax >= 0 else av.ndim + ax
+                                for ax in axes)
     out = np.transpose(av, axes)
     parents = _traced_parents(a)
     if axes is None:
@@ -533,6 +730,9 @@ def transpose(a: Any, axes=None) -> Any:
 
 def swapaxes(a: Any, axis1: int, axis2: int) -> Any:
     """Interchange two axes."""
+    nb = _probe_batch(a)
+    axis1 = _probe_shift_axis(axis1, nb)
+    axis2 = _probe_shift_axis(axis2, nb)
     av = value_of(a)
     out = np.swapaxes(av, axis1, axis2)
     parents = _traced_parents(a)
@@ -545,6 +745,9 @@ def swapaxes(a: Any, axis1: int, axis2: int) -> Any:
 
 def moveaxis(a: Any, source, destination) -> Any:
     """Move array axes to new positions."""
+    nb = _probe_batch(a)
+    source = _probe_shift_axis(source, nb)
+    destination = _probe_shift_axis(destination, nb)
     av = value_of(a)
     out = np.moveaxis(av, source, destination)
     parents = _traced_parents(a)
@@ -556,8 +759,10 @@ def moveaxis(a: Any, source, destination) -> Any:
 
 
 def broadcast_to(a: Any, shape) -> Any:
-    """Broadcast to a new shape."""
+    """Broadcast to a new (logical) shape."""
     av = value_of(a)
+    if _probe_batch(a) is not None:
+        shape = (av.shape[0],) + tuple(shape)
     out = np.broadcast_to(av, shape)
     parents = _traced_parents(a)
 
@@ -568,8 +773,15 @@ def broadcast_to(a: Any, shape) -> Any:
 
 
 def squeeze(a: Any, axis=None) -> Any:
-    """Remove size-1 dimensions."""
+    """Remove size-1 dimensions (never the probe axis)."""
     av = value_of(a)
+    nb = _probe_batch(a)
+    if nb is not None:
+        if axis is None:
+            axis = tuple(ax for ax in range(1, av.ndim)
+                         if av.shape[ax] == 1)
+        else:
+            axis = _probe_shift_axis(axis, nb)
     out = np.squeeze(av, axis=axis)
     parents = _traced_parents(a)
 
@@ -580,7 +792,8 @@ def squeeze(a: Any, axis=None) -> Any:
 
 
 def expand_dims(a: Any, axis) -> Any:
-    """Insert a size-1 dimension at ``axis``."""
+    """Insert a size-1 dimension at (logical) ``axis``."""
+    axis = _probe_shift_axis(axis, _probe_batch(a))
     av = value_of(a)
     out = np.expand_dims(av, axis)
     parents = _traced_parents(a)
@@ -592,8 +805,16 @@ def expand_dims(a: Any, axis) -> Any:
 
 
 def concatenate(arrays: Sequence[Any], axis: int = 0) -> Any:
-    """Join arrays along an existing axis."""
+    """Join arrays along an existing (logical) axis."""
+    arrays = list(arrays)
     values = [value_of(a) for a in arrays]
+    nb = _probe_batch(*arrays)
+    if nb is not None:
+        axis = _probe_shift_axis(axis, nb)
+        # plain operands gain the probe axis so every part is batched
+        values = [v if _is_traced(arr)
+                  else np.broadcast_to(v, (nb,) + np.shape(v))
+                  for arr, v in zip(arrays, values)]
     out = np.concatenate(values, axis=axis)
     parents = _traced_parents(*arrays)
     # offsets of every *traced* input along the concat axis
@@ -613,8 +834,15 @@ def concatenate(arrays: Sequence[Any], axis: int = 0) -> Any:
 
 
 def stack(arrays: Sequence[Any], axis: int = 0) -> Any:
-    """Join arrays along a new axis."""
+    """Join arrays along a new (logical) axis."""
+    arrays = list(arrays)
     values = [value_of(a) for a in arrays]
+    nb = _probe_batch(*arrays)
+    if nb is not None:
+        axis = _probe_shift_axis(axis, nb)
+        values = [v if _is_traced(arr)
+                  else np.broadcast_to(v, (nb,) + np.shape(v))
+                  for arr, v in zip(arrays, values)]
     out = np.stack(values, axis=axis)
     parents = _traced_parents(*arrays)
 
@@ -629,8 +857,12 @@ def stack(arrays: Sequence[Any], axis: int = 0) -> Any:
 
 
 def flip(a: Any, axis=None) -> Any:
-    """Reverse element order along the given axis."""
+    """Reverse element order along the given (logical) axis."""
     av = value_of(a)
+    nb = _probe_batch(a)
+    if nb is not None:
+        axis = tuple(range(1, av.ndim)) if axis is None \
+            else _probe_shift_axis(axis, nb)
     out = np.flip(av, axis=axis)
     parents = _traced_parents(a)
 
@@ -641,8 +873,23 @@ def flip(a: Any, axis=None) -> Any:
 
 
 def roll(a: Any, shift, axis=None) -> Any:
-    """Circularly shift elements along an axis (periodic stencils)."""
+    """Circularly shift elements along a (logical) axis."""
     av = value_of(a)
+    nb = _probe_batch(a)
+    if nb is not None and axis is None:
+        # numpy's axis=None rolls the flattened array; per probe that means
+        # rolling each flattened probe slice
+        flat_shape = (av.shape[0], -1)
+        out = np.roll(av.reshape(flat_shape), shift, axis=1).reshape(av.shape)
+        parents = _traced_parents(a)
+
+        def vjp_flat(g: np.ndarray) -> tuple:
+            g2 = np.asarray(g).reshape(flat_shape)
+            return (np.roll(g2, -np.asarray(shift) if np.ndim(shift)
+                            else -shift, axis=1).reshape(av.shape),)
+
+        return _record("roll", out, parents, vjp_flat)
+    axis = _probe_shift_axis(axis, nb)
     out = np.roll(av, shift, axis=axis)
     parents = _traced_parents(a)
 
@@ -654,14 +901,22 @@ def roll(a: Any, shift, axis=None) -> Any:
 
 
 def pad_zero(a: Any, pad_width) -> Any:
-    """Zero-pad an array (``numpy.pad`` with constant zeros)."""
+    """Zero-pad an array (``numpy.pad`` with constant zeros).
+
+    ``pad_width`` refers to the logical dimensions; the probe axis (when
+    present) is never padded.
+    """
     av = value_of(a)
-    out = np.pad(av, pad_width, mode="constant")
-    parents = _traced_parents(a)
+    nb = _probe_batch(a)
+    lndim = av.ndim - 1 if nb is not None else av.ndim
     norm_pad = np.asarray(np.broadcast_to(np.asarray(pad_width, dtype=np.int64)
                                           .reshape(-1, 2) if np.ndim(pad_width) > 0
                                           else [[pad_width, pad_width]],
-                                          (av.ndim, 2)))
+                                          (lndim, 2)))
+    if nb is not None:
+        norm_pad = np.vstack([[[0, 0]], norm_pad])
+    out = np.pad(av, norm_pad, mode="constant")
+    parents = _traced_parents(a)
 
     def vjp(g: np.ndarray) -> tuple:
         index = tuple(slice(before, before + size)
@@ -694,28 +949,75 @@ def _is_advanced(index: Any) -> bool:
 
 
 def getitem(a: Any, index: Any) -> Any:
-    """Differentiable ``a[index]`` (basic slicing or advanced indexing)."""
+    """Differentiable ``a[index]`` (basic slicing or advanced indexing).
+
+    Index expressions always address the logical dimensions; under a
+    batched probe sweep a full slice of the probe axis is prepended, so
+    every probe slice is indexed identically.
+    """
     av = value_of(a)
     idx = _index_values(index)
-    out = av[idx]
+    nb = _probe_batch(a)
+    full_idx = _probe_index(idx, nb)
+    out = av[full_idx]
+    if nb is not None and _is_advanced(idx):
+        # numpy places the advanced-index subspace before the probe slice in
+        # memory; restore C order so every probe row is laid out exactly
+        # like the unbatched gather (downstream reductions then use the
+        # same summation order, keeping probe slices bitwise faithful)
+        out = np.ascontiguousarray(out)
     parents = _traced_parents(a)
     advanced = _is_advanced(idx)
 
     def vjp(g: np.ndarray) -> tuple:
         grad = np.zeros(av.shape, dtype=np.result_type(g, np.float64))
         if advanced:
-            np.add.at(grad, idx, g)
+            np.add.at(grad, full_idx, g)
         else:
-            grad[idx] += g
+            grad[full_idx] += g
         return (grad,)
 
     return _record("getitem", out, parents, vjp, meta={"index": idx})
 
 
 def take(a: Any, indices: Any, axis=None) -> Any:
-    """Differentiable ``numpy.take``."""
+    """Differentiable ``numpy.take`` (``axis`` addresses logical dims)."""
     av = value_of(a)
     idx = _index_values(indices)
+    nb = _probe_batch(a)
+    if nb is not None:
+        if axis is None:
+            # numpy's axis=None takes from the flattened array; per probe
+            # that means taking from each flattened probe slice
+            flat = av.reshape(av.shape[0], -1)
+            out = np.take(flat, idx, axis=1)
+            parents = _traced_parents(a)
+
+            def vjp_flat(g: np.ndarray) -> tuple:
+                grad = np.zeros(av.shape,
+                                dtype=np.result_type(g, np.float64))
+                gflat = grad.reshape(grad.shape[0], -1)
+                np.add.at(gflat, (slice(None),
+                                  np.asarray(idx).reshape(-1)),
+                          np.asarray(g).reshape(g.shape[0] if np.ndim(g)
+                                                else 1, -1))
+                return (grad,)
+
+            return _record("take", out, parents, vjp_flat,
+                           meta={"indices": np.asarray(idx), "axis": axis})
+        # a single advanced index at `axis` is exactly np.take(..., axis)
+        ax1 = _probe_shift_axis(axis, nb)
+        take_idx = (slice(None),) * ax1 + (np.asarray(idx),)
+        out = np.ascontiguousarray(av[take_idx])
+        parents = _traced_parents(a)
+
+        def vjp_axis(g: np.ndarray) -> tuple:
+            grad = np.zeros(av.shape, dtype=np.result_type(g, np.float64))
+            np.add.at(grad, take_idx, g)
+            return (grad,)
+
+        return _record("take", out, parents, vjp_axis,
+                       meta={"indices": np.asarray(idx), "axis": axis})
     out = np.take(av, idx, axis=axis)
     parents = _traced_parents(a)
 
@@ -736,6 +1038,17 @@ def take(a: Any, indices: Any, axis=None) -> Any:
                    meta={"indices": np.asarray(idx), "axis": axis})
 
 
+def _index_roles(a: Any, b: Any) -> tuple[str, ...]:
+    """Operand roles of an indexed-write primitive, aligned with parents.
+
+    Consumed by the activity analysis (:mod:`repro.ad.activity`), which
+    must distinguish a leaf appearing as the written-into *target* from a
+    leaf appearing as the *value/addend* operand.
+    """
+    return tuple(role for role, x in (("target", a), ("value", b))
+                 if _is_traced(x))
+
+
 def index_update(a: Any, index: Any, b: Any) -> Any:
     """Functional update: a copy of ``a`` with ``a[index] = b``.
 
@@ -746,22 +1059,34 @@ def index_update(a: Any, index: Any, b: Any) -> Any:
     """
     av, bv = value_of(a), value_of(b)
     idx = _index_values(index)
-    out = np.array(av, copy=True)
-    out[idx] = bv
+    nb = _probe_batch(a, b)
+    full_idx = _probe_index(idx, nb)
+    if nb is not None and not _is_traced(a):
+        # plain target written with batched values: the copy gains the axis.
+        # Copy in C order -- an order-'K' copy of the broadcast view would
+        # give the probe axis the smallest stride, changing downstream
+        # reduction orders away from the per-probe layout.
+        av = np.broadcast_to(av, (nb,) + np.shape(av))
+        out = np.array(av, copy=True, order="C")
+    else:
+        out = np.array(av, copy=True)
+    out[full_idx] = bv
     parents = _traced_parents(a, b)
 
     def vjp(g: np.ndarray) -> tuple:
         grads = []
         if isinstance(a, ADArray) and a.node is not None:
             ga = np.array(g, copy=True)
-            ga[idx] = 0.0
+            ga[full_idx] = 0.0
             grads.append(ga)
         if isinstance(b, ADArray) and b.node is not None:
-            gb = np.asarray(g)[idx]
-            grads.append(_unbroadcast(gb, np.shape(bv)))
+            gb = np.asarray(g)[full_idx]
+            grads.append(_unbroadcast_keep_probe(gb, np.shape(bv),
+                                                 nb is not None))
         return tuple(grads)
 
-    return _record("index_update", out, parents, vjp, meta={"index": idx})
+    return _record("index_update", out, parents, vjp,
+                   meta={"index": idx, "roles": _index_roles(a, b)})
 
 
 def index_add(a: Any, index: Any, b: Any) -> Any:
@@ -769,8 +1094,15 @@ def index_add(a: Any, index: Any, b: Any) -> Any:
     (unbuffered, i.e. repeated indices accumulate as ``np.add.at`` does)."""
     av, bv = value_of(a), value_of(b)
     idx = _index_values(index)
-    out = np.array(av, copy=True)
-    np.add.at(out, idx, bv)
+    nb = _probe_batch(a, b)
+    full_idx = _probe_index(idx, nb)
+    if nb is not None and not _is_traced(a):
+        # see index_update: lift the plain target in C order
+        av = np.broadcast_to(av, (nb,) + np.shape(av))
+        out = np.array(av, copy=True, order="C")
+    else:
+        out = np.array(av, copy=True)
+    np.add.at(out, full_idx, bv)
     parents = _traced_parents(a, b)
 
     def vjp(g: np.ndarray) -> tuple:
@@ -778,26 +1110,37 @@ def index_add(a: Any, index: Any, b: Any) -> Any:
         if isinstance(a, ADArray) and a.node is not None:
             grads.append(np.asarray(g))
         if isinstance(b, ADArray) and b.node is not None:
-            gb = np.asarray(g)[idx]
-            grads.append(_unbroadcast(gb, np.shape(bv)))
+            gb = np.asarray(g)[full_idx]
+            grads.append(_unbroadcast_keep_probe(gb, np.shape(bv),
+                                                 nb is not None))
         return tuple(grads)
 
-    return _record("index_add", out, parents, vjp, meta={"index": idx})
+    return _record("index_add", out, parents, vjp,
+                   meta={"index": idx, "roles": _index_roles(a, b)})
 
 
 def where(cond: Any, a: Any, b: Any) -> Any:
     """Elementwise select; the condition is treated as non-differentiable."""
     cv = value_of(cond).astype(bool)
-    av, bv = value_of(a), value_of(b)
+    av0, bv0 = value_of(a), value_of(b)
+    nb = _probe_batch(a, b)
+    if nb is not None:
+        av, bv = _probe_align(nb, (av0, _is_traced(a)), (bv0, _is_traced(b)))
+    else:
+        av, bv = av0, bv0
     out = np.where(cv, av, bv)
     parents = _traced_parents(a, b)
+    a_shape, b_shape = np.shape(av0), np.shape(bv0)
+    a_lift, b_lift = np.shape(av), np.shape(bv)
 
     def vjp(g: np.ndarray) -> tuple:
         grads = []
         if isinstance(a, ADArray) and a.node is not None:
-            grads.append(_unbroadcast(g * cv, np.shape(av)))
+            grads.append(_probe_restore(_unbroadcast(g * cv, a_lift),
+                                        a_shape))
         if isinstance(b, ADArray) and b.node is not None:
-            grads.append(_unbroadcast(g * (~cv), np.shape(bv)))
+            grads.append(_probe_restore(_unbroadcast(g * (~cv), b_lift),
+                                        b_shape))
         return tuple(grads)
 
     return _record("where", out, parents, vjp)
@@ -849,8 +1192,13 @@ def matmul(a: Any, b: Any) -> Any:
 
     Supports 1-D and 2-D operands and batched stacks of matrices (the cases
     exercised by the NPB kernels: DFT matrices, block solves and dot
-    products).
+    products).  Under a batched probe sweep the traced operands' *logical*
+    ranks decide the vector/matrix semantics and the probe axis broadcasts
+    as a leading batch dimension.
     """
+    nb = _probe_batch(a, b)
+    if nb is not None:
+        return _probe_matmul(a, b, nb)
     av, bv = value_of(a), value_of(b)
     out = np.matmul(av, bv)
     parents = _traced_parents(a, b)
@@ -863,6 +1211,77 @@ def matmul(a: Any, b: Any) -> Any:
         if isinstance(b, ADArray) and b.node is not None:
             grads.append(_matmul_grad_b(g, av, bv))
         return tuple(grads)
+
+    return _record("matmul", out, parents, vjp)
+
+
+def _probe_matmul(a: Any, b: Any, nb: int) -> Any:
+    """Probe-batched matmul: logical vectors are lifted to matrices, the
+    probe axis broadcasts as a batch dimension, and the inserted singleton
+    axes are squeezed back out of both the value and the cotangents."""
+    av, bv = value_of(a), value_of(b)
+    la = av.ndim - 1 if _is_traced(a) else av.ndim
+    lb = bv.ndim - 1 if _is_traced(b) else bv.ndim
+    if la == 0 or lb == 0:
+        raise ProbeBatchingError("matmul operands must be at least 1-D")
+    if la == 2 and lb == 1 and not _is_traced(a) and _is_traced(b):
+        return _probe_matvec_multirhs(a, av, b, bv)
+    av_m = av[..., None, :] if la == 1 else av
+    bv_m = bv[..., :, None] if lb == 1 else bv
+    out_m = np.matmul(av_m, bv_m)
+    if la == 1 and lb == 1:
+        out = out_m[..., 0, 0]
+    elif la == 1:
+        out = out_m[..., 0, :]
+    elif lb == 1:
+        out = out_m[..., :, 0]
+    else:
+        out = out_m
+    parents = _traced_parents(a, b)
+
+    def vjp(g: np.ndarray) -> tuple:
+        g = np.asarray(g)
+        if la == 1 and lb == 1:
+            g_m = g[..., None, None]
+        elif la == 1:
+            g_m = g[..., None, :]
+        elif lb == 1:
+            g_m = g[..., :, None]
+        else:
+            g_m = g
+        grads = []
+        if _is_traced(a):
+            ga = np.matmul(g_m, np.swapaxes(bv_m, -1, -2))
+            grads.append(_unbroadcast_keep_probe(ga, av_m.shape,
+                                                 True).reshape(av.shape))
+        if _is_traced(b):
+            gb = np.matmul(np.swapaxes(av_m, -1, -2), g_m)
+            grads.append(_unbroadcast_keep_probe(gb, bv_m.shape,
+                                                 True).reshape(bv.shape))
+        return tuple(grads)
+
+    return _record("matmul", out, parents, vjp)
+
+
+def _probe_matvec_multirhs(a: Any, av: np.ndarray, b: Any,
+                           bv: np.ndarray) -> Any:
+    """Plain matrix times a batch of probe vectors as one multi-RHS GEMM.
+
+    ``A @ v`` per probe equals one GEMM with the probe vectors as rows
+    (``out[p] = (bv @ A^T)[p]``), which reads the constant matrix once for
+    *all* probes instead of once per probe -- the dominant win for
+    memory-bound matvec kernels (CG's 1400x1400 solves).  The GEMM regroups
+    each dot product's accumulation, so nonzero gradient values may differ
+    from the per-probe gemv by ~1 ulp; criticality masks are unaffected
+    because structural zeros are never touched by any arithmetic (their
+    cotangent buffers simply stay unwritten in both formulations).
+    """
+    out = np.matmul(bv, np.swapaxes(av, -1, -2))
+    parents = _traced_parents(a, b)
+
+    def vjp(g: np.ndarray) -> tuple:
+        # d out[p, i] / d bv[p, k] = av[i, k]  ->  gb = g @ av
+        return (np.matmul(np.asarray(g), av),)
 
     return _record("matmul", out, parents, vjp)
 

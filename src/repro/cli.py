@@ -36,6 +36,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.core.criticality import DEFAULT_PROBE_SCALE
 from repro.experiments import (ExperimentRunner, ablation, figures,
                                incremental, precision, table1, table2,
                                table3, verify)
@@ -62,6 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="criticality analysis method")
     parser.add_argument("--probes", type=int, default=1,
                         help="number of AD probes per variable")
+    parser.add_argument("--probe-batching", default="batched",
+                        choices=("batched", "per-probe"),
+                        help="how multi-probe AD runs execute: 'batched' "
+                             "stacks all probe states along a leading probe "
+                             "axis and runs one trace plus one sweep "
+                             "(identical masks, automatic per-probe "
+                             "fallback for kernels that cannot broadcast); "
+                             "'per-probe' forces one trace per probe")
+    parser.add_argument("--probe-scale", type=float,
+                        default=DEFAULT_PROBE_SCALE,
+                        help="relative magnitude of the probe "
+                             "perturbations; part of the result-cache key, "
+                             "so different magnitudes never alias")
     parser.add_argument("--sweep", default="monolithic",
                         choices=("monolithic", "segmented"),
                         help="reverse-sweep strategy of the AD analyses: "
@@ -138,7 +152,9 @@ def _make_runner(args: argparse.Namespace,
                             step=step, workers=args.workers,
                             cache_dir=args.cache_dir,
                             use_cache=not args.no_cache,
-                            sweep=args.sweep)
+                            sweep=args.sweep,
+                            probe_scale=args.probe_scale,
+                            probe_batching=args.probe_batching)
 
 
 def _run_analyze(args: argparse.Namespace) -> int:

@@ -18,7 +18,8 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from repro.core.criticality import CriticalityAnalyzer, VariableCriticality
+from repro.core.criticality import (DEFAULT_PROBE_SCALE, CriticalityAnalyzer,
+                                    VariableCriticality)
 from repro.core.masks import MaskSummary
 from repro.core.regions import Region
 from repro.core.report import pruned_variable_nbytes
@@ -169,7 +170,9 @@ def scrutinize(bench, step: int | None = None,
                method: str = "ad", n_probes: int = 1,
                steps: int | None = None,
                rng: np.random.Generator | None = None,
-               sweep: str = "monolithic") -> ScrutinyResult:
+               sweep: str = "monolithic",
+               probe_scale: float = DEFAULT_PROBE_SCALE,
+               probe_batching: str = "batched") -> ScrutinyResult:
     """Run the full element-level analysis of one benchmark.
 
     Parameters
@@ -184,10 +187,13 @@ def scrutinize(bench, step: int | None = None,
         benchmarks -- see the property tests).
     state:
         Explicit checkpoint state; overrides ``step`` when given.
-    method, n_probes, steps, rng, sweep:
+    method, n_probes, steps, rng, sweep, probe_scale, probe_batching:
         Forwarded to :class:`~repro.core.criticality.CriticalityAnalyzer`;
         ``sweep="segmented"`` bounds the AD tape memory to one main-loop
-        iteration (bitwise-identical masks).
+        iteration (bitwise-identical masks), ``probe_batching="batched"``
+        (the default) runs all probes from a single trace with an automatic
+        per-probe fallback, and ``probe_scale`` sets the relative magnitude
+        of the probe perturbations.
     """
     # ``analysis_step`` feeds the analyzer's per-analysis probe-rng
     # derivation: for an explicit state with no explicit step it stays
@@ -204,7 +210,9 @@ def scrutinize(bench, step: int | None = None,
         state = dict(state)
 
     analyzer = CriticalityAnalyzer(method=method, n_probes=n_probes,
-                                   steps=steps, rng=rng, sweep=sweep)
+                                   steps=steps, rng=rng, sweep=sweep,
+                                   probe_scale=probe_scale,
+                                   probe_batching=probe_batching)
     variables = analyzer.analyze(bench, state=state, step=analysis_step)
     return ScrutinyResult(
         benchmark=bench.name,

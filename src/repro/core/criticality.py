@@ -33,12 +33,14 @@ treatment of loop counters, keys and bucket pointers.
 from __future__ import annotations
 
 import hashlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.ad import activity as activity_mod
+from repro.ad import probes as probes_mod
 from repro.ad.reverse import backward
 from repro.ad.segmented import segmented_gradients
 from repro.ad.tensor import value_of
@@ -49,6 +51,8 @@ from repro.core.variables import CheckpointVariable, VariableKind
 __all__ = [
     "METHODS",
     "SWEEPS",
+    "PROBE_BATCHING",
+    "DEFAULT_PROBE_SCALE",
     "VariableCriticality",
     "CriticalityAnalyzer",
     "criticality_from_gradient",
@@ -61,6 +65,15 @@ METHODS = ("ad", "activity", "rule")
 
 #: recognised reverse-sweep strategies for the AD method
 SWEEPS = ("monolithic", "segmented")
+
+#: recognised multi-probe execution strategies for the AD method
+PROBE_BATCHING = ("batched", "per-probe")
+
+#: default relative magnitude of the probe perturbations -- the single
+#: source of truth for every layer (analyzer, scrutinize, runners, store
+#: key, CLI); keyed into the result store, so changing it here invalidates
+#: exactly the entries it should
+DEFAULT_PROBE_SCALE = 1.0e-3
 
 #: base seed of the per-analysis probe generators (and the legacy default)
 _PROBE_SEED = 20241117
@@ -204,25 +217,39 @@ class CriticalityAnalyzer:
         (:mod:`repro.ad.segmented` -- one iteration's tape at a time, peak
         memory bounded by a single iteration, bitwise-identical masks).
         Ignored by the "activity" and "rule" methods.
+    probe_batching:
+        How ``n_probes > 1`` AD evaluations are executed: ``"batched"``
+        (the default) stacks all probe states along a leading probe axis
+        and runs **one** traced forward plus **one** reverse sweep
+        (:mod:`repro.ad.probes`), falling back automatically -- with a
+        :class:`RuntimeWarning` -- for benchmarks whose kernels cannot
+        broadcast over the probe axis; ``"per-probe"`` forces the legacy
+        one-trace-per-probe loop.  Both produce identical masks (pinned in
+        ``tests/ad/test_probes.py``); ignored when ``n_probes == 1``.
     """
 
     def __init__(self, method: str = "ad", n_probes: int = 1,
-                 probe_scale: float = 1.0e-3,
+                 probe_scale: float = DEFAULT_PROBE_SCALE,
                  rng: np.random.Generator | None = None,
                  steps: int | None = None,
-                 sweep: str = "monolithic") -> None:
+                 sweep: str = "monolithic",
+                 probe_batching: str = "batched") -> None:
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
         if n_probes < 1:
             raise ValueError("n_probes must be at least 1")
         if sweep not in SWEEPS:
             raise ValueError(f"unknown sweep {sweep!r}; choose from {SWEEPS}")
+        if probe_batching not in PROBE_BATCHING:
+            raise ValueError(f"unknown probe_batching {probe_batching!r}; "
+                             f"choose from {PROBE_BATCHING}")
         self.method = method
         self.n_probes = int(n_probes)
         self.probe_scale = float(probe_scale)
         self.rng = rng
         self.steps = steps
         self.sweep = sweep
+        self.probe_batching = probe_batching
 
     # ------------------------------------------------------------------
     # public API
@@ -317,15 +344,29 @@ class CriticalityAnalyzer:
                   rng: np.random.Generator
                   ) -> dict[str, VariableCriticality]:
         watch = self._watched_keys(variables)
-        base_grads = self._gradients(bench, state, watch)
-        key_masks = {key: criticality_from_gradient(g)
-                     for key, g in base_grads.items()}
-
+        # all probe states are drawn up front (base state first); the draw
+        # order over (probe, key) is identical to the legacy interleaved
+        # loop, so masks are unchanged for any probe_batching choice
+        states = [dict(state)]
         for probe in range(1, self.n_probes):
-            probed_state = self._perturb_state(state, watch, probe, rng)
-            probe_grads = self._gradients(bench, probed_state, watch)
-            for key, g in probe_grads.items():
-                key_masks[key] |= criticality_from_gradient(g)
+            states.append(self._perturb_state(state, watch, probe, rng))
+
+        stacked = None
+        if self.probe_batching == "batched" and len(states) > 1:
+            stacked = self._batched_probe_gradients(bench, states, watch)
+
+        if stacked is not None:
+            base_grads = {key: np.asarray(stacked[key][0]) for key in watch}
+            key_masks = {key: criticality_from_gradient(stacked[key])
+                         .any(axis=0) for key in watch}
+        else:
+            base_grads = self._gradients(bench, states[0], watch)
+            key_masks = {key: criticality_from_gradient(g)
+                         for key, g in base_grads.items()}
+            for probed_state in states[1:]:
+                probe_grads = self._gradients(bench, probed_state, watch)
+                for key, g in probe_grads.items():
+                    key_masks[key] |= criticality_from_gradient(g)
 
         results: dict[str, VariableCriticality] = {}
         for var in variables:
@@ -336,6 +377,38 @@ class CriticalityAnalyzer:
                 var, mask.reshape(var.shape), method="ad",
                 gradients=gradients)
         return results
+
+    def _batched_probe_gradients(self, bench, states: Sequence[Mapping[str, Any]],
+                                 watch: Sequence[str]
+                                 ) -> dict[str, np.ndarray] | None:
+        """Stacked ``(n_probes,) + shape`` gradients, or ``None`` to fall
+        back to the per-probe loop when the benchmark cannot broadcast.
+
+        A benchmark that simply does not expose the probe-tracing API (a
+        custom :class:`RestartableApplication`) falls back silently; a
+        kernel that *fails* mid-trace falls back with a
+        :class:`RuntimeWarning` so the slowdown is explainable.
+        """
+        hooks = ("traced_step_probes", "traced_output_probes") \
+            if self.sweep == "segmented" else ("traced_restart_probes",)
+        if not all(callable(getattr(bench, hook, None)) for hook in hooks):
+            return None
+        try:
+            if self.sweep == "segmented":
+                return probes_mod.segmented_batched_gradients(
+                    bench, states, watch=list(watch), steps=self.steps)
+            return probes_mod.batched_gradients(bench, states,
+                                                watch=list(watch),
+                                                steps=self.steps)
+        except Exception as exc:  # noqa: BLE001 - any kernel may refuse to
+            # broadcast over the probe axis; the per-probe path is always
+            # available and produces identical masks
+            warnings.warn(
+                f"batched probe sweep unavailable for "
+                f"{getattr(bench, 'name', bench)!r} "
+                f"({type(exc).__name__}: {exc}); falling back to the "
+                f"per-probe path", RuntimeWarning, stacklevel=3)
+            return None
 
     def _gradients(self, bench, state: Mapping[str, Any],
                    watch: Sequence[str]) -> dict[str, np.ndarray]:
@@ -359,14 +432,25 @@ class CriticalityAnalyzer:
     def _perturb_state(self, state: Mapping[str, Any],
                        watch: Sequence[str], probe: int,
                        rng: np.random.Generator) -> dict[str, Any]:
-        """Perturbed copy of the floating-point checkpoint state."""
+        """Perturbed copy of the floating-point checkpoint state.
+
+        Every perturbed entry keeps the original entry's dtype: a float32
+        variable must be probed *as* float32, or the probe sweeps would
+        trace at a different precision than probe 0 (the base state).
+        The noise itself is drawn and scaled in float64 (identical draws to
+        earlier versions) and cast once at the end.
+        """
         del probe  # each call draws fresh noise from the generator
         perturbed = dict(state)
         for key in watch:
-            base = np.asarray(value_of(state[key]), dtype=np.float64)
+            original = np.asarray(value_of(state[key]))
+            base = np.asarray(original, dtype=np.float64)
             rms = float(np.sqrt(np.mean(base ** 2)))
             scale = self.probe_scale * (rms if rms > 0 else 1.0)
-            perturbed[key] = base + scale * rng.standard_normal(base.shape)
+            probed = base + scale * rng.standard_normal(base.shape)
+            dtype = original.dtype \
+                if np.issubdtype(original.dtype, np.floating) else np.float64
+            perturbed[key] = probed.astype(dtype, copy=False)
         return perturbed
 
     # ------------------------------------------------------------------

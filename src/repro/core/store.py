@@ -52,7 +52,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.core.analysis import ScrutinyResult
-from repro.core.criticality import VariableCriticality
+from repro.core.criticality import DEFAULT_PROBE_SCALE, VariableCriticality
 from repro.core.variables import CheckpointVariable, VariableKind
 
 __all__ = ["ResultStore", "cache_key"]
@@ -61,8 +61,9 @@ __all__ = ["ResultStore", "cache_key"]
 _FORMAT = 1
 
 #: key-parameter names, in canonical order
-_KEY_FIELDS = ("benchmark", "problem_class", "method", "n_probes", "step",
-               "steps", "sweep", "version")
+_KEY_FIELDS = ("benchmark", "problem_class", "method", "n_probes",
+               "probe_scale", "probe_batching", "step", "steps", "sweep",
+               "version")
 
 
 def _package_version() -> str:
@@ -76,16 +77,21 @@ def _package_version() -> str:
 def cache_key(*, benchmark: str, problem_class: str, method: str,
               n_probes: int, step: int | None = None,
               steps: int | None = None, sweep: str = "monolithic",
+              probe_scale: float = DEFAULT_PROBE_SCALE,
+              probe_batching: str = "batched",
               version: str | None = None) -> str:
     """Content address of one analysis configuration.
 
     ``step``/``steps`` of ``None`` mean the benchmark defaults (mid-run
     checkpoint, analyse to completion) and key as such; they are resolved
     deterministically from the other parameters, so the defaults never
-    alias an explicit value.  ``sweep`` is part of the key even though both
-    strategies produce bitwise-identical masks: keeping the entries separate
-    lets the equivalence be *checked* from cached artefacts rather than
-    assumed.
+    alias an explicit value.  ``sweep`` and ``probe_batching`` are part of
+    the key even though the alternative strategies produce identical masks:
+    keeping the entries separate lets the equivalence be *checked* from
+    cached artefacts rather than assumed.  ``probe_scale`` is keyed via its
+    shortest-round-trip ``repr``, so two runs with different perturbation
+    magnitudes can never alias the same entry (they probe genuinely
+    different base states).
     """
     payload = {
         "format": _FORMAT,
@@ -93,6 +99,8 @@ def cache_key(*, benchmark: str, problem_class: str, method: str,
         "problem_class": str(problem_class),
         "method": str(method),
         "n_probes": int(n_probes),
+        "probe_scale": float(probe_scale),
+        "probe_batching": str(probe_batching),
         "step": None if step is None else int(step),
         "steps": None if steps is None else int(steps),
         "sweep": str(sweep),
@@ -157,11 +165,14 @@ class ResultStore:
     # ------------------------------------------------------------------
     def key(self, *, benchmark: str, problem_class: str, method: str,
             n_probes: int, step: int | None = None,
-            steps: int | None = None, sweep: str = "monolithic") -> str:
+            steps: int | None = None, sweep: str = "monolithic",
+            probe_scale: float = DEFAULT_PROBE_SCALE,
+            probe_batching: str = "batched") -> str:
         """Cache key of one analysis configuration under this store."""
         return cache_key(benchmark=benchmark, problem_class=problem_class,
                          method=method, n_probes=n_probes, step=step,
-                         steps=steps, sweep=sweep, version=self.version)
+                         steps=steps, sweep=sweep, probe_scale=probe_scale,
+                         probe_batching=probe_batching, version=self.version)
 
     def _paths(self, benchmark: str, key: str) -> tuple[Path, Path]:
         directory = self.root / str(benchmark).upper()
@@ -296,16 +307,21 @@ class ResultStore:
     def fetch(self, *, benchmark: str, problem_class: str, method: str,
               n_probes: int, step: int | None = None,
               steps: int | None = None,
-              sweep: str = "monolithic") -> ScrutinyResult | None:
+              sweep: str = "monolithic",
+              probe_scale: float = DEFAULT_PROBE_SCALE,
+              probe_batching: str = "batched") -> ScrutinyResult | None:
         """``load`` keyed directly by analysis parameters."""
         key = self.key(benchmark=benchmark, problem_class=problem_class,
                        method=method, n_probes=n_probes, step=step,
-                       steps=steps, sweep=sweep)
+                       steps=steps, sweep=sweep, probe_scale=probe_scale,
+                       probe_batching=probe_batching)
         return self.load(benchmark, key)
 
     def put(self, result: ScrutinyResult, *, n_probes: int,
             step: int | None = None, steps: int | None = None,
-            sweep: str = "monolithic") -> Path:
+            sweep: str = "monolithic",
+            probe_scale: float = DEFAULT_PROBE_SCALE,
+            probe_batching: str = "batched") -> Path:
         """``save`` keyed by the parameters that produced ``result``.
 
         ``step`` is the *requested* checkpoint step (``None`` for the
@@ -315,7 +331,8 @@ class ResultStore:
         key = self.key(benchmark=result.benchmark,
                        problem_class=result.problem_class,
                        method=result.method, n_probes=n_probes, step=step,
-                       steps=steps, sweep=sweep)
+                       steps=steps, sweep=sweep, probe_scale=probe_scale,
+                       probe_batching=probe_batching)
         self.save(key, result)
         return self._paths(result.benchmark, key)[0]
 

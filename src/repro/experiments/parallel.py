@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.core.analysis import ScrutinyResult, scrutinize
+from repro.core.criticality import DEFAULT_PROBE_SCALE
 from repro.core.store import ResultStore
 from repro.npb import registry
 
@@ -49,6 +50,8 @@ class ScrutinyJob:
     step: int | None = None
     steps: int | None = None
     sweep: str = "monolithic"
+    probe_scale: float = DEFAULT_PROBE_SCALE
+    probe_batching: str = "batched"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmark", self.benchmark.upper())
@@ -63,6 +66,8 @@ class ScrutinyJob:
             "step": self.step,
             "steps": self.steps,
             "sweep": self.sweep,
+            "probe_scale": self.probe_scale,
+            "probe_batching": self.probe_batching,
         }
 
 
@@ -76,7 +81,8 @@ def run_job(job: ScrutinyJob) -> ScrutinyResult:
     bench = registry.create(job.benchmark, job.problem_class)
     return scrutinize(bench, step=job.step, method=job.method,
                       n_probes=job.n_probes, steps=job.steps,
-                      sweep=job.sweep)
+                      sweep=job.sweep, probe_scale=job.probe_scale,
+                      probe_batching=job.probe_batching)
 
 
 def default_workers() -> int:
@@ -148,7 +154,9 @@ class ParallelRunner:
                     try:
                         self.store.put(result, n_probes=job.n_probes,
                                        step=job.step, steps=job.steps,
-                                       sweep=job.sweep)
+                                       sweep=job.sweep,
+                                       probe_scale=job.probe_scale,
+                                       probe_batching=job.probe_batching)
                     except OSError:
                         # an unwritable store degrades to no persistence;
                         # it must never lose a computed result

@@ -26,7 +26,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.core.analysis import ScrutinyResult, scrutinize
-from repro.core.criticality import VariableCriticality
+from repro.core.criticality import DEFAULT_PROBE_SCALE, VariableCriticality
 from repro.core.store import ResultStore
 from repro.npb import registry
 
@@ -93,6 +93,14 @@ class ExperimentRunner:
         tape for the whole remaining computation) or ``"segmented"``
         (per-iteration tapes, peak memory bounded by one iteration;
         bitwise-identical masks).  The CLI's ``--sweep``.
+    probe_scale:
+        Relative magnitude of the probe perturbations; part of the cache
+        key, so runs with different magnitudes never alias.  The CLI's
+        ``--probe-scale``.
+    probe_batching:
+        ``"batched"`` (default: one trace and one sweep for all probes,
+        with automatic per-probe fallback) or ``"per-probe"`` (the legacy
+        loop).  The CLI's ``--probe-batching``.
     """
 
     def __init__(self, problem_class: str = "S", method: str = "ad",
@@ -101,13 +109,17 @@ class ExperimentRunner:
                  workers: int = 1,
                  cache_dir: str | Path | None = None,
                  use_cache: bool = True,
-                 sweep: str = "monolithic") -> None:
+                 sweep: str = "monolithic",
+                 probe_scale: float = DEFAULT_PROBE_SCALE,
+                 probe_batching: str = "batched") -> None:
         self.problem_class = problem_class
         self.method = method
         self.n_probes = int(n_probes)
         self.step = step
         self.rng = rng
         self.sweep = sweep
+        self.probe_scale = float(probe_scale)
+        self.probe_batching = probe_batching
         self.workers = max(1, int(workers))
         store = None
         if cache_dir is not None and use_cache and rng is None:
@@ -179,10 +191,14 @@ class ExperimentRunner:
             return {name: scrutinize(self.benchmark(name), step=self.step,
                                      method=self.method,
                                      n_probes=self.n_probes, rng=self.rng,
-                                     sweep=self.sweep)
+                                     sweep=self.sweep,
+                                     probe_scale=self.probe_scale,
+                                     probe_batching=self.probe_batching)
                     for name in names}
         jobs = [ScrutinyJob(benchmark=name, problem_class=self.problem_class,
                             method=self.method, n_probes=self.n_probes,
-                            step=self.step, sweep=self.sweep)
+                            step=self.step, sweep=self.sweep,
+                            probe_scale=self.probe_scale,
+                            probe_batching=self.probe_batching)
                 for name in names]
         return dict(zip(names, self.engine.run(jobs)))

@@ -276,6 +276,69 @@ class NPBBenchmark:
         return tape, leaves, out
 
     # ------------------------------------------------------------------
+    # batched multi-probe AD entry points (see repro.ad.probes)
+    # ------------------------------------------------------------------
+    def traced_restart_probes(self, states: Sequence[Mapping[str, Any]],
+                              watch: Sequence[str] | None = None,
+                              steps: int | None = None):
+        """Trace the restart computation of several probe states at once.
+
+        The watched entries of every state in ``states`` are stacked along a
+        leading probe axis and traced in **one** forward run under the
+        probe-batched semantics of :mod:`repro.ad.ops`; unwatched entries
+        are shared from ``states[0]`` (exactly what the per-probe path
+        does, since probing only perturbs watched keys).  Returns ``(tape,
+        leaves, output)`` where every leaf and the output carry the probe
+        axis.
+        """
+        from repro.ad.probes import probe_axis, stack_states
+
+        states = [concrete_state(s) for s in states]
+        if watch is None:
+            watch = self.default_watch_keys()
+        stacked = stack_states(states, list(watch))
+        traced_state, leaves, tape = self._watched_trace_state(stacked, watch)
+        with tape, probe_axis(len(states)):
+            out = self.restart_output(traced_state, steps=steps)
+        return tape, leaves, out
+
+    def traced_step_probes(self, stacked_state: Mapping[str, Any],
+                           n_probes: int,
+                           watch: Sequence[str] | None = None):
+        """Trace one iteration of an already-stacked probe state.
+
+        ``stacked_state`` carries ``(n_probes,) + shape`` arrays for every
+        watched entry (see :func:`repro.ad.probes.stack_states`); this is
+        the per-segment building block of the batched segmented sweep.
+        Returns ``(tape, leaves, next_state)`` exactly like
+        :meth:`traced_step`, with the probe axis threaded through.
+        """
+        from repro.ad.probes import probe_axis
+
+        state = concrete_state(stacked_state)
+        traced_state, leaves, tape = self._watched_trace_state(state, watch)
+        with tape, probe_axis(n_probes):
+            next_state = self._advance(traced_state)
+        return tape, leaves, next_state
+
+    def traced_output_probes(self, stacked_state: Mapping[str, Any],
+                             n_probes: int,
+                             watch: Sequence[str] | None = None):
+        """Trace only the output reduction of an already-stacked probe state.
+
+        Batched counterpart of :meth:`traced_output`; the traced output is a
+        ``(n_probes,)`` array holding every probe's scalar verification
+        value.
+        """
+        from repro.ad.probes import probe_axis
+
+        state = concrete_state(stacked_state)
+        traced_state, leaves, tape = self._watched_trace_state(state, watch)
+        with tape, probe_axis(n_probes):
+            out = self.output(traced_state)
+        return tape, leaves, out
+
+    # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -171,7 +171,9 @@ class FT(NPBBenchmark):
 
         def mat_apply(mat: np.ndarray, field: Any) -> Any:
             moved = ops.moveaxis(field, axis, 0)
-            rest_shape = tuple(ops.to_numpy(moved).shape[1:])
+            # logical_shape strips the probe axis of a batched sweep, so the
+            # reshape targets below stay in logical coordinates
+            rest_shape = tuple(ops.logical_shape(moved)[1:])
             rest = int(np.prod(rest_shape)) if rest_shape else 1
             flat = ops.reshape(moved, (n, rest))
             mixed = ops.matmul(mat, flat)

@@ -218,10 +218,13 @@ class MG(NPBBenchmark):
         for axis in range(3):
             moved = ops.moveaxis(out, axis, 0)
             n_in = matrix.shape[1]
-            rest = int(np.prod(ops.to_numpy(moved).shape[1:]))
+            # logical_shape strips the probe axis of a batched sweep, so the
+            # reshape targets below stay in logical coordinates
+            rest_shape = tuple(ops.logical_shape(moved)[1:])
+            rest = int(np.prod(rest_shape))
             flat = ops.reshape(moved, (n_in, rest))
             mixed = ops.matmul(matrix, flat)
-            new_shape = (matrix.shape[0],) + tuple(ops.to_numpy(moved).shape[1:])
+            new_shape = (matrix.shape[0],) + rest_shape
             out = ops.moveaxis(ops.reshape(mixed, new_shape), 0, axis)
         return out
 

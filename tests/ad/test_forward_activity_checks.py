@@ -105,6 +105,51 @@ class TestActivityAnalysis:
         assert not res.moved[0:2].any()
         assert res.moved[2:].all()
 
+    def test_index_add_addend_is_read(self):
+        # regression: a leaf appearing as the *added operand* of index_add
+        # is consumed by the addition, not merely moved -- it used to be
+        # classified as pure data movement
+        with Tape() as t:
+            x = t.watch(np.arange(4.0), name="x")
+            acc = ops.index_add(np.zeros(8), np.array([1, 2, 3, 4]), x)
+            ops.sum(acc)
+        res = activity.read_mask(t, x)
+        assert res.read.all()
+        assert not res.moved.any()
+
+    def test_index_add_target_is_moved_not_read(self):
+        with Tape() as t:
+            x = t.watch(np.arange(6.0), name="x")
+            acc = ops.index_add(x, np.array([0, 1]), np.ones(2))
+            ops.sum(acc)
+        res = activity.read_mask(t, x)
+        # every old value of the target survives into the copy (summed at
+        # the updated region): movement, not a read
+        assert not res.read.any()
+        assert res.moved.all()
+
+    def test_index_add_matches_ad_criticality(self):
+        # the AD gradient marks the addend critical; the fixed read-set
+        # analysis must agree (it used to report zero reads here)
+        with Tape() as t:
+            x = t.watch(np.arange(4.0) + 1.0, name="x")
+            acc = ops.index_add(np.zeros(8), np.array([1, 2, 3, 4]), x)
+            out = ops.sum(acc)
+        g = t.gradient(out, [x])[0]
+        res = activity.read_mask(t, x)
+        assert (g != 0.0).all()
+        assert res.read.all()
+
+    def test_index_update_value_operand_is_moved(self):
+        # a leaf written *into* another array travels verbatim: movement
+        with Tape() as t:
+            x = t.watch(np.arange(3.0), name="x")
+            y = ops.index_update(np.zeros(6), slice(0, 3), x)
+            ops.sum(y)
+        res = activity.read_mask(t, x)
+        assert not res.read.any()
+        assert res.moved.all()
+
     def test_activity_superset_of_ad_mask(self):
         rng = np.random.default_rng(0)
         base = rng.standard_normal(20)

@@ -66,6 +66,57 @@ class TestAnalyzerConstruction:
         with pytest.raises(ValueError):
             CriticalityAnalyzer(n_probes=0)
 
+    def test_unknown_probe_batching_rejected(self):
+        with pytest.raises(ValueError, match="probe_batching"):
+            CriticalityAnalyzer(probe_batching="vectorised")
+
+    def test_probe_batching_defaults_to_batched(self):
+        assert CriticalityAnalyzer().probe_batching == "batched"
+
+
+class TestPerturbStateDtypes:
+    """Regression: probe states must keep each entry's declared dtype."""
+
+    def _perturb(self, state, watch):
+        analyzer = CriticalityAnalyzer(n_probes=2)
+        return analyzer._perturb_state(state, watch, probe=1,
+                                       rng=np.random.default_rng(42))
+
+    def test_float32_entry_stays_float32(self):
+        state = {"a": np.linspace(0.0, 1.0, 8, dtype=np.float32),
+                 "b": np.ones(4, dtype=np.float64)}
+        perturbed = self._perturb(state, ["a", "b"])
+        assert perturbed["a"].dtype == np.float32
+        assert perturbed["b"].dtype == np.float64
+
+    def test_scalar_entries_keep_dtype(self):
+        state = {"s": np.float32(1.5), "t": np.float64(2.5)}
+        perturbed = self._perturb(state, ["s", "t"])
+        assert np.asarray(perturbed["s"]).dtype == np.float32
+        assert np.asarray(perturbed["t"]).dtype == np.float64
+
+    def test_non_float_watch_upcasts_to_float64(self):
+        # probing an integer-typed entry (possible for traced-as-float
+        # integer data) falls back to float64, never an integer dtype
+        state = {"i": np.arange(4)}
+        perturbed = self._perturb(state, ["i"])
+        assert perturbed["i"].dtype == np.float64
+
+    def test_draws_unchanged_by_dtype_fix(self):
+        # the noise stream must be identical to the historical float64
+        # behaviour (cast happens after the draw), or cached multi-probe
+        # masks would silently change
+        state = {"a": np.ones(8, dtype=np.float64)}
+        analyzer = CriticalityAnalyzer(n_probes=2)
+        new = analyzer._perturb_state(state, ["a"], 1,
+                                      np.random.default_rng(7))
+        rng = np.random.default_rng(7)
+        base = np.asarray(state["a"], dtype=np.float64)
+        rms = float(np.sqrt(np.mean(base ** 2)))
+        legacy = base + analyzer.probe_scale * rms \
+            * rng.standard_normal(base.shape)
+        np.testing.assert_array_equal(new["a"], legacy)
+
 
 @pytest.fixture(scope="module")
 def bench():

@@ -34,11 +34,28 @@ class TestCacheKey:
             dict(KEY_PARAMS, n_probes=2),
             dict(KEY_PARAMS, step=3),
             dict(KEY_PARAMS, steps=1),
+            dict(KEY_PARAMS, sweep="segmented"),
+            dict(KEY_PARAMS, probe_scale=1.0e-2),
+            dict(KEY_PARAMS, probe_batching="per-probe"),
             dict(KEY_PARAMS, version="0.0.0-other"),
         ]
         keys = [cache_key(**params) for params in variants]
         assert base not in keys
         assert len(set(keys)) == len(keys)
+
+    def test_probe_scale_never_aliases(self):
+        # regression: runs with different perturbation magnitudes probe
+        # different base states and must never share a cache entry
+        scales = (1.0e-3, 1.0e-2, 2.0e-3, 1.0e-3 + 1.0e-12)
+        keys = {cache_key(**KEY_PARAMS, probe_scale=s) for s in scales}
+        assert len(keys) == len(scales)
+
+    def test_probe_scale_defaults_to_analyzer_default(self):
+        from repro.core.criticality import CriticalityAnalyzer
+
+        default = CriticalityAnalyzer().probe_scale
+        assert cache_key(**KEY_PARAMS) \
+            == cache_key(**KEY_PARAMS, probe_scale=default)
 
     def test_defaults_to_package_version(self):
         assert cache_key(**KEY_PARAMS) == cache_key(
@@ -194,6 +211,36 @@ class TestRunnerIntegration:
                                              n_probes=3)
         three.result("CG")
         assert calls == ["CG"]
+
+    def test_probe_scale_change_invalidates(self, tmp_path, monkeypatch):
+        # regression: probe_scale used to be missing from the cache key,
+        # so two runs with different perturbation magnitudes aliased
+        default, _ = self._counting_runner(tmp_path, monkeypatch,
+                                           n_probes=2)
+        default.result("CG")
+
+        wider, calls = self._counting_runner(tmp_path, monkeypatch,
+                                             n_probes=2, probe_scale=1.0e-1)
+        wider.result("CG")
+        assert calls == ["CG"]           # different scale -> different key
+
+        again, calls = self._counting_runner(tmp_path, monkeypatch,
+                                             n_probes=2, probe_scale=1.0e-1)
+        again.result("CG")
+        assert calls == []               # same scale hits its own entry
+
+    def test_probe_batching_change_invalidates(self, tmp_path, monkeypatch):
+        batched, _ = self._counting_runner(tmp_path, monkeypatch,
+                                           n_probes=2)
+        batched.result("CG")
+
+        looped, calls = self._counting_runner(tmp_path, monkeypatch,
+                                              n_probes=2,
+                                              probe_batching="per-probe")
+        looped.result("CG")
+        assert calls == ["CG"]           # kept separate so the equivalence
+        #                                  can be checked from cached
+        #                                  artefacts rather than assumed
 
     def test_version_change_invalidates(self, tmp_path, bt_t_result):
         v1 = ResultStore(tmp_path / "cache", version="1.0.0")
