@@ -1,0 +1,138 @@
+"""Snapshot schedules of the segmented sweep -- resident memory vs replay.
+
+For each measured long-loop configuration the full remaining-loop segmented
+analysis is run under all three snapshot schedules
+(:mod:`repro.ad.schedule`): ``"all"`` keeps every boundary resident
+(O(steps x state)), ``"binomial"`` keeps ~log2(steps) and recomputes the
+rest forward (revolve-style), ``"spill"`` round-trips the boundaries
+through the :mod:`repro.ckpt` writer/reader so exactly one snapshot is ever
+resident.  The pytest entry asserts the memory envelopes (binomial
+O(log steps), spill O(1 snapshot)) and the bitwise identity of the
+gradients; the module is also runnable standalone to emit the
+``BENCH_snapshots.json`` perf baseline consumed by
+``scripts/ci_check.sh``::
+
+    python benchmarks/test_snapshot_schedule.py --json BENCH_snapshots.json
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from repro.ad.schedule import SNAPSHOT_SCHEDULES, default_snapshot_budget
+from repro.ad.segmented import SweepStats, segmented_gradients
+from repro.npb import registry
+
+#: long-main-loop configurations (analysed from step 0, i.e. every
+#: iteration boundary is snapshotted); CG-A is the enlarged class the
+#: segmented sweep unlocked -- 30 boundaries, the regime the binomial and
+#: spill schedules are about
+MEASURED = (("CG", "S"), ("EP", "T"), ("CG", "A"))
+
+
+def measure_schedules(name: str, problem_class: str) -> dict:
+    """Resident snapshot memory and wall-clock of every schedule."""
+    bench = registry.create(name, problem_class)
+    state = bench.checkpoint_state(0)      # analyse the entire main loop
+    steps = bench.total_steps
+    watch = bench.default_watch_keys()
+
+    row: dict = {"benchmark": name, "problem_class": problem_class,
+                 "steps": steps, "schedules": {}}
+    reference = None
+    with tempfile.TemporaryDirectory(prefix="bench-spill-") as scratch:
+        for policy in SNAPSHOT_SCHEDULES:
+            stats = SweepStats()
+            t0 = time.perf_counter()
+            grads = segmented_gradients(bench, state, watch=watch,
+                                        stats=stats,
+                                        snapshot_schedule=policy,
+                                        spill_dir=scratch)
+            seconds = time.perf_counter() - t0
+            if reference is None:
+                reference = grads
+            else:
+                for key in watch:
+                    a = np.asarray(reference[key], dtype=np.float64)
+                    b = np.asarray(grads[key], dtype=np.float64)
+                    assert np.array_equal(a.view(np.uint64),
+                                          b.view(np.uint64)), \
+                        f"{name}[{key}]: {policy} disagrees bitwise"
+            row["schedules"][policy] = {
+                "peak_snapshots": stats.peak_snapshots,
+                "peak_snapshot_nbytes": stats.peak_snapshot_nbytes,
+                "recomputed_steps": stats.recomputed_steps,
+                "spilled_nbytes": stats.spilled_nbytes,
+                "seconds": round(seconds, 4),
+            }
+    all_bytes = row["schedules"]["all"]["peak_snapshot_nbytes"]
+    for policy in ("binomial", "spill"):
+        peak = row["schedules"][policy]["peak_snapshot_nbytes"]
+        row["schedules"][policy]["nbytes_reduction"] = \
+            round(all_bytes / max(peak, 1), 2)
+    return row
+
+
+@pytest.mark.paper
+@pytest.mark.parametrize("name,problem_class", MEASURED,
+                         ids=[f"{n}-{c}" for n, c in MEASURED])
+def test_snapshot_memory_envelopes(benchmark, name, problem_class):
+    """binomial stays O(log steps) resident, spill O(1); bits identical."""
+    row = benchmark.pedantic(lambda: measure_schedules(name, problem_class),
+                             iterations=1, rounds=1)
+    benchmark.extra_info.update(row)
+
+    steps = row["steps"]
+    schedules = row["schedules"]
+    # "all" must hold every boundary
+    assert schedules["all"]["peak_snapshots"] == steps + 1, row
+    assert schedules["all"]["recomputed_steps"] == 0, row
+    # binomial: resident snapshots bounded by the O(log steps) default
+    # budget, paid for with bounded forward replay
+    budget = default_snapshot_budget(steps)
+    assert schedules["binomial"]["peak_snapshots"] <= budget, row
+    assert schedules["binomial"]["recomputed_steps"] \
+        <= steps * max(budget, 1), row
+    # spill: exactly one snapshot resident, the rest on (now deleted) disk
+    assert schedules["spill"]["peak_snapshots"] == 1, row
+    assert schedules["spill"]["spilled_nbytes"] > 0, row
+    assert schedules["spill"]["peak_snapshot_nbytes"] * (steps + 1) \
+        <= schedules["all"]["peak_snapshot_nbytes"] * 2, row
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="measure snapshot-schedule memory/replay trade-offs "
+                    "and emit a JSON perf baseline")
+    parser.add_argument("--json", default="BENCH_snapshots.json",
+                        help="output path of the JSON baseline")
+    args = parser.parse_args(argv)
+
+    rows = []
+    for name, problem_class in MEASURED:
+        row = measure_schedules(name, problem_class)
+        rows.append(row)
+        rep = {policy: (f"{s['peak_snapshots']} resident / "
+                        f"{s['peak_snapshot_nbytes']} B / "
+                        f"+{s['recomputed_steps']} replayed / "
+                        f"{s['seconds']}s")
+               for policy, s in row["schedules"].items()}
+        print(f"{name}-{problem_class} ({row['steps']} steps):")
+        for policy, text in rep.items():
+            print(f"  {policy:>8}: {text}")
+
+    with open(args.json, "w", encoding="ascii") as fh:
+        json.dump({"rows": rows}, fh, indent=1)
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,12 +28,20 @@ echo "== segmented sweep: bitwise equivalence =="
 python -m pytest -q tests/ad/test_segmented.py \
     tests/experiments/test_sweep_plumbing.py tests/npb/test_class_a.py
 
+echo "== snapshot schedules: bitwise equivalence =="
+python -m pytest -q tests/ad/test_schedule.py \
+    tests/experiments/test_schedule_plumbing.py
+
 echo "== batched probe sweep: per-probe equivalence =="
 python -m pytest -q tests/ad/test_probes.py \
     tests/experiments/test_probe_plumbing.py
 
 echo "== CLI smoke: segmented sweep, enlarged class A =="
 python -m repro.cli --class A --sweep segmented analyze CG >/dev/null
+
+echo "== CLI smoke: binomial snapshot schedule, class A =="
+python -m repro.cli --class A --sweep segmented \
+    --snapshot-schedule binomial analyze CG >/dev/null
 
 echo "== CLI smoke: batched multi-probe analysis =="
 python -m repro.cli --class T --probes 4 analyze CG >/dev/null
@@ -43,5 +51,8 @@ python benchmarks/test_segmented_memory.py --json BENCH_segmented.json
 
 echo "== perf baseline: BENCH_probes.json =="
 python benchmarks/test_probe_batching.py --json BENCH_probes.json
+
+echo "== perf baseline: BENCH_snapshots.json =="
+python benchmarks/test_snapshot_schedule.py --json BENCH_snapshots.json
 
 echo "ci_check: OK"

@@ -13,6 +13,10 @@ ports of the NPB benchmarks:
 * :mod:`repro.ad.segmented` -- iteration-granular (checkpointed) reverse
   sweep: one main-loop iteration's tape at a time, peak memory O(1
   iteration) instead of O(remaining steps).
+* :mod:`repro.ad.schedule` -- pluggable boundary-snapshot schedules for the
+  segmented sweeps: keep-all, revolve-style binomial (O(log steps) resident
+  snapshots plus recomputation) and on-disk spill through the
+  :mod:`repro.ckpt` writer/reader.
 * :mod:`repro.ad.probes` -- batched multi-probe sweeps: the base state and
   all perturbed probe states stacked along a leading probe axis, one traced
   forward and one reverse sweep yielding every probe's gradients at once
@@ -38,13 +42,15 @@ Quick example::
     # g == [0, 2, 4, 0, 0]: elements 3 and 4 are "uncritical"
 """
 
-from . import activity, checks, forward, ops, probes, reverse, seeding, \
-    segmented
+from . import activity, checks, forward, ops, probes, reverse, schedule, \
+    seeding, segmented
 from .ops import *  # noqa: F401,F403 - re-export the numpy-like facade
 from .probes import (ProbeBatchingError, batched_gradients, probe_axis,
                      segmented_batched_gradients)
 from .reverse import (backward, backward_from_seeds, grad, gradient,
                       value_and_grad)
+from .schedule import (SNAPSHOT_SCHEDULES, BinomialSnapshots,
+                       SnapshotSchedule, SpillSnapshots, make_schedule)
 from .segmented import SweepStats, segmented_gradients
 from .tape import Tape, no_tape
 from .tensor import ADArray, is_traced, value_of
@@ -62,6 +68,12 @@ __all__ = [
     "value_and_grad",
     "segmented_gradients",
     "SweepStats",
+    "SNAPSHOT_SCHEDULES",
+    "SnapshotSchedule",
+    "BinomialSnapshots",
+    "SpillSnapshots",
+    "make_schedule",
+    "schedule",
     "batched_gradients",
     "segmented_batched_gradients",
     "probe_axis",

@@ -43,12 +43,16 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from .reverse import backward, backward_from_seeds
-from .segmented import SweepStats, _default_steps, float_state_keys
+from .schedule import (DEFAULT_SNAPSHOT_SCHEDULE, make_schedule,
+                       snapshot_state)
+from .segmented import (SweepStats, _default_steps, cast_gradient,
+                        float_state_keys, gradient_dtype)
 from .tensor import ADArray, value_of
 
 __all__ = [
@@ -185,14 +189,20 @@ def batched_gradients(bench, states: Sequence[Mapping[str, Any]],
         stats.observe(tape)
     keys = list(leaves)
     grads = backward(tape, out, [leaves[key] for key in keys], strict=False)
-    return {key: np.asarray(g, dtype=np.float64)
+    # same dtype contract as the segmented sweeps: report each gradient in
+    # its state entry's declared floating dtype
+    return {key: cast_gradient(g, gradient_dtype(states[0][key]))
             for key, g in zip(keys, grads)}
 
 
 def segmented_batched_gradients(bench, states: Sequence[Mapping[str, Any]],
                                 watch: Sequence[str] | None = None,
                                 steps: int | None = None,
-                                stats: SweepStats | None = None
+                                stats: SweepStats | None = None,
+                                snapshot_schedule: str =
+                                DEFAULT_SNAPSHOT_SCHEDULE,
+                                snapshot_budget: int | None = None,
+                                spill_dir: str | Path | None = None
                                 ) -> dict[str, np.ndarray]:
     """All probes' gradients, one *batched* iteration tape at a time.
 
@@ -203,8 +213,17 @@ def segmented_batched_gradients(bench, states: Sequence[Mapping[str, Any]],
     tape memory stays bounded by one iteration's (batched) tape no matter
     how many probes are carried.
 
+    Boundary snapshots are held by one :mod:`repro.ad.schedule` instance per
+    probe: ``snapshot_schedule="all"`` keeps every boundary,
+    ``"binomial"``/``snapshot_budget`` keeps O(log steps) per probe and
+    recomputes the rest, ``"spill"``/``spill_dir`` round-trips the
+    boundaries through the :mod:`repro.ckpt` writer/reader -- all with
+    bitwise-identical gradients (scratch directories are removed on return
+    and on exception).
+
     Returns a dict mapping each watched key to its stacked gradient array of
-    shape ``(len(states),) + entry_shape``.
+    shape ``(len(states),) + entry_shape`` in the entry's declared floating
+    dtype.
     """
     states = [{key: value_of(val) for key, val in state.items()}
               for state in states]
@@ -229,65 +248,85 @@ def segmented_batched_gradients(bench, states: Sequence[Mapping[str, Any]],
         raise ValueError("steps must be non-negative")
     n_probes = len(states)
 
-    # -- forward pass: concrete per-probe runs, boundaries stacked ---------
-    # (the concrete forward is recording-free numpy; the batching win is in
-    # the traced segments below, where the per-primitive recording overhead
-    # is paid once instead of once per probe)
-    per_probe: list[list[dict[str, Any]]] = []
-    for state in states:
-        boundaries = [dict(state)]
-        current = dict(state)
-        for _ in range(steps):
-            current = bench.run(current, 1)
-            boundaries.append({key: value_of(val)
-                               for key, val in current.items()})
-        per_probe.append(boundaries)
-
     # chain every float entry, not just the requested keys (a dependence may
     # flow through an unwatched auxiliary -- see repro.ad.segmented)
     chain = float_state_keys(base)
 
-    def stacked_boundary(k: int) -> dict[str, Any]:
-        boundary = dict(per_probe[0][k])
-        for key in chain:
-            boundary[key] = np.stack(
-                [np.asarray(bounds[k][key], dtype=np.float64)
-                 for bounds in per_probe])
-        return boundary
+    # one schedule per probe: the per-probe boundary states are what the
+    # schedules store/recompute/spill; stacking happens on fetch.  Built
+    # inside the try so a failure partway through construction (e.g. a
+    # spill mkdtemp error) still cleans up the schedules already created.
+    schedules: list = []
+    try:
+        for _ in states:
+            schedules.append(make_schedule(snapshot_schedule, steps=steps,
+                                           advance=lambda s: bench.run(s, 1),
+                                           budget=snapshot_budget,
+                                           spill_dir=spill_dir, bench=bench))
+        # -- forward pass: concrete per-probe runs, schedule-owned ---------
+        # snapshots (real copies, so an in-place-mutating ``run`` cannot
+        # corrupt earlier boundaries).  The concrete forward is recording-
+        # free numpy; the batching win is in the traced segments below,
+        # where the per-primitive recording overhead is paid once instead
+        # of once per probe.
+        for schedule, probe_state in zip(schedules, states):
+            current = snapshot_state(probe_state)
+            schedule.record(0, current)
+            for t in range(1, steps + 1):
+                current = bench.run(current, 1)
+                schedule.record(t, current)
+            del current
 
-    # -- output segment ----------------------------------------------------
-    last = stacked_boundary(steps)
-    tape, leaves, out = bench.traced_output_probes(last, n_probes,
-                                                   watch=chain)
-    if stats is not None:
-        stats.observe(tape)
-    if isinstance(out, ADArray) and out.node is not None:
-        grads = backward(tape, out, [leaves[key] for key in chain],
-                         strict=False)
-        cotangents = dict(zip(chain, grads))
-    else:
-        cotangents = {key: np.zeros(np.shape(last[key]), dtype=np.float64)
-                      for key in chain}
-    del tape, leaves, out
+        def stacked_boundary(k: int) -> dict[str, Any]:
+            per_probe = [schedule.fetch(k) for schedule in schedules]
+            boundary = dict(per_probe[0])
+            for key in chain:
+                boundary[key] = np.stack(
+                    [np.asarray(bounds[key], dtype=np.float64)
+                     for bounds in per_probe])
+            return boundary
 
-    # -- reverse walk: one batched iteration tape at a time ----------------
-    for k in range(steps - 1, -1, -1):
-        tape, leaves, next_state = bench.traced_step_probes(
-            stacked_boundary(k), n_probes, watch=chain)
+        # -- output segment ------------------------------------------------
+        last = stacked_boundary(steps)
+        tape, leaves, out = bench.traced_output_probes(last, n_probes,
+                                                       watch=chain)
         if stats is not None:
             stats.observe(tape)
-        seeds: list[tuple[ADArray, np.ndarray]] = []
-        for key in chain:
-            produced = next_state.get(key)
-            if isinstance(produced, ADArray) and produced.node is not None:
-                seeds.append((produced, cotangents[key]))
-        grads = backward_from_seeds(tape, seeds,
-                                    [leaves[key] for key in chain])
-        cotangents = dict(zip(chain, grads))
-        del tape, leaves, next_state
+        if isinstance(out, ADArray) and out.node is not None:
+            grads = backward(tape, out, [leaves[key] for key in chain],
+                             strict=False)
+            cotangents = dict(zip(chain, grads))
+        else:
+            cotangents = {key: np.zeros(np.shape(last[key]),
+                                        dtype=gradient_dtype(base[key]))
+                          for key in chain}
+        del tape, leaves, out, last
 
-    return {key: np.asarray(cotangents[key], dtype=np.float64)
+        # -- reverse walk: one batched iteration tape at a time ------------
+        for k in range(steps - 1, -1, -1):
+            tape, leaves, next_state = bench.traced_step_probes(
+                stacked_boundary(k), n_probes, watch=chain)
+            if stats is not None:
+                stats.observe(tape)
+            seeds: list[tuple[ADArray, np.ndarray]] = []
+            for key in chain:
+                produced = next_state.get(key)
+                if isinstance(produced, ADArray) and produced.node is not None:
+                    seeds.append((produced, cotangents[key]))
+            grads = backward_from_seeds(tape, seeds,
+                                        [leaves[key] for key in chain])
+            cotangents = dict(zip(chain, grads))
+            del tape, leaves, next_state
+    finally:
+        if stats is not None:
+            stats.observe_schedule(*schedules)
+        for schedule in schedules:
+            schedule.close()
+
+    # preserve each entry's declared floating dtype (no silent float64
+    # upcast of float32 variables -- see repro.ad.segmented)
+    return {key: cast_gradient(cotangents[key], gradient_dtype(base[key]))
             if key in cotangents
             else np.zeros((n_probes,) + np.shape(base[key]),
-                          dtype=np.float64)
+                          dtype=gradient_dtype(base[key]))
             for key in watch}

@@ -1,0 +1,432 @@
+"""Pluggable snapshot schedules for the segmented reverse sweep.
+
+The segmented sweep (:mod:`repro.ad.segmented`, :mod:`repro.ad.probes`)
+bounds the *tape* to one iteration, but it still has to remember the
+concrete state at every main-loop boundary so each segment can be re-traced
+during the reverse walk.  Stored naively that costs O(steps x state) memory
+-- the next cap on analysable problem sizes after the tape itself.  This
+module makes the retention policy pluggable:
+
+``"all"`` (the default)
+    Keep every boundary snapshot in memory.  Fastest reverse walk, memory
+    O(steps x state) -- exactly the original behaviour.
+
+``"binomial"``
+    Griewank & Walther's *revolve* idea: keep only O(log steps) snapshots in
+    memory and recompute the missing boundaries forward from the nearest
+    kept one during the reverse walk, re-filling freed slots with bisection
+    midpoints as the walk descends.  Memory O(budget x state) for a budget
+    that defaults to ~log2(steps); the extra forward work is counted in the
+    schedule's ``recomputed_steps`` telemetry (surfaced through
+    :class:`~repro.ad.segmented.SweepStats`).
+
+``"spill"``
+    Write every boundary through the :mod:`repro.ckpt` writer to a scratch
+    directory and read it back (through the :mod:`repro.ckpt` reader) when
+    the reverse walk needs it.  Resident memory is O(1 snapshot); disk holds
+    the rest.  Truncated or missing spill files are detected by the
+    container format's size checks and raised as
+    :class:`~repro.ckpt.format.CheckpointFormatError` -- never deserialised
+    into garbage -- and the scratch directory is removed on :meth:`close`
+    (the sweeps call it from a ``finally`` block, so cleanup happens on
+    success and on exception alike).
+
+Access protocol (what the sweeps guarantee and the policies exploit):
+:meth:`~SnapshotSchedule.record` is called once per boundary ``k = 0 ..
+steps`` in increasing order during the forward pass; :meth:`fetch` is called
+once per boundary in **strictly decreasing** order (``steps`` first for the
+output segment, then ``steps-1 .. 0``); :meth:`close` is always called
+last.  Because access is strictly decreasing, a fetched boundary -- and
+every boundary above it -- is dead and its slot can be reused.
+
+All three policies hand out snapshots holding the *same bits* the forward
+pass produced (copies for "all"/"binomial", a byte-exact container
+round-trip for "spill"; "binomial" recomputes with the same concrete numpy
+calls), so the chained gradients are bitwise-identical across schedules --
+pinned for all eight NPB ports by ``tests/ad/test_schedule.py``.
+
+Every snapshot is a *real copy* of the state (:func:`snapshot_state`): a
+benchmark whose ``run`` mutates arrays in place must not be able to corrupt
+earlier boundaries through aliasing, and a kept or spilled snapshot has to
+own its buffers anyway.
+"""
+
+from __future__ import annotations
+
+import math
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from .tensor import ADArray, value_of
+
+__all__ = [
+    "SNAPSHOT_SCHEDULES",
+    "DEFAULT_SNAPSHOT_SCHEDULE",
+    "SnapshotSchedule",
+    "BinomialSnapshots",
+    "SpillSnapshots",
+    "make_schedule",
+    "snapshot_state",
+    "state_nbytes",
+    "default_snapshot_budget",
+]
+
+#: recognised snapshot-retention policies of the segmented sweep
+SNAPSHOT_SCHEDULES = ("all", "binomial", "spill")
+
+#: the policy used when none is requested (the original behaviour)
+DEFAULT_SNAPSHOT_SCHEDULE = "all"
+
+
+def snapshot_state(state: Mapping[str, Any]) -> dict[str, Any]:
+    """Deep copy of a concrete state dict.
+
+    Array entries (float *and* integer -- an in-place kernel may mutate
+    either) are copied; scalars are immutable and pass through *unchanged*
+    (a Python ``int`` stays an ``int``, never a 0-d array).  AD wrappers
+    are stripped, so the snapshot is always plain numpy data.
+    """
+    out: dict[str, Any] = {}
+    for key, val in state.items():
+        if isinstance(val, ADArray):
+            val = val.value
+        if isinstance(val, np.ndarray):
+            out[key] = np.array(val, copy=True)
+        else:
+            out[key] = val
+    return out
+
+
+def state_nbytes(state: Mapping[str, Any]) -> int:
+    """Bytes of array/scalar payload one state snapshot holds resident."""
+    total = 0
+    for val in state.values():
+        total += np.asarray(value_of(val)).nbytes
+    return total
+
+
+def default_snapshot_budget(steps: int) -> int:
+    """In-memory snapshot budget of the binomial schedule: O(log steps)."""
+    return max(2, int(math.ceil(math.log2(steps + 1))) + 1)
+
+
+class SnapshotSchedule:
+    """Keep-everything boundary store (policy ``"all"``) and policy base.
+
+    Subclasses override :meth:`record` / :meth:`fetch` to retain fewer
+    snapshots; the telemetry counters below are maintained by the shared
+    ``_keep``/``_drop`` helpers so every policy reports through the same
+    meter (:meth:`repro.ad.segmented.SweepStats.observe_schedule`).
+
+    Attributes
+    ----------
+    peak_snapshots:
+        Largest number of simultaneously resident in-memory snapshots.
+    peak_snapshot_nbytes:
+        Largest resident in-memory snapshot payload, in bytes.
+    recomputed_steps:
+        Forward iterations re-run to rebuild missing boundaries (binomial).
+    spilled_nbytes:
+        Bytes written to the spill scratch directory (spill).
+    """
+
+    policy = "all"
+
+    def __init__(self, steps: int) -> None:
+        self.steps = int(steps)
+        self._kept: dict[int, dict[str, Any]] = {}
+        self._resident_nbytes = 0
+        self.peak_snapshots = 0
+        self.peak_snapshot_nbytes = 0
+        self.recomputed_steps = 0
+        self.spilled_nbytes = 0
+
+    # -- shared retention helpers --------------------------------------
+    def _keep(self, k: int, state: Mapping[str, Any]) -> None:
+        snap = snapshot_state(state)
+        self._kept[k] = snap
+        self._resident_nbytes += state_nbytes(snap)
+        self.peak_snapshots = max(self.peak_snapshots, len(self._kept))
+        self.peak_snapshot_nbytes = max(self.peak_snapshot_nbytes,
+                                        self._resident_nbytes)
+
+    def _drop(self, k: int) -> None:
+        snap = self._kept.pop(k, None)
+        if snap is not None:
+            self._resident_nbytes -= state_nbytes(snap)
+
+    def _take(self, k: int) -> dict[str, Any]:
+        snap = self._kept.pop(k)
+        self._resident_nbytes -= state_nbytes(snap)
+        return snap
+
+    def _drop_above(self, k: int) -> None:
+        # strictly decreasing access: boundaries above ``k`` are dead
+        for dead in [b for b in self._kept if b > k]:
+            self._drop(dead)
+
+    # -- the schedule protocol -----------------------------------------
+    def record(self, k: int, state: Mapping[str, Any]) -> None:
+        """Store the boundary-``k`` snapshot (called in increasing ``k``)."""
+        self._keep(k, state)
+
+    def fetch(self, k: int) -> dict[str, Any]:
+        """Hand out boundary ``k`` (called once, in decreasing ``k``)."""
+        self._drop_above(k)
+        return self._take(k)
+
+    def close(self) -> None:
+        """Release every retained snapshot (and any scratch storage)."""
+        self._kept.clear()
+        self._resident_nbytes = 0
+
+
+class BinomialSnapshots(SnapshotSchedule):
+    """Revolve-style schedule: O(log steps) snapshots, recompute the rest.
+
+    The forward pass keeps boundary 0, boundary ``steps`` (consumed first by
+    the output segment) and ``budget - 2`` evenly spread interior boundaries.
+    When the reverse walk asks for a boundary that was not kept, the state is
+    recomputed forward from the nearest kept boundary below it with
+    ``advance``; slots freed by the walk's descent are re-filled with evenly
+    split positions of the gap being replayed (bisection refinement), so
+    each gap is replayed O(log gap) times rather than once per contained
+    boundary.
+
+    Parameters
+    ----------
+    steps:
+        Number of main-loop boundaries minus one (boundaries ``0..steps``).
+    advance:
+        ``advance(state) -> state`` running exactly one concrete iteration;
+        it receives a private copy and may mutate it freely.
+    budget:
+        Maximum number of *schedule-resident* states -- kept snapshots plus
+        the replay working copy -- at any instant (>= 2); ``None`` uses
+        :func:`default_snapshot_budget`.  The sweep's own forward running
+        state is outside this cap (and outside the telemetry): it exists
+        identically under every policy, so excluding it everywhere keeps
+        cross-policy comparisons apples-to-apples.
+    """
+
+    policy = "binomial"
+
+    def __init__(self, steps: int,
+                 advance: Callable[[dict[str, Any]], dict[str, Any]],
+                 budget: int | None = None) -> None:
+        super().__init__(steps)
+        if budget is None:
+            budget = default_snapshot_budget(self.steps)
+        budget = int(budget)
+        if budget < 2:
+            raise ValueError("snapshot budget must be at least 2 "
+                             "(boundary 0 plus one working slot)")
+        self.budget = budget
+        self._advance = advance
+        self._plan = self._placement(self.steps, budget)
+
+    @staticmethod
+    def _placement(steps: int, budget: int) -> frozenset[int]:
+        """Boundaries kept during the forward pass.
+
+        Boundary 0 (fetched last) and ``steps`` (fetched first) are always
+        kept; ``budget - 3`` further slots split the interior evenly -- the
+        coarse level the reverse walk's bisection refines.  One slot stays
+        unplaced: filling all of them would leave the topmost gap with zero
+        free refill slots after ``steps`` pops (its replay would degrade to
+        O(gap^2) instead of bisecting like every later gap).
+        """
+        keep = {0, steps}
+        interior = budget - 3
+        for i in range(1, interior + 1):
+            keep.add((steps * i) // (interior + 1))
+        return frozenset(keep)
+
+    def _refill_positions(self, j: int, k: int, free: int) -> frozenset[int]:
+        """Even split of the replayed gap ``(j, k)`` over ``free`` slots.
+
+        ``k`` itself is excluded: it is handed to the caller and dead right
+        after, so storing it would waste a slot.
+        """
+        gap = k - j
+        n = min(free, gap - 1)
+        if n <= 0:
+            return frozenset()
+        return frozenset({j + (gap * i) // (n + 1)
+                          for i in range(1, n + 1)} - {j, k})
+
+    def record(self, k: int, state: Mapping[str, Any]) -> None:
+        if k in self._plan:
+            self._keep(k, state)
+
+    def fetch(self, k: int) -> dict[str, Any]:
+        self._drop_above(k)
+        if k in self._kept:
+            return self._take(k)
+        j = max(b for b in self._kept if b < k)
+        # one budget slot stays reserved for the replay's working copy, so
+        # kept snapshots + the in-flight state never exceed the budget
+        free = self.budget - len(self._kept) - 1
+        targets = self._refill_positions(j, k, free)
+        current = snapshot_state(self._kept[j])
+        for t in range(j + 1, k + 1):
+            current = self._advance(current)
+            self.recomputed_steps += 1
+            if t in targets:
+                self._keep(t, current)
+            # meter the working copy alongside the kept set (the spill
+            # schedule meters its handed-out snapshot the same way)
+            self.peak_snapshots = max(self.peak_snapshots,
+                                      len(self._kept) + 1)
+            self.peak_snapshot_nbytes = max(
+                self.peak_snapshot_nbytes,
+                self._resident_nbytes + state_nbytes(current))
+        # ``current`` is private to this replay (seeded from a copy, and
+        # ``_keep`` stores copies), so it can be handed out directly
+        return current
+
+
+class SpillSnapshots(SnapshotSchedule):
+    """On-disk schedule: boundaries round-trip through :mod:`repro.ckpt`.
+
+    Every recorded boundary is written as a *full* checkpoint container to a
+    private scratch directory (a fresh ``mkdtemp`` inside ``directory``, or
+    the system temp dir); :meth:`fetch` reads it back through the checkpoint
+    reader and deletes the file, so at most one snapshot is resident in
+    memory and at most ``steps + 1`` containers on disk.  :meth:`close`
+    removes the whole scratch directory.
+
+    A truncated, corrupted or missing spill file surfaces as
+    :class:`~repro.ckpt.format.CheckpointFormatError` (the container format
+    validates magic, header and per-record byte counts), never as silently
+    wrong state.
+
+    Scalar round-trip convention: boundaries are materialised with the
+    reader's ``exact_scalars`` mode -- 0-d integer records come back as
+    ``int`` (convenient for loop counters, and exact), every other 0-d
+    record as a numpy scalar of its *declared* dtype with the exact stored
+    bits.  The reader's default float64 coercion would make a float32
+    scalar trace at a different precision than the in-memory schedules
+    (and retype bools), breaking cross-schedule bitwise identity.
+    """
+
+    policy = "spill"
+
+    def __init__(self, steps: int, directory: str | Path | None = None,
+                 bench: Any = None) -> None:
+        from repro.ckpt.format import CheckpointFormatError
+
+        super().__init__(steps)
+        self._bench = bench
+        try:
+            if directory is not None:
+                Path(directory).mkdir(parents=True, exist_ok=True)
+            self.directory = Path(tempfile.mkdtemp(prefix="repro-spill-",
+                                                   dir=directory))
+        except OSError as exc:
+            # construction failures are spill failures too: wrapped so
+            # callers can tell them apart from unrelated OSErrors
+            raise CheckpointFormatError(
+                f"cannot create spill scratch directory under "
+                f"{directory if directory is not None else 'the system temp dir'}: "
+                f"{exc}") from exc
+        self._files: dict[int, Path] = {}
+
+    def _path(self, k: int) -> Path:
+        return self.directory / f"boundary-{k:06d}.ckpt"
+
+    def record(self, k: int, state: Mapping[str, Any]) -> None:
+        from repro.ckpt.format import CheckpointFormatError
+        from repro.ckpt.writer import write_full_checkpoint
+
+        try:
+            written = write_full_checkpoint(self._path(k), self._bench,
+                                            state, step=k)
+        except OSError as exc:
+            # surface spill I/O failures under the schedule's one error
+            # type, so callers can tell them apart from unrelated OSErrors
+            # (e.g. an allocation failure elsewhere in the sweep)
+            raise CheckpointFormatError(
+                f"cannot spill boundary {k} to {self._path(k)}: "
+                f"{exc}") from exc
+        self._files[k] = written.path
+        self.spilled_nbytes += written.nbytes
+
+    def fetch(self, k: int) -> dict[str, Any]:
+        from repro.ckpt.format import CheckpointFormatError
+        from repro.ckpt.reader import read_checkpoint
+
+        for dead in [b for b in self._files if b > k]:
+            self._files.pop(dead).unlink(missing_ok=True)
+        path = self._files.pop(k, None)
+        if path is None or not path.is_file():
+            raise CheckpointFormatError(
+                f"spilled snapshot of boundary {k} is missing from "
+                f"{self.directory} (interrupted spill or external cleanup)")
+        try:
+            loaded = read_checkpoint(path)
+        except OSError as exc:
+            raise CheckpointFormatError(
+                f"cannot read spilled boundary {k} from {path}: "
+                f"{exc}") from exc
+        if loaded.step != k:
+            raise CheckpointFormatError(
+                f"spill file {path} holds boundary {loaded.step}, "
+                f"expected boundary {k}")
+        # exact_scalars: the default float64 scalar coercion would retype
+        # bools and narrow wider floats, breaking cross-schedule bitwise
+        # identity; integer records still come back as ``int`` (exact)
+        state = loaded.materialize(exact_scalars=True)
+        path.unlink(missing_ok=True)
+        self.peak_snapshots = max(self.peak_snapshots, 1)
+        self.peak_snapshot_nbytes = max(self.peak_snapshot_nbytes,
+                                        state_nbytes(state))
+        return state
+
+    def close(self) -> None:
+        super().close()
+        self._files.clear()
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+def make_schedule(policy: str, *, steps: int,
+                  advance: Callable[[dict[str, Any]], dict[str, Any]]
+                  | None = None,
+                  budget: int | None = None,
+                  spill_dir: str | Path | None = None,
+                  bench: Any = None) -> SnapshotSchedule:
+    """Instantiate the snapshot schedule for one segmented sweep.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`SNAPSHOT_SCHEDULES`.
+    steps:
+        Number of main-loop iterations the sweep covers.
+    advance:
+        One-iteration concrete stepper, required by ``"binomial"`` (ignored
+        by the other policies).
+    budget:
+        In-memory snapshot budget of ``"binomial"`` (``None`` = O(log
+        steps) default); ignored by the other policies.
+    spill_dir:
+        Parent directory of ``"spill"``'s private scratch directory
+        (``None`` = the system temp dir); ignored by the other policies.
+    bench:
+        Benchmark whose metadata labels the spill containers (optional).
+    """
+    if policy not in SNAPSHOT_SCHEDULES:
+        raise ValueError(f"unknown snapshot schedule {policy!r}; "
+                         f"choose from {SNAPSHOT_SCHEDULES}")
+    if policy == "binomial":
+        if advance is None:
+            raise ValueError("the binomial schedule needs an advance() "
+                             "stepper to recompute dropped boundaries")
+        return BinomialSnapshots(steps, advance, budget=budget)
+    if policy == "spill":
+        return SpillSnapshots(steps, directory=spill_dir, bench=bench)
+    return SnapshotSchedule(steps)

@@ -18,9 +18,15 @@ iteration granularity (Griewank's *revolve* idea, at its simplest schedule):
    (:func:`repro.ad.reverse.backward_from_seeds`), sweep, and free the tape
    before tracing the previous iteration.
 
-Peak tape memory is therefore O(1 iteration) instead of O(remaining steps),
-while stored snapshots cost O(steps x state) -- for the NPB kernels the
-state is orders of magnitude smaller than one iteration's tape.
+Peak tape memory is therefore O(1 iteration) instead of O(remaining steps).
+The boundary snapshots themselves are held by a pluggable
+:mod:`repro.ad.schedule`: ``snapshot_schedule="all"`` (the default) keeps
+every boundary in memory (O(steps x state) -- for the NPB kernels the state
+is orders of magnitude smaller than one iteration's tape),
+``"binomial"`` keeps O(log steps) snapshots and recomputes the rest forward
+from the nearest kept boundary (revolve-style), and ``"spill"`` writes the
+boundaries through the :mod:`repro.ckpt` writer/reader to a scratch
+directory so only one snapshot is ever resident.
 
 Bitwise equivalence
 -------------------
@@ -50,15 +56,19 @@ concretely, exactly as in the monolithic trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from .reverse import backward, backward_from_seeds
+from .schedule import (DEFAULT_SNAPSHOT_SCHEDULE, SnapshotSchedule,
+                       make_schedule, snapshot_state)
 from .tape import Tape
 from .tensor import ADArray, value_of
 
-__all__ = ["SweepStats", "float_state_keys", "segmented_gradients"]
+__all__ = ["SweepStats", "float_state_keys", "gradient_dtype",
+           "cast_gradient", "segmented_gradients"]
 
 
 @dataclass
@@ -83,6 +93,16 @@ class SweepStats:
     #: per-segment node counts, in observation order (output segment first
     #: for a segmented sweep)
     segment_nodes: list[int] = field(default_factory=list)
+    #: snapshot-schedule policy of the observed sweep ("" = none observed)
+    snapshot_policy: str = ""
+    #: largest number of simultaneously resident boundary snapshots
+    peak_snapshots: int = 0
+    #: largest resident boundary-snapshot payload of the sweep (bytes)
+    peak_snapshot_nbytes: int = 0
+    #: forward iterations re-run to rebuild dropped boundaries (binomial)
+    recomputed_steps: int = 0
+    #: bytes written to the spill scratch directory (spill)
+    spilled_nbytes: int = 0
 
     def observe(self, tape: Tape) -> None:
         """Record one tape's size before it is freed."""
@@ -92,6 +112,29 @@ class SweepStats:
         self.segment_nodes.append(nodes)
         self.peak_nodes = max(self.peak_nodes, nodes)
         self.peak_nbytes = max(self.peak_nbytes, tape.nbytes())
+
+    def observe_schedule(self, *schedules: SnapshotSchedule) -> None:
+        """Fold one sweep's snapshot-schedule telemetry in.
+
+        The batched probe sweep keeps one schedule per probe and their
+        *kept* snapshots are resident simultaneously, so per-schedule peaks
+        *add* before being folded into this collector's running maximum.
+        For the binomial schedule this sum is a conservative upper bound:
+        the per-probe replay working copies are created sequentially (one
+        probe's fetch completes before the next begins), so up to
+        ``n_probes - 1`` transient working copies counted here never
+        actually coexist.
+        """
+        if not schedules:
+            return
+        self.snapshot_policy = schedules[0].policy
+        self.peak_snapshots = max(
+            self.peak_snapshots, sum(s.peak_snapshots for s in schedules))
+        self.peak_snapshot_nbytes = max(
+            self.peak_snapshot_nbytes,
+            sum(s.peak_snapshot_nbytes for s in schedules))
+        self.recomputed_steps += sum(s.recomputed_steps for s in schedules)
+        self.spilled_nbytes += sum(s.spilled_nbytes for s in schedules)
 
 
 def float_state_keys(state: Mapping[str, Any]) -> list[str]:
@@ -109,6 +152,44 @@ def float_state_keys(state: Mapping[str, Any]) -> list[str]:
     return keys
 
 
+def gradient_dtype(value: Any) -> np.dtype:
+    """Dtype a returned gradient of state entry ``value`` must carry.
+
+    Floating entries keep their declared precision -- a float32 variable's
+    gradient comes back as float32, exactly as ``_perturb_state`` preserves
+    the dtype of probed states -- and everything else (integer entries a
+    caller explicitly watched) reports in float64.
+    """
+    dtype = np.asarray(value_of(value)).dtype
+    if np.issubdtype(dtype, np.floating):
+        return dtype
+    return np.dtype(np.float64)
+
+
+def cast_gradient(grad: Any, dtype: np.dtype | type) -> np.ndarray:
+    """Cast a gradient to its entry's declared dtype, zero-pattern safely.
+
+    The sweeps compute in float64; narrowing to a declared float32 could
+    flush a tiny-but-nonzero derivative to exactly ``0.0``, silently
+    flipping a critical element to uncritical -- the one error class the
+    criticality criterion ("derivative exactly 0") must never make.  Values
+    the narrow dtype cannot distinguish from zero are clamped to its
+    smallest subnormal instead, preserving sign and, above all, the
+    nonzero pattern.
+    """
+    grad = np.asarray(grad)
+    out = np.asarray(grad, dtype=dtype)
+    if out.dtype != grad.dtype and np.issubdtype(out.dtype, np.floating) \
+            and np.issubdtype(grad.dtype, np.floating):
+        wide = np.asarray(grad, dtype=np.float64)
+        flushed = (out == 0.0) & (wide != 0.0)
+        if np.any(flushed):
+            tiny = np.finfo(out.dtype).smallest_subnormal
+            out = np.where(flushed,
+                           np.copysign(tiny, wide).astype(out.dtype), out)
+    return out
+
+
 def _default_steps(bench, state: Mapping[str, Any]) -> int:
     """Remaining iterations implied by the state's step counter."""
     default = getattr(bench, "_default_remaining_steps", None)
@@ -120,7 +201,10 @@ def _default_steps(bench, state: Mapping[str, Any]) -> int:
 def segmented_gradients(bench, state: Mapping[str, Any],
                         watch: Sequence[str] | None = None,
                         steps: int | None = None,
-                        stats: SweepStats | None = None
+                        stats: SweepStats | None = None,
+                        snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
+                        snapshot_budget: int | None = None,
+                        spill_dir: str | Path | None = None
                         ) -> dict[str, np.ndarray]:
     """Gradients of the restart output w.r.t. ``watch``, one tape at a time.
 
@@ -148,12 +232,27 @@ def segmented_gradients(bench, state: Mapping[str, Any],
         Remaining iterations to analyse; ``None`` derives them from the
         state's step counter (the monolithic default).
     stats:
-        Optional :class:`SweepStats` collector observing every segment tape.
+        Optional :class:`SweepStats` collector observing every segment tape
+        (and the snapshot schedule's telemetry).
+    snapshot_schedule:
+        Boundary-snapshot retention policy (:mod:`repro.ad.schedule`):
+        ``"all"`` (default, O(steps) resident snapshots), ``"binomial"``
+        (O(log steps) resident, recompute the rest) or ``"spill"``
+        (O(1) resident, boundaries on disk).  All three produce
+        bitwise-identical gradients.
+    snapshot_budget:
+        In-memory snapshot budget of the ``"binomial"`` schedule (``None``
+        = ~log2(steps)); ignored by the other policies.
+    spill_dir:
+        Parent directory for the ``"spill"`` schedule's scratch directory
+        (``None`` = system temp dir); the scratch directory is private to
+        this sweep and removed on return *and* on exception.
 
     Returns
     -------
-    dict mapping each watched key to its gradient array (float64, the
-    entry's shape).
+    dict mapping each watched key to its gradient array (the entry's shape,
+    in the entry's declared floating dtype -- float32 state entries get
+    float32 gradients).
     """
     for hook in ("traced_step", "traced_output"):
         if not callable(getattr(bench, hook, None)):
@@ -177,52 +276,70 @@ def segmented_gradients(bench, state: Mapping[str, Any],
     if steps < 0:
         raise ValueError("steps must be non-negative")
 
-    # -- forward pass: concrete snapshots at every iteration boundary ------
-    boundaries: list[dict[str, Any]] = [dict(state)]
-    current = dict(state)
-    for _ in range(steps):
-        current = bench.run(current, 1)
-        boundaries.append({key: value_of(val)
-                           for key, val in current.items()})
-
     # chain every float entry, not just the requested keys (see module docs)
-    chain = float_state_keys(boundaries[0])
+    chain = float_state_keys(state)
 
-    # -- output segment: trace and sweep only the final reduction ----------
-    tape, leaves, out = bench.traced_output(boundaries[-1], watch=chain)
-    if stats is not None:
-        stats.observe(tape)
-    if isinstance(out, ADArray) and out.node is not None:
-        grads = backward(tape, out, [leaves[key] for key in chain],
-                         strict=False)
-        cotangents = dict(zip(chain, grads))
-    else:
-        # the output never touched a watched input (the monolithic
-        # strict=False case): every gradient is exactly zero
-        cotangents = {key: np.zeros(np.shape(boundaries[-1][key]),
-                                    dtype=np.float64) for key in chain}
-    del tape, leaves, out
+    schedule = make_schedule(snapshot_schedule, steps=steps,
+                             advance=lambda s: bench.run(s, 1),
+                             budget=snapshot_budget, spill_dir=spill_dir,
+                             bench=bench)
+    try:
+        # -- forward pass: schedule-owned snapshots at every boundary ------
+        # ``record`` copies every array entry, so a benchmark whose ``run``
+        # mutates arrays in place cannot corrupt earlier boundaries through
+        # aliasing; the initial copy also shields the caller's state.
+        current = snapshot_state(state)
+        schedule.record(0, current)
+        for t in range(1, steps + 1):
+            current = bench.run(current, 1)
+            schedule.record(t, current)
+        del current
 
-    # -- reverse walk: one iteration's tape at a time ----------------------
-    for k in range(steps - 1, -1, -1):
-        tape, leaves, next_state = bench.traced_step(boundaries[k],
-                                                     watch=chain)
+        # -- output segment: trace and sweep only the final reduction -----
+        last = schedule.fetch(steps)
+        tape, leaves, out = bench.traced_output(last, watch=chain)
         if stats is not None:
             stats.observe(tape)
-        seeds: list[tuple[ADArray, np.ndarray]] = []
-        for key in chain:
-            produced = next_state.get(key)
-            if isinstance(produced, ADArray) and produced.node is not None:
-                seeds.append((produced, cotangents[key]))
-            # a next-state entry that is a plain constant does not depend on
-            # this segment's inputs; its cotangent dies here, exactly as it
-            # would on the monolithic tape
-        grads = backward_from_seeds(tape, seeds,
-                                    [leaves[key] for key in chain])
-        cotangents = dict(zip(chain, grads))
-        del tape, leaves, next_state
+        if isinstance(out, ADArray) and out.node is not None:
+            grads = backward(tape, out, [leaves[key] for key in chain],
+                             strict=False)
+            cotangents = dict(zip(chain, grads))
+        else:
+            # the output never touched a watched input (the monolithic
+            # strict=False case): every gradient is exactly zero
+            cotangents = {key: np.zeros(np.shape(last[key]),
+                                        dtype=gradient_dtype(state[key]))
+                          for key in chain}
+        del tape, leaves, out, last
 
-    return {key: np.asarray(cotangents[key], dtype=np.float64)
+        # -- reverse walk: one iteration's tape at a time ------------------
+        for k in range(steps - 1, -1, -1):
+            tape, leaves, next_state = bench.traced_step(schedule.fetch(k),
+                                                         watch=chain)
+            if stats is not None:
+                stats.observe(tape)
+            seeds: list[tuple[ADArray, np.ndarray]] = []
+            for key in chain:
+                produced = next_state.get(key)
+                if isinstance(produced, ADArray) and produced.node is not None:
+                    seeds.append((produced, cotangents[key]))
+                # a next-state entry that is a plain constant does not depend
+                # on this segment's inputs; its cotangent dies here, exactly
+                # as it would on the monolithic tape
+            grads = backward_from_seeds(tape, seeds,
+                                        [leaves[key] for key in chain])
+            cotangents = dict(zip(chain, grads))
+            del tape, leaves, next_state
+    finally:
+        if stats is not None:
+            stats.observe_schedule(schedule)
+        schedule.close()
+
+    # each gradient reports in its entry's declared floating dtype: casting
+    # everything to float64 would silently upcast float32 variables (the
+    # drift class _perturb_state guards against on the probing side)
+    return {key: cast_gradient(cotangents[key], gradient_dtype(state[key]))
             if key in cotangents
-            else np.zeros(np.shape(state[key]), dtype=np.float64)
+            else np.zeros(np.shape(state[key]),
+                          dtype=gradient_dtype(state[key]))
             for key in watch}

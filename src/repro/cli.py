@@ -28,6 +28,15 @@ iteration (bitwise-identical masks), which is what makes the enlarged
 problem class A analysable::
 
     repro-scrutinize --class A --sweep segmented analyze FT
+
+``--snapshot-schedule`` additionally caps the segmented sweep's boundary-
+snapshot memory: ``binomial`` keeps ~log2(steps) snapshots and recomputes
+the rest, ``spill`` pushes the boundaries to disk through the checkpoint
+library (O(1) resident snapshot)::
+
+    repro-scrutinize --sweep segmented --snapshot-schedule binomial analyze CG
+    repro-scrutinize --sweep segmented --snapshot-schedule spill \
+        --spill-dir /tmp/scratch analyze CG
 """
 
 from __future__ import annotations
@@ -83,6 +92,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "iteration on one tape, 'segmented' chains "
                              "per-iteration tapes so peak memory is bounded "
                              "by a single iteration (identical masks)")
+    parser.add_argument("--snapshot-schedule", default="all",
+                        choices=("all", "binomial", "spill"),
+                        help="boundary-snapshot policy of the segmented "
+                             "sweep: 'all' keeps every iteration boundary "
+                             "in memory, 'binomial' keeps ~log2(steps) and "
+                             "recomputes the rest (revolve-style), 'spill' "
+                             "writes boundaries through the checkpoint "
+                             "library to a scratch directory; masks are "
+                             "identical for all three (part of the "
+                             "result-cache key)")
+    parser.add_argument("--snapshot-budget", type=int, default=None,
+                        help="in-memory snapshot budget of the binomial "
+                             "schedule (>= 2; default ~log2(steps))")
+    parser.add_argument("--spill-dir", default=None,
+                        help="parent directory for the spill schedule's "
+                             "scratch files (default: system temp dir); "
+                             "always cleaned up afterwards")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the per-benchmark "
                              "analyses (1 = in-process, the default)")
@@ -154,7 +180,10 @@ def _make_runner(args: argparse.Namespace,
                             use_cache=not args.no_cache,
                             sweep=args.sweep,
                             probe_scale=args.probe_scale,
-                            probe_batching=args.probe_batching)
+                            probe_batching=args.probe_batching,
+                            snapshot_schedule=args.snapshot_schedule,
+                            snapshot_budget=args.snapshot_budget,
+                            spill_dir=args.spill_dir)
 
 
 def _run_analyze(args: argparse.Namespace) -> int:
@@ -175,6 +204,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    # the snapshot schedule only exists under the segmented sweep, the
+    # budget only under the binomial schedule and the spill dir only under
+    # the spill schedule; accepting an inapplicable flag silently would do
+    # nothing while still forking the result-cache key
+    if args.sweep != "segmented" and (args.snapshot_schedule != "all"
+                                      or args.snapshot_budget is not None
+                                      or args.spill_dir is not None):
+        parser.error("--snapshot-schedule/--snapshot-budget/--spill-dir "
+                     "require --sweep segmented")
+    if args.snapshot_budget is not None \
+            and args.snapshot_schedule != "binomial":
+        parser.error("--snapshot-budget requires "
+                     "--snapshot-schedule binomial")
+    if args.snapshot_budget is not None and args.snapshot_budget < 2:
+        parser.error("--snapshot-budget must be at least 2")
+    if args.spill_dir is not None and args.snapshot_schedule != "spill":
+        parser.error("--spill-dir requires --snapshot-schedule spill")
 
     if args.command == "analyze":
         return _run_analyze(args)

@@ -18,8 +18,9 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from repro.core.criticality import (DEFAULT_PROBE_SCALE, CriticalityAnalyzer,
-                                    VariableCriticality)
+from repro.core.criticality import (DEFAULT_PROBE_SCALE,
+                                    DEFAULT_SNAPSHOT_SCHEDULE,
+                                    CriticalityAnalyzer, VariableCriticality)
 from repro.core.masks import MaskSummary
 from repro.core.regions import Region
 from repro.core.report import pruned_variable_nbytes
@@ -172,7 +173,10 @@ def scrutinize(bench, step: int | None = None,
                rng: np.random.Generator | None = None,
                sweep: str = "monolithic",
                probe_scale: float = DEFAULT_PROBE_SCALE,
-               probe_batching: str = "batched") -> ScrutinyResult:
+               probe_batching: str = "batched",
+               snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
+               snapshot_budget: int | None = None,
+               spill_dir: str | None = None) -> ScrutinyResult:
     """Run the full element-level analysis of one benchmark.
 
     Parameters
@@ -187,13 +191,18 @@ def scrutinize(bench, step: int | None = None,
         benchmarks -- see the property tests).
     state:
         Explicit checkpoint state; overrides ``step`` when given.
-    method, n_probes, steps, rng, sweep, probe_scale, probe_batching:
+    method, n_probes, steps, rng, sweep, probe_scale, probe_batching, \
+    snapshot_schedule, snapshot_budget, spill_dir:
         Forwarded to :class:`~repro.core.criticality.CriticalityAnalyzer`;
         ``sweep="segmented"`` bounds the AD tape memory to one main-loop
         iteration (bitwise-identical masks), ``probe_batching="batched"``
         (the default) runs all probes from a single trace with an automatic
-        per-probe fallback, and ``probe_scale`` sets the relative magnitude
-        of the probe perturbations.
+        per-probe fallback, ``probe_scale`` sets the relative magnitude
+        of the probe perturbations, and ``snapshot_schedule`` (with
+        ``snapshot_budget``/``spill_dir``) picks the segmented sweep's
+        boundary-snapshot policy -- ``"all"``, ``"binomial"`` (O(log steps)
+        resident snapshots) or ``"spill"`` (boundaries on disk), all with
+        bitwise-identical masks.
     """
     # ``analysis_step`` feeds the analyzer's per-analysis probe-rng
     # derivation: for an explicit state with no explicit step it stays
@@ -212,7 +221,10 @@ def scrutinize(bench, step: int | None = None,
     analyzer = CriticalityAnalyzer(method=method, n_probes=n_probes,
                                    steps=steps, rng=rng, sweep=sweep,
                                    probe_scale=probe_scale,
-                                   probe_batching=probe_batching)
+                                   probe_batching=probe_batching,
+                                   snapshot_schedule=snapshot_schedule,
+                                   snapshot_budget=snapshot_budget,
+                                   spill_dir=spill_dir)
     variables = analyzer.analyze(bench, state=state, step=analysis_step)
     return ScrutinyResult(
         benchmark=bench.name,

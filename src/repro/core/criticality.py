@@ -42,7 +42,9 @@ import numpy as np
 from repro.ad import activity as activity_mod
 from repro.ad import probes as probes_mod
 from repro.ad.reverse import backward
-from repro.ad.segmented import segmented_gradients
+from repro.ad.schedule import DEFAULT_SNAPSHOT_SCHEDULE, SNAPSHOT_SCHEDULES
+from repro.ad.segmented import (cast_gradient, gradient_dtype,
+                                segmented_gradients)
 from repro.ad.tensor import value_of
 from repro.core.masks import MaskSummary, combine_or, summarize_mask
 from repro.core.regions import Region, encode_mask
@@ -52,6 +54,8 @@ __all__ = [
     "METHODS",
     "SWEEPS",
     "PROBE_BATCHING",
+    "SNAPSHOT_SCHEDULES",
+    "DEFAULT_SNAPSHOT_SCHEDULE",
     "DEFAULT_PROBE_SCALE",
     "VariableCriticality",
     "CriticalityAnalyzer",
@@ -217,6 +221,21 @@ class CriticalityAnalyzer:
         (:mod:`repro.ad.segmented` -- one iteration's tape at a time, peak
         memory bounded by a single iteration, bitwise-identical masks).
         Ignored by the "activity" and "rule" methods.
+    snapshot_schedule:
+        Boundary-snapshot retention policy of the segmented sweep
+        (:mod:`repro.ad.schedule`): ``"all"`` (default) keeps every
+        boundary in memory, ``"binomial"`` keeps O(log steps) and
+        recomputes the rest (revolve-style), ``"spill"`` round-trips the
+        boundaries through the :mod:`repro.ckpt` writer/reader so only one
+        snapshot is resident.  All three produce bitwise-identical masks;
+        ignored unless ``sweep="segmented"``.
+    snapshot_budget:
+        In-memory snapshot budget of the ``"binomial"`` schedule (``None``
+        = ~log2(steps)); ignored by the other schedules.
+    spill_dir:
+        Parent directory of the ``"spill"`` schedule's per-sweep scratch
+        directory (``None`` = system temp dir); the scratch directory is
+        always removed, on success and on failure.
     probe_batching:
         How ``n_probes > 1`` AD evaluations are executed: ``"batched"``
         (the default) stacks all probe states along a leading probe axis
@@ -233,7 +252,10 @@ class CriticalityAnalyzer:
                  rng: np.random.Generator | None = None,
                  steps: int | None = None,
                  sweep: str = "monolithic",
-                 probe_batching: str = "batched") -> None:
+                 probe_batching: str = "batched",
+                 snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
+                 snapshot_budget: int | None = None,
+                 spill_dir: str | None = None) -> None:
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
         if n_probes < 1:
@@ -243,6 +265,27 @@ class CriticalityAnalyzer:
         if probe_batching not in PROBE_BATCHING:
             raise ValueError(f"unknown probe_batching {probe_batching!r}; "
                              f"choose from {PROBE_BATCHING}")
+        if snapshot_schedule not in SNAPSHOT_SCHEDULES:
+            raise ValueError(f"unknown snapshot_schedule "
+                             f"{snapshot_schedule!r}; choose from "
+                             f"{SNAPSHOT_SCHEDULES}")
+        if snapshot_budget is not None and int(snapshot_budget) < 2:
+            raise ValueError("snapshot_budget must be at least 2")
+        # inapplicable knobs would be silently ignored by the sweep while
+        # still forking the result-cache key (the CLI repeats these checks
+        # for a friendlier argparse error); every entry point -- scrutinize,
+        # ScrutinyJob, ExperimentRunner -- inherits them from here
+        if sweep != "segmented" and (snapshot_schedule
+                                     != DEFAULT_SNAPSHOT_SCHEDULE
+                                     or snapshot_budget is not None
+                                     or spill_dir is not None):
+            raise ValueError("snapshot_schedule/snapshot_budget/spill_dir "
+                             "require sweep='segmented'")
+        if snapshot_budget is not None and snapshot_schedule != "binomial":
+            raise ValueError("snapshot_budget requires "
+                             "snapshot_schedule='binomial'")
+        if spill_dir is not None and snapshot_schedule != "spill":
+            raise ValueError("spill_dir requires snapshot_schedule='spill'")
         self.method = method
         self.n_probes = int(n_probes)
         self.probe_scale = float(probe_scale)
@@ -250,6 +293,10 @@ class CriticalityAnalyzer:
         self.steps = steps
         self.sweep = sweep
         self.probe_batching = probe_batching
+        self.snapshot_schedule = snapshot_schedule
+        self.snapshot_budget = None if snapshot_budget is None \
+            else int(snapshot_budget)
+        self.spill_dir = spill_dir
 
     # ------------------------------------------------------------------
     # public API
@@ -396,13 +443,27 @@ class CriticalityAnalyzer:
         try:
             if self.sweep == "segmented":
                 return probes_mod.segmented_batched_gradients(
-                    bench, states, watch=list(watch), steps=self.steps)
+                    bench, states, watch=list(watch), steps=self.steps,
+                    snapshot_schedule=self.snapshot_schedule,
+                    snapshot_budget=self.snapshot_budget,
+                    spill_dir=self.spill_dir)
             return probes_mod.batched_gradients(bench, states,
                                                 watch=list(watch),
                                                 steps=self.steps)
         except Exception as exc:  # noqa: BLE001 - any kernel may refuse to
             # broadcast over the probe axis; the per-probe path is always
-            # available and produces identical masks
+            # available and produces identical masks.  Spill-schedule
+            # failures (unwritable spill dir, corrupted spill file) all
+            # surface as CheckpointFormatError -- the schedule wraps its
+            # I/O errors -- and are *not* broadcast problems: the per-probe
+            # path would hit them too, so re-raise instead of recomputing
+            # everything just to fail again.  Any other error -- including
+            # an OSError/ENOMEM only at the stacked batch size -- falls
+            # back to the per-probe loop.
+            from repro.ckpt.format import CheckpointFormatError
+
+            if isinstance(exc, CheckpointFormatError):
+                raise
             warnings.warn(
                 f"batched probe sweep unavailable for "
                 f"{getattr(bench, 'name', bench)!r} "
@@ -420,13 +481,18 @@ class CriticalityAnalyzer:
         """
         if self.sweep == "segmented":
             return segmented_gradients(bench, state, watch=list(watch),
-                                       steps=self.steps)
+                                       steps=self.steps,
+                                       snapshot_schedule=self.snapshot_schedule,
+                                       snapshot_budget=self.snapshot_budget,
+                                       spill_dir=self.spill_dir)
         tape, leaves, output = bench.traced_restart(state, watch=list(watch),
                                                     steps=self.steps)
         keys = list(leaves)
         grads = backward(tape, output, [leaves[k] for k in keys],
                          strict=False)
-        return {key: np.asarray(g, dtype=np.float64)
+        # same dtype contract as the segmented sweep: each gradient reports
+        # in its state entry's declared floating dtype, never upcast
+        return {key: cast_gradient(g, gradient_dtype(state[key]))
                 for key, g in zip(keys, grads)}
 
     def _perturb_state(self, state: Mapping[str, Any],

@@ -52,18 +52,15 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.core.analysis import ScrutinyResult
-from repro.core.criticality import DEFAULT_PROBE_SCALE, VariableCriticality
+from repro.core.criticality import (DEFAULT_PROBE_SCALE,
+                                    DEFAULT_SNAPSHOT_SCHEDULE,
+                                    VariableCriticality)
 from repro.core.variables import CheckpointVariable, VariableKind
 
 __all__ = ["ResultStore", "cache_key"]
 
 #: bump when the serialisation layout changes incompatibly
 _FORMAT = 1
-
-#: key-parameter names, in canonical order
-_KEY_FIELDS = ("benchmark", "problem_class", "method", "n_probes",
-               "probe_scale", "probe_batching", "step", "steps", "sweep",
-               "version")
 
 
 def _package_version() -> str:
@@ -79,19 +76,23 @@ def cache_key(*, benchmark: str, problem_class: str, method: str,
               steps: int | None = None, sweep: str = "monolithic",
               probe_scale: float = DEFAULT_PROBE_SCALE,
               probe_batching: str = "batched",
+              snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
+              snapshot_budget: int | None = None,
               version: str | None = None) -> str:
     """Content address of one analysis configuration.
 
     ``step``/``steps`` of ``None`` mean the benchmark defaults (mid-run
     checkpoint, analyse to completion) and key as such; they are resolved
     deterministically from the other parameters, so the defaults never
-    alias an explicit value.  ``sweep`` and ``probe_batching`` are part of
-    the key even though the alternative strategies produce identical masks:
-    keeping the entries separate lets the equivalence be *checked* from
-    cached artefacts rather than assumed.  ``probe_scale`` is keyed via its
+    alias an explicit value.  ``sweep``, ``probe_batching`` and
+    ``snapshot_schedule``/``snapshot_budget`` are part of the key even
+    though the alternative strategies produce identical masks: keeping the
+    entries separate lets the equivalence be *checked* from cached
+    artefacts rather than assumed.  ``probe_scale`` is keyed via its
     shortest-round-trip ``repr``, so two runs with different perturbation
     magnitudes can never alias the same entry (they probe genuinely
-    different base states).
+    different base states).  The spill scratch directory is deliberately
+    *not* keyed: it is transient storage, not analysis identity.
     """
     payload = {
         "format": _FORMAT,
@@ -101,6 +102,9 @@ def cache_key(*, benchmark: str, problem_class: str, method: str,
         "n_probes": int(n_probes),
         "probe_scale": float(probe_scale),
         "probe_batching": str(probe_batching),
+        "snapshot_schedule": str(snapshot_schedule),
+        "snapshot_budget": None if snapshot_budget is None
+        else int(snapshot_budget),
         "step": None if step is None else int(step),
         "steps": None if steps is None else int(steps),
         "sweep": str(sweep),
@@ -167,12 +171,17 @@ class ResultStore:
             n_probes: int, step: int | None = None,
             steps: int | None = None, sweep: str = "monolithic",
             probe_scale: float = DEFAULT_PROBE_SCALE,
-            probe_batching: str = "batched") -> str:
+            probe_batching: str = "batched",
+            snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
+            snapshot_budget: int | None = None) -> str:
         """Cache key of one analysis configuration under this store."""
         return cache_key(benchmark=benchmark, problem_class=problem_class,
                          method=method, n_probes=n_probes, step=step,
                          steps=steps, sweep=sweep, probe_scale=probe_scale,
-                         probe_batching=probe_batching, version=self.version)
+                         probe_batching=probe_batching,
+                         snapshot_schedule=snapshot_schedule,
+                         snapshot_budget=snapshot_budget,
+                         version=self.version)
 
     def _paths(self, benchmark: str, key: str) -> tuple[Path, Path]:
         directory = self.root / str(benchmark).upper()
@@ -309,19 +318,25 @@ class ResultStore:
               steps: int | None = None,
               sweep: str = "monolithic",
               probe_scale: float = DEFAULT_PROBE_SCALE,
-              probe_batching: str = "batched") -> ScrutinyResult | None:
+              probe_batching: str = "batched",
+              snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
+              snapshot_budget: int | None = None) -> ScrutinyResult | None:
         """``load`` keyed directly by analysis parameters."""
         key = self.key(benchmark=benchmark, problem_class=problem_class,
                        method=method, n_probes=n_probes, step=step,
                        steps=steps, sweep=sweep, probe_scale=probe_scale,
-                       probe_batching=probe_batching)
+                       probe_batching=probe_batching,
+                       snapshot_schedule=snapshot_schedule,
+                       snapshot_budget=snapshot_budget)
         return self.load(benchmark, key)
 
     def put(self, result: ScrutinyResult, *, n_probes: int,
             step: int | None = None, steps: int | None = None,
             sweep: str = "monolithic",
             probe_scale: float = DEFAULT_PROBE_SCALE,
-            probe_batching: str = "batched") -> Path:
+            probe_batching: str = "batched",
+            snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
+            snapshot_budget: int | None = None) -> Path:
         """``save`` keyed by the parameters that produced ``result``.
 
         ``step`` is the *requested* checkpoint step (``None`` for the
@@ -332,7 +347,9 @@ class ResultStore:
                        problem_class=result.problem_class,
                        method=result.method, n_probes=n_probes, step=step,
                        steps=steps, sweep=sweep, probe_scale=probe_scale,
-                       probe_batching=probe_batching)
+                       probe_batching=probe_batching,
+                       snapshot_schedule=snapshot_schedule,
+                       snapshot_budget=snapshot_budget)
         self.save(key, result)
         return self._paths(result.benchmark, key)[0]
 

@@ -28,11 +28,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.analysis import ScrutinyResult, scrutinize
-from repro.core.criticality import DEFAULT_PROBE_SCALE
+from repro.core.criticality import (DEFAULT_PROBE_SCALE,
+                                    DEFAULT_SNAPSHOT_SCHEDULE)
 from repro.core.store import ResultStore
 from repro.npb import registry
 
@@ -52,6 +53,13 @@ class ScrutinyJob:
     sweep: str = "monolithic"
     probe_scale: float = DEFAULT_PROBE_SCALE
     probe_batching: str = "batched"
+    snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE
+    snapshot_budget: int | None = None
+    #: scratch location of the "spill" schedule -- execution detail, not
+    #: analysis identity, hence absent from :meth:`key_params` and from the
+    #: job's equality/hash (jobs differing only in scratch location are the
+    #: same analysis and must deduplicate)
+    spill_dir: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmark", self.benchmark.upper())
@@ -68,6 +76,8 @@ class ScrutinyJob:
             "sweep": self.sweep,
             "probe_scale": self.probe_scale,
             "probe_batching": self.probe_batching,
+            "snapshot_schedule": self.snapshot_schedule,
+            "snapshot_budget": self.snapshot_budget,
         }
 
 
@@ -82,7 +92,10 @@ def run_job(job: ScrutinyJob) -> ScrutinyResult:
     return scrutinize(bench, step=job.step, method=job.method,
                       n_probes=job.n_probes, steps=job.steps,
                       sweep=job.sweep, probe_scale=job.probe_scale,
-                      probe_batching=job.probe_batching)
+                      probe_batching=job.probe_batching,
+                      snapshot_schedule=job.snapshot_schedule,
+                      snapshot_budget=job.snapshot_budget,
+                      spill_dir=job.spill_dir)
 
 
 def default_workers() -> int:
@@ -156,7 +169,9 @@ class ParallelRunner:
                                        step=job.step, steps=job.steps,
                                        sweep=job.sweep,
                                        probe_scale=job.probe_scale,
-                                       probe_batching=job.probe_batching)
+                                       probe_batching=job.probe_batching,
+                                       snapshot_schedule=job.snapshot_schedule,
+                                       snapshot_budget=job.snapshot_budget)
                     except OSError:
                         # an unwritable store degrades to no persistence;
                         # it must never lose a computed result

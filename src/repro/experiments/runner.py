@@ -26,7 +26,9 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.core.analysis import ScrutinyResult, scrutinize
-from repro.core.criticality import DEFAULT_PROBE_SCALE, VariableCriticality
+from repro.core.criticality import (DEFAULT_PROBE_SCALE,
+                                    DEFAULT_SNAPSHOT_SCHEDULE,
+                                    VariableCriticality)
 from repro.core.store import ResultStore
 from repro.npb import registry
 
@@ -101,6 +103,14 @@ class ExperimentRunner:
         ``"batched"`` (default: one trace and one sweep for all probes,
         with automatic per-probe fallback) or ``"per-probe"`` (the legacy
         loop).  The CLI's ``--probe-batching``.
+    snapshot_schedule, snapshot_budget, spill_dir:
+        Boundary-snapshot policy of the segmented sweep
+        (:mod:`repro.ad.schedule`): ``"all"`` (default), ``"binomial"``
+        (O(log steps) resident snapshots, optional explicit budget) or
+        ``"spill"`` (boundaries on disk under ``spill_dir``); masks stay
+        bitwise-identical.  ``snapshot_schedule``/``snapshot_budget`` join
+        the cache key; ``spill_dir`` is scratch and does not.  The CLI's
+        ``--snapshot-schedule``/``--snapshot-budget``/``--spill-dir``.
     """
 
     def __init__(self, problem_class: str = "S", method: str = "ad",
@@ -111,7 +121,10 @@ class ExperimentRunner:
                  use_cache: bool = True,
                  sweep: str = "monolithic",
                  probe_scale: float = DEFAULT_PROBE_SCALE,
-                 probe_batching: str = "batched") -> None:
+                 probe_batching: str = "batched",
+                 snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
+                 snapshot_budget: int | None = None,
+                 spill_dir: str | None = None) -> None:
         self.problem_class = problem_class
         self.method = method
         self.n_probes = int(n_probes)
@@ -120,6 +133,10 @@ class ExperimentRunner:
         self.sweep = sweep
         self.probe_scale = float(probe_scale)
         self.probe_batching = probe_batching
+        self.snapshot_schedule = snapshot_schedule
+        self.snapshot_budget = None if snapshot_budget is None \
+            else int(snapshot_budget)
+        self.spill_dir = spill_dir
         self.workers = max(1, int(workers))
         store = None
         if cache_dir is not None and use_cache and rng is None:
@@ -193,12 +210,18 @@ class ExperimentRunner:
                                      n_probes=self.n_probes, rng=self.rng,
                                      sweep=self.sweep,
                                      probe_scale=self.probe_scale,
-                                     probe_batching=self.probe_batching)
+                                     probe_batching=self.probe_batching,
+                                     snapshot_schedule=self.snapshot_schedule,
+                                     snapshot_budget=self.snapshot_budget,
+                                     spill_dir=self.spill_dir)
                     for name in names}
         jobs = [ScrutinyJob(benchmark=name, problem_class=self.problem_class,
                             method=self.method, n_probes=self.n_probes,
                             step=self.step, sweep=self.sweep,
                             probe_scale=self.probe_scale,
-                            probe_batching=self.probe_batching)
+                            probe_batching=self.probe_batching,
+                            snapshot_schedule=self.snapshot_schedule,
+                            snapshot_budget=self.snapshot_budget,
+                            spill_dir=self.spill_dir)
                 for name in names]
         return dict(zip(names, self.engine.run(jobs)))

@@ -27,8 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
-import numpy as np
-
+from repro.ad.schedule import snapshot_state
 from repro.ad.tape import Tape
 from repro.ad.tensor import ADArray, value_of
 from repro.core.variables import (CheckpointVariable, VariableKind,
@@ -40,16 +39,12 @@ __all__ = ["NPBBenchmark", "concrete_state", "copy_state"]
 
 
 def concrete_state(state: Mapping[str, Any]) -> dict[str, Any]:
-    """Strip any AD wrappers from a state dict, returning plain numpy data."""
-    out: dict[str, Any] = {}
-    for key, val in state.items():
-        if isinstance(val, ADArray):
-            out[key] = np.array(val.value, copy=True)
-        elif isinstance(val, np.ndarray):
-            out[key] = np.array(val, copy=True)
-        else:
-            out[key] = val
-    return out
+    """Strip any AD wrappers from a state dict, returning plain numpy data.
+
+    Delegates to :func:`repro.ad.schedule.snapshot_state`, the single
+    implementation of "deep-copied, wrapper-free state dict".
+    """
+    return snapshot_state(state)
 
 
 def copy_state(state: Mapping[str, Any]) -> dict[str, Any]:

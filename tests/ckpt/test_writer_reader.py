@@ -92,6 +92,21 @@ class TestFullCheckpoint:
         np.testing.assert_array_equal(restored["y_im"], state["y_im"])
         assert restored["it"] == 3 and isinstance(restored["it"], int)
 
+    def test_exact_scalars_materialisation(self, tmp_path, bench):
+        # the default convention coerces 0-d non-integer records to
+        # float64; exact_scalars=True hands back the declared dtypes with
+        # the exact stored bits (the AD spill schedule relies on this)
+        state = {"s": np.float32(0.1), "flag": np.True_, "it": 3}
+        written = write_full_checkpoint(tmp_path / "full.ckpt", bench, state)
+        loaded = read_checkpoint(written.path)
+        lax = loaded.materialize()
+        assert np.asarray(lax["s"]).dtype == np.float64
+        exact = loaded.materialize(exact_scalars=True)
+        assert np.asarray(exact["s"]).dtype == np.float32
+        assert exact["s"] == np.float32(0.1)
+        assert np.asarray(exact["flag"]).dtype == np.bool_
+        assert exact["it"] == 3 and isinstance(exact["it"], int)
+
     def test_step_recorded_from_state(self, tmp_path, bench, state):
         written = write_full_checkpoint(tmp_path / "full.ckpt", bench, state)
         assert written.step == 3

@@ -37,6 +37,9 @@ class TestCacheKey:
             dict(KEY_PARAMS, sweep="segmented"),
             dict(KEY_PARAMS, probe_scale=1.0e-2),
             dict(KEY_PARAMS, probe_batching="per-probe"),
+            dict(KEY_PARAMS, snapshot_schedule="binomial"),
+            dict(KEY_PARAMS, snapshot_schedule="spill"),
+            dict(KEY_PARAMS, snapshot_budget=4),
             dict(KEY_PARAMS, version="0.0.0-other"),
         ]
         keys = [cache_key(**params) for params in variants]
