@@ -98,11 +98,16 @@ def test_snapshot_memory_envelopes(benchmark, name, problem_class):
     assert schedules["binomial"]["peak_snapshots"] <= budget, row
     assert schedules["binomial"]["recomputed_steps"] \
         <= steps * max(budget, 1), row
-    # spill: exactly one snapshot resident, the rest on (now deleted) disk
-    assert schedules["spill"]["peak_snapshots"] == 1, row
+    # spill: O(1) resident -- one fetched snapshot plus at most the async
+    # write queue's bounded copies -- the rest on (now deleted) disk
+    from repro.ad.schedule import SpillSnapshots
+
+    # bounded queue + the write in flight + the copy awaiting a queue slot
+    spill_cap = 2 + SpillSnapshots._QUEUE_DEPTH
+    assert 1 <= schedules["spill"]["peak_snapshots"] <= spill_cap, row
     assert schedules["spill"]["spilled_nbytes"] > 0, row
     assert schedules["spill"]["peak_snapshot_nbytes"] * (steps + 1) \
-        <= schedules["all"]["peak_snapshot_nbytes"] * 2, row
+        <= schedules["all"]["peak_snapshot_nbytes"] * 2 * spill_cap, row
 
 
 def main(argv=None) -> int:

@@ -36,6 +36,9 @@ echo "== batched probe sweep: per-probe equivalence =="
 python -m pytest -q tests/ad/test_probes.py \
     tests/experiments/test_probe_plumbing.py
 
+echo "== replay plans: plan-vs-tracer bitwise equivalence =="
+python -m pytest -q tests/ad/test_plan.py
+
 echo "== CLI smoke: segmented sweep, enlarged class A =="
 python -m repro.cli --class A --sweep segmented analyze CG >/dev/null
 
@@ -54,5 +57,12 @@ python benchmarks/test_probe_batching.py --json BENCH_probes.json
 
 echo "== perf baseline: BENCH_snapshots.json =="
 python benchmarks/test_snapshot_schedule.py --json BENCH_snapshots.json
+
+echo "== perf baseline: BENCH_plan.json =="
+python benchmarks/test_trace_plan.py --json BENCH_plan.json
+
+echo "== CLI smoke: segmented sweep with the replay plan disabled =="
+python -m repro.cli --class T --sweep segmented --trace-cache off \
+    analyze CG >/dev/null
 
 echo "ci_check: OK"

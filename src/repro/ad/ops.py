@@ -28,6 +28,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from .plan import _CAPTURE
 from .probes import ProbeBatchingError, probe_axis_size
 from .tape import Tape, _TAPES, get_active_tape
 from .tensor import ADArray, value_of
@@ -84,11 +85,14 @@ def _target_tape(parents: Sequence[ADArray]) -> Tape | None:
 
 def _record(op: str, value: np.ndarray, parents: Sequence[ADArray],
             vjp: Callable[[np.ndarray], tuple],
-            meta: dict | None = None) -> Any:
+            meta: dict | None = None, spec: tuple | None = None) -> Any:
     """Record one primitive and wrap its output.
 
     If there are no traced parents, or tracing is suspended, the plain numpy
-    value is returned so untraced code pays no overhead.
+    value is returned so untraced code pays no overhead.  ``spec`` is the
+    primitive's replay description, supplied only while a plan capture
+    (:mod:`repro.ad.plan`) is active; a recorded node without one marks the
+    capture as unreplayable (the plan cache then falls back to tracing).
     """
     parents = list(parents)
     if not parents:
@@ -106,6 +110,9 @@ def _record(op: str, value: np.ndarray, parents: Sequence[ADArray],
             f"leading probe axis of length {nb}")
     node = tape.add_node(op, [p.node for p in parents], vjp,
                          np.shape(value), np.asarray(value).dtype, meta=meta)
+    capture = _CAPTURE.capture
+    if capture is not None:
+        capture.on_node(node, spec)
     return ADArray(value, node=node, tape=tape)
 
 
@@ -299,6 +306,35 @@ def _probe_restore(g: np.ndarray, true_shape: tuple) -> np.ndarray:
     return g.reshape(true_shape)
 
 
+def _power_grad_b(g: np.ndarray, av: np.ndarray, bv: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        loga = np.where(av > 0, np.log(np.where(av > 0, av, 1.0)), 0.0)
+    return g * (av ** bv) * loga
+
+
+#: shared compute/VJP rules of the elementwise binary primitives -- the
+#: single source the tracer *and* the compiled replay plans
+#: (:mod:`repro.ad.plan`) execute, so replayed values and cotangents are
+#: bitwise-identical by construction
+EW_BINARY_RULES: dict[str, tuple] = {
+    "add": (lambda av, bv: av + bv,
+            lambda g, av, bv: g,
+            lambda g, av, bv: g),
+    "subtract": (lambda av, bv: av - bv,
+                 lambda g, av, bv: g,
+                 lambda g, av, bv: -g),
+    "multiply": (lambda av, bv: av * bv,
+                 lambda g, av, bv: g * bv,
+                 lambda g, av, bv: g * av),
+    "divide": (lambda av, bv: av / bv,
+               lambda g, av, bv: g / bv,
+               lambda g, av, bv: -g * av / (bv * bv)),
+    "power": (lambda av, bv: av ** bv,
+              lambda g, av, bv: g * bv * av ** (bv - 1.0),
+              _power_grad_b),
+}
+
+
 def _elementwise_binary(op: str, a: Any, b: Any,
                         compute: Callable[[np.ndarray, np.ndarray], np.ndarray],
                         grad_a: Callable[..., np.ndarray],
@@ -331,39 +367,35 @@ def _elementwise_binary(op: str, a: Any, b: Any,
                 _unbroadcast(grad_b(g, av, bv), b_lift), b_shape))
         return tuple(grads)
 
-    return _record(op, out, parents, vjp)
+    spec = None
+    if _CAPTURE.capture is not None and op in EW_BINARY_RULES:
+        spec = ("ewbinary", op, _is_traced(a), _is_traced(b),
+                None if _is_traced(a) else av,
+                None if _is_traced(b) else bv,
+                a_shape, b_shape, a_lift, b_lift)
+    return _record(op, out, parents, vjp, spec=spec)
 
 
 def add(a: Any, b: Any) -> Any:
     """Elementwise ``a + b`` with NumPy broadcasting."""
-    return _elementwise_binary(
-        "add", a, b, lambda av, bv: av + bv,
-        lambda g, av, bv: g,
-        lambda g, av, bv: g)
+    return _elementwise_binary("add", a, b, *EW_BINARY_RULES["add"])
 
 
 def subtract(a: Any, b: Any) -> Any:
     """Elementwise ``a - b`` with NumPy broadcasting."""
-    return _elementwise_binary(
-        "subtract", a, b, lambda av, bv: av - bv,
-        lambda g, av, bv: g,
-        lambda g, av, bv: -g)
+    return _elementwise_binary("subtract", a, b,
+                               *EW_BINARY_RULES["subtract"])
 
 
 def multiply(a: Any, b: Any) -> Any:
     """Elementwise ``a * b`` with NumPy broadcasting."""
-    return _elementwise_binary(
-        "multiply", a, b, lambda av, bv: av * bv,
-        lambda g, av, bv: g * bv,
-        lambda g, av, bv: g * av)
+    return _elementwise_binary("multiply", a, b,
+                               *EW_BINARY_RULES["multiply"])
 
 
 def divide(a: Any, b: Any) -> Any:
     """Elementwise true division ``a / b``."""
-    return _elementwise_binary(
-        "divide", a, b, lambda av, bv: av / bv,
-        lambda g, av, bv: g / bv,
-        lambda g, av, bv: -g * av / (bv * bv))
+    return _elementwise_binary("divide", a, b, *EW_BINARY_RULES["divide"])
 
 
 def power(a: Any, b: Any) -> Any:
@@ -373,16 +405,14 @@ def power(a: Any, b: Any) -> Any:
     constant scalar exponent, for which the VJP reduces to
     ``g * b * a**(b-1)``.
     """
+    return _elementwise_binary("power", a, b, *EW_BINARY_RULES["power"])
 
-    def grad_b(g: np.ndarray, av: np.ndarray, bv: np.ndarray) -> np.ndarray:
-        with np.errstate(divide="ignore", invalid="ignore"):
-            loga = np.where(av > 0, np.log(np.where(av > 0, av, 1.0)), 0.0)
-        return g * (av ** bv) * loga
 
-    return _elementwise_binary(
-        "power", a, b, lambda av, bv: av ** bv,
-        lambda g, av, bv: g * bv * av ** (bv - 1.0),
-        grad_b)
+#: shared compute/tie-mask rules of maximum/minimum (tracer + replay plans)
+MINMAX_RULES: dict[str, tuple] = {
+    "maximum": (np.maximum, lambda av, bv: av >= bv),
+    "minimum": (np.minimum, lambda av, bv: av <= bv),
+}
 
 
 def _minmax_binary(op: str, a: Any, b: Any, compute, mask_of) -> Any:
@@ -410,19 +440,23 @@ def _minmax_binary(op: str, a: Any, b: Any, compute, mask_of) -> Any:
                 _unbroadcast(g * ~mask_a, b_lift), b_shape))
         return tuple(grads)
 
-    return _record(op, out, parents, vjp)
+    spec = None
+    if _CAPTURE.capture is not None:
+        spec = ("minmax", op, _is_traced(a), _is_traced(b),
+                None if _is_traced(a) else av,
+                None if _is_traced(b) else bv,
+                a_shape, b_shape, a_lift, b_lift)
+    return _record(op, out, parents, vjp, spec=spec)
 
 
 def maximum(a: Any, b: Any) -> Any:
     """Elementwise maximum; ties send the cotangent to the first operand."""
-    return _minmax_binary("maximum", a, b, np.maximum,
-                          lambda av, bv: av >= bv)
+    return _minmax_binary("maximum", a, b, *MINMAX_RULES["maximum"])
 
 
 def minimum(a: Any, b: Any) -> Any:
     """Elementwise minimum; ties send the cotangent to the first operand."""
-    return _minmax_binary("minimum", a, b, np.minimum,
-                          lambda av, bv: av <= bv)
+    return _minmax_binary("minimum", a, b, *MINMAX_RULES["minimum"])
 
 
 def mod(a: Any, b: Any) -> Any:
@@ -447,14 +481,44 @@ def mod(a: Any, b: Any) -> Any:
 # elementwise unary primitives
 # ---------------------------------------------------------------------------
 
+#: shared compute/derivative rules of the unary primitives, as
+#: ``(compute(av), dydx(av, out))`` pairs -- executed by the tracer and by
+#: the compiled replay plans alike (bitwise-identical by construction)
+UNARY_RULES: dict[str, tuple] = {
+    "absolute": (np.abs, lambda av, out: np.sign(av)),
+    "sqrt": (np.sqrt, lambda av, out: 0.5 / np.where(out == 0, np.inf, out)),
+    "exp": (np.exp, lambda av, out: out),
+    "expm1": (np.expm1, lambda av, out: np.exp(av)),
+    "log": (np.log, lambda av, out: 1.0 / av),
+    "log1p": (np.log1p, lambda av, out: 1.0 / (1.0 + av)),
+    "sin": (np.sin, lambda av, out: np.cos(av)),
+    "cos": (np.cos, lambda av, out: -np.sin(av)),
+    "tan": (np.tan, lambda av, out: 1.0 / np.cos(av) ** 2),
+    "tanh": (np.tanh, lambda av, out: 1.0 - out ** 2),
+    "sign": (np.sign, lambda av, out: np.zeros_like(av)),
+    "square": (lambda av: av * av, lambda av, out: 2.0 * av),
+    "reciprocal": (lambda av: 1.0 / av, lambda av, out: -1.0 / (av * av)),
+}
+
+
 def _unary(op: str, a: Any, out: np.ndarray,
-           dydx: Callable[[], np.ndarray]) -> Any:
+           dydx: Callable[[], np.ndarray],
+           spec: tuple | None = None) -> Any:
     parents = _traced_parents(a)
 
     def vjp(g: np.ndarray) -> tuple:
         return (g * dydx(),)
 
-    return _record(op, out, parents, vjp)
+    return _record(op, out, parents, vjp, spec=spec)
+
+
+def _rule_unary(op: str, a: Any) -> Any:
+    """Record one table-driven unary primitive (see :data:`UNARY_RULES`)."""
+    compute, dydx = UNARY_RULES[op]
+    av = value_of(a)
+    out = compute(av)
+    spec = ("unary", op) if _CAPTURE.capture is not None else None
+    return _unary(op, a, out, lambda: dydx(av, out), spec=spec)
 
 
 def negative(a: Any) -> Any:
@@ -465,88 +529,73 @@ def negative(a: Any) -> Any:
     def vjp(g: np.ndarray) -> tuple:
         return (-g,)
 
-    return _record("negative", -av, parents, vjp)
+    spec = ("negative",) if _CAPTURE.capture is not None else None
+    return _record("negative", -av, parents, vjp, spec=spec)
 
 
 def absolute(a: Any) -> Any:
     """Elementwise absolute value (subgradient ``sign(a)`` at 0)."""
-    av = value_of(a)
-    return _unary("absolute", a, np.abs(av), lambda: np.sign(av))
+    return _rule_unary("absolute", a)
 
 
 def sqrt(a: Any) -> Any:
     """Elementwise square root."""
-    av = value_of(a)
-    out = np.sqrt(av)
-    return _unary("sqrt", a, out, lambda: 0.5 / np.where(out == 0, np.inf, out))
+    return _rule_unary("sqrt", a)
 
 
 def exp(a: Any) -> Any:
     """Elementwise exponential."""
-    av = value_of(a)
-    out = np.exp(av)
-    return _unary("exp", a, out, lambda: out)
+    return _rule_unary("exp", a)
 
 
 def expm1(a: Any) -> Any:
     """Elementwise ``exp(a) - 1``."""
-    av = value_of(a)
-    return _unary("expm1", a, np.expm1(av), lambda: np.exp(av))
+    return _rule_unary("expm1", a)
 
 
 def log(a: Any) -> Any:
     """Elementwise natural logarithm."""
-    av = value_of(a)
-    return _unary("log", a, np.log(av), lambda: 1.0 / av)
+    return _rule_unary("log", a)
 
 
 def log1p(a: Any) -> Any:
     """Elementwise ``log(1 + a)``."""
-    av = value_of(a)
-    return _unary("log1p", a, np.log1p(av), lambda: 1.0 / (1.0 + av))
+    return _rule_unary("log1p", a)
 
 
 def sin(a: Any) -> Any:
     """Elementwise sine."""
-    av = value_of(a)
-    return _unary("sin", a, np.sin(av), lambda: np.cos(av))
+    return _rule_unary("sin", a)
 
 
 def cos(a: Any) -> Any:
     """Elementwise cosine."""
-    av = value_of(a)
-    return _unary("cos", a, np.cos(av), lambda: -np.sin(av))
+    return _rule_unary("cos", a)
 
 
 def tan(a: Any) -> Any:
     """Elementwise tangent."""
-    av = value_of(a)
-    return _unary("tan", a, np.tan(av), lambda: 1.0 / np.cos(av) ** 2)
+    return _rule_unary("tan", a)
 
 
 def tanh(a: Any) -> Any:
     """Elementwise hyperbolic tangent."""
-    av = value_of(a)
-    out = np.tanh(av)
-    return _unary("tanh", a, out, lambda: 1.0 - out ** 2)
+    return _rule_unary("tanh", a)
 
 
 def sign(a: Any) -> Any:
     """Elementwise sign; derivative is zero almost everywhere."""
-    av = value_of(a)
-    return _unary("sign", a, np.sign(av), lambda: np.zeros_like(av))
+    return _rule_unary("sign", a)
 
 
 def square(a: Any) -> Any:
     """Elementwise square."""
-    av = value_of(a)
-    return _unary("square", a, av * av, lambda: 2.0 * av)
+    return _rule_unary("square", a)
 
 
 def reciprocal(a: Any) -> Any:
     """Elementwise ``1 / a``."""
-    av = value_of(a)
-    return _unary("reciprocal", a, 1.0 / av, lambda: -1.0 / (av * av))
+    return _rule_unary("reciprocal", a)
 
 
 def clip(a: Any, lo: float, hi: float) -> Any:
@@ -589,7 +638,9 @@ def sum(a: Any, axis=None, keepdims: bool = False) -> Any:
             g = np.expand_dims(g, axis=axis)
         return (np.broadcast_to(g, av.shape).copy(),)
 
-    return _record("sum", out, parents, vjp)
+    spec = ("sum", axis, keepdims, av.shape) \
+        if _CAPTURE.capture is not None else None
+    return _record("sum", out, parents, vjp, spec=spec)
 
 
 def mean(a: Any, axis=None, keepdims: bool = False) -> Any:
@@ -607,7 +658,9 @@ def mean(a: Any, axis=None, keepdims: bool = False) -> Any:
             g = np.expand_dims(g, axis=axis)
         return (np.broadcast_to(g, av.shape).copy(),)
 
-    return _record("mean", out, parents, vjp)
+    spec = ("mean", axis, keepdims, count, av.shape) \
+        if _CAPTURE.capture is not None else None
+    return _record("mean", out, parents, vjp, spec=spec)
 
 
 def _minmax_vjp(av: np.ndarray, out: np.ndarray, axis, keepdims: bool):
@@ -632,7 +685,10 @@ def max(a: Any, axis=None, keepdims: bool = False) -> Any:
     axis = _probe_reduce_axis(axis, av.ndim, _probe_batch(a))
     out = np.max(av, axis=axis, keepdims=keepdims)
     parents = _traced_parents(a)
-    return _record("max", out, parents, _minmax_vjp(av, out, axis, keepdims))
+    spec = ("redminmax", "max", axis, keepdims, av.shape) \
+        if _CAPTURE.capture is not None else None
+    return _record("max", out, parents, _minmax_vjp(av, out, axis, keepdims),
+                   spec=spec)
 
 
 def min(a: Any, axis=None, keepdims: bool = False) -> Any:
@@ -641,7 +697,10 @@ def min(a: Any, axis=None, keepdims: bool = False) -> Any:
     axis = _probe_reduce_axis(axis, av.ndim, _probe_batch(a))
     out = np.min(av, axis=axis, keepdims=keepdims)
     parents = _traced_parents(a)
-    return _record("min", out, parents, _minmax_vjp(av, out, axis, keepdims))
+    spec = ("redminmax", "min", axis, keepdims, av.shape) \
+        if _CAPTURE.capture is not None else None
+    return _record("min", out, parents, _minmax_vjp(av, out, axis, keepdims),
+                   spec=spec)
 
 
 def prod(a: Any, axis=None, keepdims: bool = False) -> Any:
@@ -660,7 +719,9 @@ def prod(a: Any, axis=None, keepdims: bool = False) -> Any:
         safe = np.where(av == 0, 1.0, av)
         return (g * out_k / safe,)
 
-    return _record("prod", out, parents, vjp)
+    spec = ("prod", axis, keepdims, av.shape) \
+        if _CAPTURE.capture is not None else None
+    return _record("prod", out, parents, vjp, spec=spec)
 
 
 def norm(a: Any, ord: int = 2) -> Any:
@@ -698,7 +759,9 @@ def reshape(a: Any, shape) -> Any:
     def vjp(g: np.ndarray) -> tuple:
         return (np.reshape(g, av.shape),)
 
-    return _record("reshape", out, parents, vjp)
+    spec = ("reshape", np.shape(out), av.shape) \
+        if _CAPTURE.capture is not None else None
+    return _record("reshape", out, parents, vjp, spec=spec)
 
 
 def ravel(a: Any) -> Any:
@@ -725,7 +788,9 @@ def transpose(a: Any, axes=None) -> Any:
     def vjp(g: np.ndarray) -> tuple:
         return (np.transpose(g, inv_axes),)
 
-    return _record("transpose", out, parents, vjp)
+    spec = ("transpose", None if axes is None else tuple(axes), inv_axes) \
+        if _CAPTURE.capture is not None else None
+    return _record("transpose", out, parents, vjp, spec=spec)
 
 
 def swapaxes(a: Any, axis1: int, axis2: int) -> Any:
@@ -737,10 +802,13 @@ def swapaxes(a: Any, axis1: int, axis2: int) -> Any:
     out = np.swapaxes(av, axis1, axis2)
     parents = _traced_parents(a)
 
+    spec = ("swapaxes", axis1, axis2) \
+        if _CAPTURE.capture is not None else None
+
     def vjp(g: np.ndarray) -> tuple:
         return (np.swapaxes(g, axis1, axis2),)
 
-    return _record("swapaxes", out, parents, vjp)
+    return _record("swapaxes", out, parents, vjp, spec=spec)
 
 
 def moveaxis(a: Any, source, destination) -> Any:
@@ -755,7 +823,9 @@ def moveaxis(a: Any, source, destination) -> Any:
     def vjp(g: np.ndarray) -> tuple:
         return (np.moveaxis(g, destination, source),)
 
-    return _record("moveaxis", out, parents, vjp)
+    spec = ("moveaxis", source, destination) \
+        if _CAPTURE.capture is not None else None
+    return _record("moveaxis", out, parents, vjp, spec=spec)
 
 
 def broadcast_to(a: Any, shape) -> Any:
@@ -769,7 +839,9 @@ def broadcast_to(a: Any, shape) -> Any:
     def vjp(g: np.ndarray) -> tuple:
         return (_unbroadcast(g, av.shape),)
 
-    return _record("broadcast_to", np.array(out), parents, vjp)
+    spec = ("broadcast_to", np.shape(out), av.shape) \
+        if _CAPTURE.capture is not None else None
+    return _record("broadcast_to", np.array(out), parents, vjp, spec=spec)
 
 
 def squeeze(a: Any, axis=None) -> Any:
@@ -788,7 +860,9 @@ def squeeze(a: Any, axis=None) -> Any:
     def vjp(g: np.ndarray) -> tuple:
         return (np.reshape(g, av.shape),)
 
-    return _record("squeeze", out, parents, vjp)
+    spec = ("squeeze", axis, av.shape) \
+        if _CAPTURE.capture is not None else None
+    return _record("squeeze", out, parents, vjp, spec=spec)
 
 
 def expand_dims(a: Any, axis) -> Any:
@@ -801,7 +875,9 @@ def expand_dims(a: Any, axis) -> Any:
     def vjp(g: np.ndarray) -> tuple:
         return (np.reshape(g, av.shape),)
 
-    return _record("expand_dims", out, parents, vjp)
+    spec = ("expand_dims", axis, av.shape) \
+        if _CAPTURE.capture is not None else None
+    return _record("expand_dims", out, parents, vjp, spec=spec)
 
 
 def concatenate(arrays: Sequence[Any], axis: int = 0) -> Any:
@@ -830,7 +906,12 @@ def concatenate(arrays: Sequence[Any], axis: int = 0) -> Any:
                 grads.append(g[tuple(index)])
         return tuple(grads)
 
-    return _record("concatenate", out, parents, vjp)
+    spec = None
+    if _CAPTURE.capture is not None:
+        parts = tuple(("t", None) if _is_traced(arr) else ("c", val)
+                      for arr, val in zip(arrays, values))
+        spec = ("concat", axis, parts, tuple(int(o) for o in offsets))
+    return _record("concatenate", out, parents, vjp, spec=spec)
 
 
 def stack(arrays: Sequence[Any], axis: int = 0) -> Any:
@@ -853,7 +934,12 @@ def stack(arrays: Sequence[Any], axis: int = 0) -> Any:
                 grads.append(np.take(g, i, axis=axis))
         return tuple(grads)
 
-    return _record("stack", out, parents, vjp)
+    spec = None
+    if _CAPTURE.capture is not None:
+        parts = tuple(("t", None) if _is_traced(arr) else ("c", val)
+                      for arr, val in zip(arrays, values))
+        spec = ("stack", axis, parts)
+    return _record("stack", out, parents, vjp, spec=spec)
 
 
 def flip(a: Any, axis=None) -> Any:
@@ -869,7 +955,8 @@ def flip(a: Any, axis=None) -> Any:
     def vjp(g: np.ndarray) -> tuple:
         return (np.flip(g, axis=axis),)
 
-    return _record("flip", out, parents, vjp)
+    spec = ("flip", axis) if _CAPTURE.capture is not None else None
+    return _record("flip", out, parents, vjp, spec=spec)
 
 
 def roll(a: Any, shift, axis=None) -> Any:
@@ -888,7 +975,9 @@ def roll(a: Any, shift, axis=None) -> Any:
             return (np.roll(g2, -np.asarray(shift) if np.ndim(shift)
                             else -shift, axis=1).reshape(av.shape),)
 
-        return _record("roll", out, parents, vjp_flat)
+        spec = ("roll_flat", shift, flat_shape, av.shape) \
+            if _CAPTURE.capture is not None else None
+        return _record("roll", out, parents, vjp_flat, spec=spec)
     axis = _probe_shift_axis(axis, nb)
     out = np.roll(av, shift, axis=axis)
     parents = _traced_parents(a)
@@ -897,7 +986,8 @@ def roll(a: Any, shift, axis=None) -> Any:
         return (np.roll(g, -np.asarray(shift) if np.ndim(shift) else -shift,
                         axis=axis),)
 
-    return _record("roll", out, parents, vjp)
+    spec = ("roll", shift, axis) if _CAPTURE.capture is not None else None
+    return _record("roll", out, parents, vjp, spec=spec)
 
 
 def pad_zero(a: Any, pad_width) -> Any:
@@ -923,7 +1013,9 @@ def pad_zero(a: Any, pad_width) -> Any:
                       for (before, _after), size in zip(norm_pad, av.shape))
         return (g[index],)
 
-    return _record("pad_zero", out, parents, vjp)
+    spec = ("pad_zero", norm_pad, av.shape) \
+        if _CAPTURE.capture is not None else None
+    return _record("pad_zero", out, parents, vjp, spec=spec)
 
 
 # ---------------------------------------------------------------------------
@@ -977,7 +1069,11 @@ def getitem(a: Any, index: Any) -> Any:
             grad[full_idx] += g
         return (grad,)
 
-    return _record("getitem", out, parents, vjp, meta={"index": idx})
+    spec = ("getitem", full_idx, advanced,
+            nb is not None and advanced, av.shape) \
+        if _CAPTURE.capture is not None else None
+    return _record("getitem", out, parents, vjp, meta={"index": idx},
+                   spec=spec)
 
 
 def take(a: Any, indices: Any, axis=None) -> Any:
@@ -1061,6 +1157,14 @@ def index_update(a: Any, index: Any, b: Any) -> Any:
     idx = _index_values(index)
     nb = _probe_batch(a, b)
     full_idx = _probe_index(idx, nb)
+    spec = None
+    if _CAPTURE.capture is not None:
+        lift = (nb,) + np.shape(av) \
+            if nb is not None and not _is_traced(a) else None
+        spec = ("index_update", full_idx, _is_traced(a), _is_traced(b),
+                None if _is_traced(a) else av,
+                None if _is_traced(b) else bv,
+                np.shape(bv), nb is not None, lift)
     if nb is not None and not _is_traced(a):
         # plain target written with batched values: the copy gains the axis.
         # Copy in C order -- an order-'K' copy of the broadcast view would
@@ -1086,7 +1190,8 @@ def index_update(a: Any, index: Any, b: Any) -> Any:
         return tuple(grads)
 
     return _record("index_update", out, parents, vjp,
-                   meta={"index": idx, "roles": _index_roles(a, b)})
+                   meta={"index": idx, "roles": _index_roles(a, b)},
+                   spec=spec)
 
 
 def index_add(a: Any, index: Any, b: Any) -> Any:
@@ -1096,6 +1201,14 @@ def index_add(a: Any, index: Any, b: Any) -> Any:
     idx = _index_values(index)
     nb = _probe_batch(a, b)
     full_idx = _probe_index(idx, nb)
+    spec = None
+    if _CAPTURE.capture is not None:
+        lift = (nb,) + np.shape(av) \
+            if nb is not None and not _is_traced(a) else None
+        spec = ("index_add", full_idx, _is_traced(a), _is_traced(b),
+                None if _is_traced(a) else av,
+                None if _is_traced(b) else bv,
+                np.shape(bv), nb is not None, lift)
     if nb is not None and not _is_traced(a):
         # see index_update: lift the plain target in C order
         av = np.broadcast_to(av, (nb,) + np.shape(av))
@@ -1116,7 +1229,8 @@ def index_add(a: Any, index: Any, b: Any) -> Any:
         return tuple(grads)
 
     return _record("index_add", out, parents, vjp,
-                   meta={"index": idx, "roles": _index_roles(a, b)})
+                   meta={"index": idx, "roles": _index_roles(a, b)},
+                   spec=spec)
 
 
 def where(cond: Any, a: Any, b: Any) -> Any:
@@ -1143,7 +1257,13 @@ def where(cond: Any, a: Any, b: Any) -> Any:
                                         b_shape))
         return tuple(grads)
 
-    return _record("where", out, parents, vjp)
+    spec = None
+    if _CAPTURE.capture is not None:
+        spec = ("where", cv, _is_traced(a), _is_traced(b),
+                None if _is_traced(a) else av,
+                None if _is_traced(b) else bv,
+                a_shape, b_shape, a_lift, b_lift)
+    return _record("where", out, parents, vjp, spec=spec)
 
 
 def copy(a: Any) -> Any:
@@ -1155,7 +1275,8 @@ def copy(a: Any) -> Any:
     def vjp(g: np.ndarray) -> tuple:
         return (g,)
 
-    return _record("copy", out, parents, vjp)
+    spec = ("copy",) if _CAPTURE.capture is not None else None
+    return _record("copy", out, parents, vjp, spec=spec)
 
 
 def astype(a: Any, dtype) -> Any:
@@ -1175,7 +1296,9 @@ def astype(a: Any, dtype) -> Any:
     def vjp(g: np.ndarray) -> tuple:
         return (np.asarray(g, dtype=av.dtype),)
 
-    return _record("astype", out, parents, vjp)
+    spec = ("astype", dtype.str, av.dtype.str) \
+        if _CAPTURE.capture is not None else None
+    return _record("astype", out, parents, vjp, spec=spec)
 
 
 def detach(a: Any) -> np.ndarray:
@@ -1212,7 +1335,12 @@ def matmul(a: Any, b: Any) -> Any:
             grads.append(_matmul_grad_b(g, av, bv))
         return tuple(grads)
 
-    return _record("matmul", out, parents, vjp)
+    spec = None
+    if _CAPTURE.capture is not None:
+        spec = ("matmul", _is_traced(a), _is_traced(b),
+                None if _is_traced(a) else av,
+                None if _is_traced(b) else bv)
+    return _record("matmul", out, parents, vjp, spec=spec)
 
 
 def _probe_matmul(a: Any, b: Any, nb: int) -> Any:
@@ -1260,7 +1388,12 @@ def _probe_matmul(a: Any, b: Any, nb: int) -> Any:
                                                  True).reshape(bv.shape))
         return tuple(grads)
 
-    return _record("matmul", out, parents, vjp)
+    spec = None
+    if _CAPTURE.capture is not None:
+        spec = ("matmul_probe", _is_traced(a), _is_traced(b),
+                None if _is_traced(a) else av,
+                None if _is_traced(b) else bv, la, lb)
+    return _record("matmul", out, parents, vjp, spec=spec)
 
 
 def _probe_matvec_multirhs(a: Any, av: np.ndarray, b: Any,
@@ -1283,7 +1416,8 @@ def _probe_matvec_multirhs(a: Any, av: np.ndarray, b: Any,
         # d out[p, i] / d bv[p, k] = av[i, k]  ->  gb = g @ av
         return (np.matmul(np.asarray(g), av),)
 
-    return _record("matmul", out, parents, vjp)
+    spec = ("matmul_multirhs", av) if _CAPTURE.capture is not None else None
+    return _record("matmul", out, parents, vjp, spec=spec)
 
 
 def _matmul_grad_a(g: np.ndarray, av: np.ndarray, bv: np.ndarray) -> np.ndarray:

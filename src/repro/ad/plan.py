@@ -1,0 +1,1591 @@
+"""Trace-once / replay-many: compiled tape plans for the segmented sweep.
+
+Profiling of the segmented reverse sweep showed the analysis is *recording-
+bound* on small and medium problem classes: every segment, every binomial-
+schedule forward refill and every probe re-runs the Python tracer over an
+identical operation structure, rebuilding :class:`~repro.ad.tape.Node`
+objects, re-creating every VJP closure and re-walking the benchmark's
+Python kernel code.  This module removes that redundancy with the classic
+trace-specialisation idea (the same observation behind Griewank & Walther's
+treatment of repeated forward steps in *revolve*): record the tape **once**
+per (benchmark, problem class, step structure), lower it to a *compiled
+replay plan*, and execute that plan -- a flat program of kernel calls with
+preassigned buffer slots backed by a reusable arena -- instead of tracing.
+
+How a plan is built
+-------------------
+
+1. **Capture.**  While a normal ``traced_step`` / ``traced_output`` runs,
+   every primitive in :mod:`repro.ad.ops` deposits a *spec* -- its name, its
+   constant operands, and every shape/axis/index decision it made (all
+   post probe-axis adjustment, so batched probe traces capture their final
+   geometry) -- keyed by the node it recorded.  The capture costs a few
+   percent on top of the trace it piggy-backs on and is only active while a
+   plan is being learned.
+
+2. **Validation.**  A captured program alone proves nothing: constants may
+   depend on untraced state (EP's per-batch Gaussian sums), the op sequence
+   may diverge between iterations (the LU-style first-iteration setup), or
+   a primitive may have no replay kernel at all.  A plan is therefore only
+   compiled from **two captures that agree** -- op for op, slot for slot,
+   constant for constant (bitwise):
+
+   * two captures taken at *different* integer-state values (consecutive
+     loop boundaries) that agree prove the structure is counter-independent;
+     the compiled plan then serves **every** boundary of the sweep (the
+     *coarse* tier -- CG, LU, MG, BT, SP);
+   * when the captures disagree, the structure is counter-dependent and the
+     cache refines to per-counter-value plans keyed by the exact non-float
+     state (the *fine* tier -- FT's per-``kt`` evolution factor, EP's
+     per-batch sums); those plans replay across probe loops, repeated
+     analyses and binomial refills that revisit the same iteration.
+
+3. **Lowering.**  Each captured node is compiled to a *kernel*: a closure
+   over the spec's constants that maps parent slot values to the node's
+   value and a fresh VJP.  Kernels execute the **same numpy expressions**
+   the ops layer executes (shared rule tables for the elementwise and unary
+   primitives, mirrored code elsewhere), so replayed gradients are
+   bitwise-identical to traced ones -- pinned for all eight NPB ports by
+   ``tests/ad/test_plan.py``.
+
+Replaying a plan
+----------------
+
+*Traced replay* feeds the watched state entries into preallocated float64
+leaf buffers (the same cast :meth:`~repro.ad.tape.Tape.watch` performs),
+runs the kernel program over the slot arena, then runs the plan's own
+reverse sweep -- an exact mirror of :func:`repro.ad.reverse.backward` /
+``backward_from_seeds`` including cotangent accumulation order and buffer
+ownership, so a replayed segment chains bit for bit like a traced one.
+
+*Concrete replay* runs the kernels on plain values without building VJPs
+and assembles the next state dict from the plan's output map; it stands in
+for ``bench.run(state, 1)`` in the sweep's forward pass and in the binomial
+schedule's refills.  It is only enabled when every chained entry is float64
+(so the leaf cast is the identity) and every untraced output entry is
+either capture-stable or a scalar integer increment (``it -> it + 1``).
+
+Safety
+------
+
+Structure changes fall back to fresh tracing automatically: a shape/dtype
+change misses the structural signature, an op-sequence or constant change
+fails the two-capture agreement, an unsupported primitive rejects the plan,
+and any replay-time error poisons the cache entry with a
+:class:`RuntimeWarning` and re-traces.  Two residual caveats are inherited
+from every trace-specialising system: a kernel whose *structure* depends on
+traced float values, or one that diverges only at an iteration the two
+captures did not see, replays its captured structure.  None of the NPB
+ports does either; custom benchmarks can either override
+``plan_structure_token`` (see :class:`repro.npb.base.NPBBenchmark`) to key
+plans by the discriminating value, or run with ``trace_cache="off"``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import warnings
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from .tensor import ADArray, value_of
+
+__all__ = [
+    "TRACE_CACHES",
+    "DEFAULT_TRACE_CACHE",
+    "PlanCache",
+    "CompiledPlan",
+    "coarse_signature",
+    "fine_signature",
+]
+
+#: recognised trace-cache policies of the segmented sweep
+TRACE_CACHES = ("plan", "off")
+
+#: the policy used when none is requested
+DEFAULT_TRACE_CACHE = "plan"
+
+#: captures retained per cache entry while learning fine-tier plans
+_MAX_PENDING_CAPTURES = 64
+
+#: compiled fine-tier plans retained per cache entry; each plan owns a
+#: state-sized arena, so an unbounded map would quietly reintroduce the
+#: O(steps x state) residency the snapshot schedules exist to avoid
+#: (oldest-first eviction; evicted iterations simply re-trace)
+_MAX_FINE_PLANS = 64
+
+
+# ---------------------------------------------------------------------------
+# capture hook (consumed by repro.ad.ops)
+# ---------------------------------------------------------------------------
+
+class _CaptureSlot(threading.local):
+    """Thread-local holder of the active capture sink (``None`` = off)."""
+
+    def __init__(self) -> None:
+        self.capture: "_CaptureSink | None" = None
+
+
+#: the ops layer reads ``_CAPTURE.capture`` on every recorded primitive;
+#: ``None`` keeps the per-op cost to a single attribute check
+_CAPTURE = _CaptureSlot()
+
+
+class _CaptureSink:
+    """Collects per-node specs while one trace runs."""
+
+    __slots__ = ("specs", "ok", "reason")
+
+    def __init__(self) -> None:
+        self.specs: dict[int, tuple] = {}
+        self.ok = True
+        self.reason = ""
+
+    def on_node(self, node, spec: tuple | None) -> None:
+        if spec is None:
+            self.ok = False
+            self.reason = f"primitive {node.op!r} has no replay kernel"
+            return
+        self.specs[node.index] = spec
+
+
+# ---------------------------------------------------------------------------
+# structural signatures
+# ---------------------------------------------------------------------------
+
+def coarse_signature(state: Mapping[str, Any], token: Any = None) -> tuple:
+    """Shape/dtype fingerprint of a state dict (value-independent).
+
+    Two states with the same coarse signature promise the same *leaf
+    geometry*; whether the traced structure really is identical is decided
+    by the two-capture agreement, never by this signature alone.  ``token``
+    folds in a benchmark-provided discriminator for kernels whose structure
+    depends on state values (``plan_structure_token``).
+    """
+    parts: list[tuple] = []
+    for key in sorted(state):
+        arr = np.asarray(value_of(state[key]))
+        kind = "f" if np.issubdtype(arr.dtype, np.floating) else "o"
+        parts.append((key, kind, arr.shape, arr.dtype.str))
+    return (tuple(parts), None if token is None else repr(token))
+
+
+def fine_signature(state: Mapping[str, Any]) -> tuple:
+    """Value fingerprint of every *non-float* state entry.
+
+    Non-float entries are the only state a traced step can bake into its
+    captured constants (float entries are always traced leaves), so they
+    are what distinguishes one iteration's structure from another's: FT's
+    ``kt`` selects the evolution factor, IS's key array steers its integer
+    pipeline.  Scalars key by value, arrays by content digest.
+    """
+    parts: list[tuple] = []
+    for key in sorted(state):
+        arr = np.asarray(value_of(state[key]))
+        if np.issubdtype(arr.dtype, np.floating):
+            continue
+        if arr.ndim == 0:
+            parts.append(("s", key, int(arr)))
+        else:
+            digest = hashlib.sha1(
+                np.ascontiguousarray(arr).tobytes()).digest()
+            parts.append(("a", key, arr.shape, arr.dtype.str, digest))
+    return tuple(parts)
+
+
+def _structure_token(bench, state: Mapping[str, Any]) -> Any:
+    hook = getattr(bench, "plan_structure_token", None)
+    if callable(hook):
+        return hook(state)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# captured programs
+# ---------------------------------------------------------------------------
+
+class _NodeRec:
+    """One captured tape node: wiring, geometry and its replay spec."""
+
+    __slots__ = ("op", "parents", "shape", "dtype", "spec")
+
+    def __init__(self, op: str, parents: tuple[int, ...], shape: tuple,
+                 dtype: str, spec: tuple) -> None:
+        self.op = op
+        self.parents = parents
+        self.shape = shape
+        self.dtype = dtype
+        self.spec = spec
+
+
+class CaptureProgram:
+    """The raw harvest of one instrumented trace (pre-compilation)."""
+
+    __slots__ = ("kind", "n_probes", "watch", "leaf_slots", "nodes",
+                 "out_entries", "out_slot", "scalar_ints", "float64_chain",
+                 "supported", "reason")
+
+    def __init__(self) -> None:
+        self.kind = ""
+        self.n_probes: int | None = None
+        self.watch: tuple[str, ...] = ()
+        self.leaf_slots: tuple[int, ...] = ()
+        self.nodes: list[_NodeRec] = []
+        #: step kind: next-state entry -> ("slot", i) | ("const", value)
+        self.out_entries: dict[str, tuple] = {}
+        #: output kind: slot of the traced scalar output (None = untraced)
+        self.out_slot: int | None = None
+        #: untraced scalar-integer input values (for increment rules)
+        self.scalar_ints: dict[str, int] = {}
+        self.float64_chain = True
+        self.supported = True
+        self.reason = ""
+
+
+def _build_program(kind: str, sink: _CaptureSink, tape, leaves,
+                   watch: Sequence[str], state: Mapping[str, Any],
+                   next_state: Mapping[str, Any] | None, output: Any,
+                   n_probes: int | None) -> CaptureProgram:
+    """Assemble a :class:`CaptureProgram` from one instrumented trace."""
+    prog = CaptureProgram()
+    prog.kind = kind
+    prog.n_probes = n_probes
+    prog.watch = tuple(watch)
+    prog.supported = sink.ok
+    prog.reason = sink.reason
+
+    prog.leaf_slots = tuple(leaves[key].node.index for key in prog.watch)
+    for node in tape.nodes:
+        if node.op == "leaf":
+            spec: tuple | None = ("leaf",)
+        else:
+            spec = sink.specs.get(node.index)
+            if spec is None and prog.supported:
+                prog.supported = False
+                prog.reason = f"primitive {node.op!r} was not captured"
+        prog.nodes.append(_NodeRec(node.op,
+                                   tuple(p.index for p in node.parents),
+                                   tuple(node.shape), np.dtype(node.dtype).str,
+                                   spec or ("leaf",)))
+
+    for key in prog.watch:
+        if np.asarray(value_of(state[key])).dtype != np.float64:
+            prog.float64_chain = False
+    for key, val in state.items():
+        arr = np.asarray(value_of(val))
+        if arr.ndim == 0 and not np.issubdtype(arr.dtype, np.floating):
+            try:
+                prog.scalar_ints[key] = int(arr)
+            except (TypeError, ValueError):  # pragma: no cover - exotic 0-d
+                pass
+
+    if kind == "step":
+        assert next_state is not None
+        for key, val in next_state.items():
+            if isinstance(val, ADArray) and val.node is not None:
+                prog.out_entries[key] = ("slot", val.node.index)
+            else:
+                prog.out_entries[key] = ("const", value_of(val)
+                                         if isinstance(val, ADArray) else val)
+    else:
+        if isinstance(output, ADArray) and output.node is not None:
+            prog.out_slot = output.node.index
+    return prog
+
+
+def _const_equal(a: Any, b: Any) -> bool:
+    """Structural + bitwise equality of captured spec payloads."""
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        # allow int/np.integer style mismatches to compare by value below
+        if not (np.isscalar(a) and np.isscalar(b)):
+            if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+                return False
+    if isinstance(a, np.ndarray):
+        if not isinstance(b, np.ndarray):
+            return False
+        # raw-byte comparison: value equality would conflate -0.0 with 0.0
+        # (and NaN payloads), which a downstream 1/x would tell apart
+        return (a.shape == b.shape and a.dtype == b.dtype
+                and np.ascontiguousarray(a).tobytes()
+                == np.ascontiguousarray(b).tobytes())
+    if isinstance(a, (tuple, list)):
+        return (len(a) == len(b)
+                and all(_const_equal(x, y) for x, y in zip(a, b)))
+    if isinstance(a, dict):
+        return (a.keys() == b.keys()
+                and all(_const_equal(a[k], b[k]) for k in a))
+    if isinstance(a, slice):
+        return (_const_equal(a.start, b.start)
+                and _const_equal(a.stop, b.stop)
+                and _const_equal(a.step, b.step))
+    if isinstance(a, np.generic) or isinstance(b, np.generic):
+        # numpy scalars (incl. non-float64 floats): raw-byte equality, for
+        # the same -0.0 / NaN-payload reasons as the array branch
+        a_arr, b_arr = np.asarray(a), np.asarray(b)
+        return (a_arr.dtype == b_arr.dtype
+                and a_arr.tobytes() == b_arr.tobytes())
+    if isinstance(a, float) and isinstance(b, float):
+        if np.isnan(a) and np.isnan(b):
+            return True
+        # sign-aware: -0.0 and 0.0 compare equal but behave differently
+        return a == b and np.copysign(1.0, a) == np.copysign(1.0, b)
+    try:
+        return bool(a == b)
+    except Exception:  # pragma: no cover - incomparable payloads
+        return False
+
+
+def programs_equal(p1: CaptureProgram, p2: CaptureProgram) -> bool:
+    """Structural agreement of two captures (the compile precondition).
+
+    Constants must agree *bitwise* -- a constant that drifted between two
+    boundaries is untraced state leaking into the program, exactly what a
+    replay would get wrong.  Untraced next-state constants are exempt: they
+    never feed a chained cotangent (concrete replay re-validates them
+    separately via :func:`_concrete_rules`).
+    """
+    if (p1.kind != p2.kind or p1.n_probes != p2.n_probes
+            or p1.watch != p2.watch or p1.leaf_slots != p2.leaf_slots
+            or len(p1.nodes) != len(p2.nodes)
+            or not p1.supported or not p2.supported):
+        return False
+    for n1, n2 in zip(p1.nodes, p2.nodes):
+        if (n1.op != n2.op or n1.parents != n2.parents
+                or n1.shape != n2.shape or n1.dtype != n2.dtype):
+            return False
+        if not _const_equal(n1.spec, n2.spec):
+            return False
+    if p1.kind == "step":
+        if p1.out_entries.keys() != p2.out_entries.keys():
+            return False
+        for key, (tag1, payload1) in p1.out_entries.items():
+            tag2, payload2 = p2.out_entries[key]
+            if tag1 != tag2:
+                return False
+            if tag1 == "slot" and payload1 != payload2:
+                return False
+    else:
+        if p1.out_slot != p2.out_slot:
+            return False
+    return True
+
+
+def _concrete_rules(p1: CaptureProgram,
+                    p2: CaptureProgram) -> list[tuple] | None:
+    """Next-state assembly rules, or ``None`` when concrete replay is unsafe.
+
+    Every entry must be a slot, a capture-stable constant, or a scalar
+    integer moving by the same delta in both captures (the loop counter).
+    The chained leaves must be float64, so the plan's float64 leaf cast is
+    the identity and the replayed forward matches ``bench.run`` bitwise.
+    """
+    if p1.kind != "step" or not (p1.float64_chain and p2.float64_chain):
+        return None
+    rules: list[tuple] = []
+    for key, (tag, payload) in p1.out_entries.items():
+        if tag == "slot":
+            rules.append((key, "slot", payload))
+            continue
+        other = p2.out_entries[key][1]
+        if _const_equal(payload, other):
+            rules.append((key, "const", payload))
+            continue
+        v1 = np.asarray(value_of(payload))
+        v2 = np.asarray(value_of(other))
+        if (v1.ndim == 0 and v2.ndim == 0
+                and np.issubdtype(v1.dtype, np.integer)
+                and key in p1.scalar_ints and key in p2.scalar_ints):
+            delta1 = int(v1) - p1.scalar_ints[key]
+            delta2 = int(v2) - p2.scalar_ints[key]
+            if delta1 == delta2:
+                rules.append((key, "incr", delta1,
+                              isinstance(payload, int)
+                              and not isinstance(payload, bool),
+                              v1.dtype.str))
+                continue
+        return None
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# kernel emitters (compiled per captured node)
+# ---------------------------------------------------------------------------
+#
+# Every emitter receives one node's spec and returns a *kernel*: a closure
+# over the spec's constants mapping the parent slot values to ``(value,
+# vjp)``.  Kernels execute exactly the numpy expressions the corresponding
+# ops-layer primitive executes -- the elementwise/unary/min-max families
+# share their rule tables with :mod:`repro.ad.ops` outright, the rest
+# mirror the primitive line for line (and reuse the ops helpers
+# ``_unbroadcast`` / ``_unbroadcast_keep_probe`` / ``_matmul_grad_*``) --
+# so a replayed value or cotangent is bitwise what a fresh trace produces.
+
+
+def _ops_mod():
+    from . import ops  # deferred: ops imports this module at load time
+
+    return ops
+
+
+def _emit_ewbinary(spec: tuple, node: _NodeRec) -> Callable:
+    ops = _ops_mod()
+    (_, op, a_tr, b_tr, a_const, b_const,
+     a_shape, b_shape, a_lift, b_lift) = spec
+    compute, grad_a, grad_b = ops.EW_BINARY_RULES[op]
+    unbroadcast, restore = ops._unbroadcast, ops._probe_restore
+    a_re = a_tr and tuple(a_lift) != tuple(a_shape)
+    b_re = b_tr and tuple(b_lift) != tuple(b_shape)
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i].reshape(a_lift) if a_re else vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = (vals[i].reshape(b_lift) if b_re else vals[i]) if b_tr \
+            else b_const
+        out = compute(av, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            if a_tr:
+                grads.append(restore(unbroadcast(grad_a(g, av, bv), a_lift),
+                                     a_shape))
+            if b_tr:
+                grads.append(restore(unbroadcast(grad_b(g, av, bv), b_lift),
+                                     b_shape))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_minmax(spec: tuple, node: _NodeRec) -> Callable:
+    ops = _ops_mod()
+    (_, op, a_tr, b_tr, a_const, b_const,
+     a_shape, b_shape, a_lift, b_lift) = spec
+    compute, mask_of = ops.MINMAX_RULES[op]
+    unbroadcast, restore = ops._unbroadcast, ops._probe_restore
+    a_re = a_tr and tuple(a_lift) != tuple(a_shape)
+    b_re = b_tr and tuple(b_lift) != tuple(b_shape)
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i].reshape(a_lift) if a_re else vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = (vals[i].reshape(b_lift) if b_re else vals[i]) if b_tr \
+            else b_const
+        out = compute(av, bv)
+        mask_a = mask_of(av, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            if a_tr:
+                grads.append(restore(unbroadcast(g * mask_a, a_lift),
+                                     a_shape))
+            if b_tr:
+                grads.append(restore(unbroadcast(g * ~mask_a, b_lift),
+                                     b_shape))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_unary(spec: tuple, node: _NodeRec) -> Callable:
+    compute, dydx = _ops_mod().UNARY_RULES[spec[1]]
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = compute(av)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (g * dydx(av, out),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_negative(spec: tuple, node: _NodeRec) -> Callable:
+    def kernel(vals: list) -> tuple:
+        return -vals[0], lambda g: (-g,)
+
+    return kernel
+
+
+def _emit_copy(spec: tuple, node: _NodeRec) -> Callable:
+    def kernel(vals: list) -> tuple:
+        return np.array(vals[0], copy=True), lambda g: (g,)
+
+    return kernel
+
+
+def _emit_astype(spec: tuple, node: _NodeRec) -> Callable:
+    _, dtype_str, src_str = spec
+    dtype, src = np.dtype(dtype_str), np.dtype(src_str)
+
+    def kernel(vals: list) -> tuple:
+        out = vals[0].astype(dtype)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.asarray(g, dtype=src),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_sum(spec: tuple, node: _NodeRec) -> Callable:
+    _, axis, keepdims, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = np.sum(av, axis=axis, keepdims=keepdims)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            return (np.broadcast_to(g, in_shape).copy(),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_mean(spec: tuple, node: _NodeRec) -> Callable:
+    _, axis, keepdims, count, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = np.mean(av, axis=axis, keepdims=keepdims)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g) / count
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            return (np.broadcast_to(g, in_shape).copy(),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_redminmax(spec: tuple, node: _NodeRec) -> Callable:
+    _, op, axis, keepdims, in_shape = spec
+    reduce_fn = np.max if op == "max" else np.min
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = reduce_fn(av, axis=axis, keepdims=keepdims)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g)
+            out_k = out
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                out_k = np.expand_dims(out, axis=axis)
+            mask = (av == out_k)
+            denom = mask.sum(axis=axis, keepdims=True) if axis is not None \
+                else mask.sum()
+            return (mask * g / denom,)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_prod(spec: tuple, node: _NodeRec) -> Callable:
+    _, axis, keepdims, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = np.prod(av, axis=axis, keepdims=keepdims)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g)
+            out_k = out
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                out_k = np.expand_dims(out, axis=axis)
+            safe = np.where(av == 0, 1.0, av)
+            return (g * out_k / safe,)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_getitem(spec: tuple, node: _NodeRec) -> Callable:
+    _, idx, advanced, contig, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = av[idx]
+        if contig:
+            out = np.ascontiguousarray(out)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grad = np.zeros(in_shape, dtype=np.result_type(g, np.float64))
+            if advanced:
+                np.add.at(grad, idx, g)
+            else:
+                grad[idx] += g
+            return (grad,)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_index_update(spec: tuple, node: _NodeRec) -> Callable:
+    ops = _ops_mod()
+    (_, idx, a_tr, b_tr, a_const, b_const, b_shape, batched,
+     lift_shape) = spec
+    keep_probe = ops._unbroadcast_keep_probe
+    lifted_const = None
+    if not a_tr and lift_shape is not None:
+        lifted_const = np.broadcast_to(a_const, lift_shape)
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            out = np.array(vals[i], copy=True)
+            i += 1
+        elif lifted_const is not None:
+            out = np.array(lifted_const, copy=True, order="C")
+        else:
+            out = np.array(a_const, copy=True)
+        bv = vals[i] if b_tr else b_const
+        out[idx] = bv
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            if a_tr:
+                ga = np.array(g, copy=True)
+                ga[idx] = 0.0
+                grads.append(ga)
+            if b_tr:
+                gb = np.asarray(g)[idx]
+                grads.append(keep_probe(gb, b_shape, batched))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_index_add(spec: tuple, node: _NodeRec) -> Callable:
+    ops = _ops_mod()
+    (_, idx, a_tr, b_tr, a_const, b_const, b_shape, batched,
+     lift_shape) = spec
+    keep_probe = ops._unbroadcast_keep_probe
+    lifted_const = None
+    if not a_tr and lift_shape is not None:
+        lifted_const = np.broadcast_to(a_const, lift_shape)
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            out = np.array(vals[i], copy=True)
+            i += 1
+        elif lifted_const is not None:
+            out = np.array(lifted_const, copy=True, order="C")
+        else:
+            out = np.array(a_const, copy=True)
+        bv = vals[i] if b_tr else b_const
+        np.add.at(out, idx, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            if a_tr:
+                grads.append(np.asarray(g))
+            if b_tr:
+                gb = np.asarray(g)[idx]
+                grads.append(keep_probe(gb, b_shape, batched))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_where(spec: tuple, node: _NodeRec) -> Callable:
+    ops = _ops_mod()
+    (_, cv, a_tr, b_tr, a_const, b_const,
+     a_shape, b_shape, a_lift, b_lift) = spec
+    unbroadcast, restore = ops._unbroadcast, ops._probe_restore
+    a_re = a_tr and tuple(a_lift) != tuple(a_shape)
+    b_re = b_tr and tuple(b_lift) != tuple(b_shape)
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i].reshape(a_lift) if a_re else vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = (vals[i].reshape(b_lift) if b_re else vals[i]) if b_tr \
+            else b_const
+        out = np.where(cv, av, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            if a_tr:
+                grads.append(restore(unbroadcast(g * cv, a_lift), a_shape))
+            if b_tr:
+                grads.append(restore(unbroadcast(g * (~cv), b_lift),
+                                     b_shape))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_matmul(spec: tuple, node: _NodeRec) -> Callable:
+    ops = _ops_mod()
+    _, a_tr, b_tr, a_const, b_const = spec
+    grad_a, grad_b = ops._matmul_grad_a, ops._matmul_grad_b
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = vals[i] if b_tr else b_const
+        out = np.matmul(av, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g)
+            grads = []
+            if a_tr:
+                grads.append(grad_a(g, av, bv))
+            if b_tr:
+                grads.append(grad_b(g, av, bv))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_matmul_probe(spec: tuple, node: _NodeRec) -> Callable:
+    ops = _ops_mod()
+    _, a_tr, b_tr, a_const, b_const, la, lb = spec
+    keep_probe = ops._unbroadcast_keep_probe
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = vals[i] if b_tr else b_const
+        av_m = av[..., None, :] if la == 1 else av
+        bv_m = bv[..., :, None] if lb == 1 else bv
+        out_m = np.matmul(av_m, bv_m)
+        if la == 1 and lb == 1:
+            out = out_m[..., 0, 0]
+        elif la == 1:
+            out = out_m[..., 0, :]
+        elif lb == 1:
+            out = out_m[..., :, 0]
+        else:
+            out = out_m
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g)
+            if la == 1 and lb == 1:
+                g_m = g[..., None, None]
+            elif la == 1:
+                g_m = g[..., None, :]
+            elif lb == 1:
+                g_m = g[..., :, None]
+            else:
+                g_m = g
+            grads = []
+            if a_tr:
+                ga = np.matmul(g_m, np.swapaxes(bv_m, -1, -2))
+                grads.append(keep_probe(ga, av_m.shape,
+                                        True).reshape(av.shape))
+            if b_tr:
+                gb = np.matmul(np.swapaxes(av_m, -1, -2), g_m)
+                grads.append(keep_probe(gb, bv_m.shape,
+                                        True).reshape(bv.shape))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_matmul_multirhs(spec: tuple, node: _NodeRec) -> Callable:
+    _, a_const = spec
+    a_t = np.swapaxes(a_const, -1, -2)
+
+    def kernel(vals: list) -> tuple:
+        out = np.matmul(vals[0], a_t)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.matmul(np.asarray(g), a_const),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_reshape(spec: tuple, node: _NodeRec) -> Callable:
+    _, out_shape, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.reshape(vals[0], out_shape)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.reshape(g, in_shape),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_transpose(spec: tuple, node: _NodeRec) -> Callable:
+    _, axes, inv_axes = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.transpose(vals[0], axes)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.transpose(g, inv_axes),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_swapaxes(spec: tuple, node: _NodeRec) -> Callable:
+    _, ax1, ax2 = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.swapaxes(vals[0], ax1, ax2)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.swapaxes(g, ax1, ax2),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _moveaxis_order(src: Any, dst: Any, ndim: int) -> tuple[int, ...]:
+    """The axis permutation ``np.moveaxis(a, src, dst)`` applies.
+
+    Mirrors numpy's own implementation (normalize, remove sources, insert
+    at destinations in ascending order); precomputing it lets the compiled
+    kernel run one C-level ``transpose`` instead of re-normalising the
+    axes on every replay -- same view, same bits.
+    """
+    src_t = tuple(ax % ndim for ax in
+                  (src if isinstance(src, (tuple, list)) else (src,)))
+    dst_t = tuple(ax % ndim for ax in
+                  (dst if isinstance(dst, (tuple, list)) else (dst,)))
+    order = [ax for ax in range(ndim) if ax not in src_t]
+    for d, s in sorted(zip(dst_t, src_t)):
+        order.insert(d, s)
+    return tuple(order)
+
+
+def _emit_moveaxis(spec: tuple, node: _NodeRec) -> Callable:
+    _, src, dst = spec
+    ndim = len(node.shape)
+    fwd = _moveaxis_order(src, dst, ndim)
+    rev = _moveaxis_order(dst, src, ndim)
+
+    def kernel(vals: list) -> tuple:
+        out = vals[0].transpose(fwd)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.asarray(g).transpose(rev),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_broadcast_to(spec: tuple, node: _NodeRec) -> Callable:
+    ops = _ops_mod()
+    _, out_shape, in_shape = spec
+    unbroadcast = ops._unbroadcast
+
+    def kernel(vals: list) -> tuple:
+        out = np.array(np.broadcast_to(vals[0], out_shape))
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (unbroadcast(g, in_shape),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_squeeze(spec: tuple, node: _NodeRec) -> Callable:
+    _, axis, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.squeeze(vals[0], axis=axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.reshape(g, in_shape),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_expand_dims(spec: tuple, node: _NodeRec) -> Callable:
+    _, axis, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.expand_dims(vals[0], axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.reshape(g, in_shape),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_flip(spec: tuple, node: _NodeRec) -> Callable:
+    _, axis = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.flip(vals[0], axis=axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.flip(g, axis=axis),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_roll(spec: tuple, node: _NodeRec) -> Callable:
+    _, shift, axis = spec
+    neg = -np.asarray(shift) if np.ndim(shift) else -shift
+
+    def kernel(vals: list) -> tuple:
+        out = np.roll(vals[0], shift, axis=axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.roll(g, neg, axis=axis),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_roll_flat(spec: tuple, node: _NodeRec) -> Callable:
+    _, shift, flat_shape, in_shape = spec
+    neg = -np.asarray(shift) if np.ndim(shift) else -shift
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = np.roll(av.reshape(flat_shape), shift, axis=1).reshape(in_shape)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g2 = np.asarray(g).reshape(flat_shape)
+            return (np.roll(g2, neg, axis=1).reshape(in_shape),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_pad_zero(spec: tuple, node: _NodeRec) -> Callable:
+    _, norm_pad, in_shape = spec
+    pad = np.asarray(norm_pad)
+    index = tuple(slice(before, before + size)
+                  for (before, _after), size in zip(pad, in_shape))
+
+    def kernel(vals: list) -> tuple:
+        out = np.pad(vals[0], pad, mode="constant")
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (g[index],)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_concat(spec: tuple, node: _NodeRec) -> Callable:
+    _, axis, parts, offsets = spec
+    traced_spans = [(start, stop)
+                    for (tag, payload), start, stop
+                    in zip(parts, offsets[:-1], offsets[1:]) if tag == "t"]
+
+    def kernel(vals: list) -> tuple:
+        seq = []
+        i = 0
+        for tag, payload in parts:
+            if tag == "t":
+                seq.append(vals[i])
+                i += 1
+            else:
+                seq.append(payload)
+        out = np.concatenate(seq, axis=axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            for start, stop in traced_spans:
+                index = [slice(None)] * g.ndim
+                index[axis] = slice(start, stop)
+                grads.append(g[tuple(index)])
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_stack(spec: tuple, node: _NodeRec) -> Callable:
+    _, axis, parts = spec
+    traced_pos = [i for i, (tag, _payload) in enumerate(parts)
+                  if tag == "t"]
+
+    def kernel(vals: list) -> tuple:
+        seq = []
+        i = 0
+        for tag, payload in parts:
+            if tag == "t":
+                seq.append(vals[i])
+                i += 1
+            else:
+                seq.append(payload)
+        out = np.stack(seq, axis=axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return tuple(np.take(g, i, axis=axis) for i in traced_pos)
+
+        return out, vjp
+
+    return kernel
+
+
+#: spec kind -> emitter
+_EMITTERS: dict[str, Callable] = {
+    "ewbinary": _emit_ewbinary,
+    "minmax": _emit_minmax,
+    "unary": _emit_unary,
+    "negative": _emit_negative,
+    "copy": _emit_copy,
+    "astype": _emit_astype,
+    "sum": _emit_sum,
+    "mean": _emit_mean,
+    "redminmax": _emit_redminmax,
+    "prod": _emit_prod,
+    "getitem": _emit_getitem,
+    "index_update": _emit_index_update,
+    "index_add": _emit_index_add,
+    "where": _emit_where,
+    "matmul": _emit_matmul,
+    "matmul_probe": _emit_matmul_probe,
+    "matmul_multirhs": _emit_matmul_multirhs,
+    "reshape": _emit_reshape,
+    "transpose": _emit_transpose,
+    "swapaxes": _emit_swapaxes,
+    "moveaxis": _emit_moveaxis,
+    "broadcast_to": _emit_broadcast_to,
+    "squeeze": _emit_squeeze,
+    "expand_dims": _emit_expand_dims,
+    "flip": _emit_flip,
+    "roll": _emit_roll,
+    "roll_flat": _emit_roll_flat,
+    "pad_zero": _emit_pad_zero,
+    "concat": _emit_concat,
+    "stack": _emit_stack,
+}
+
+
+# ---------------------------------------------------------------------------
+# compiled plans
+# ---------------------------------------------------------------------------
+
+class CompiledPlan:
+    """A lowered capture: flat kernel program over a reusable slot arena.
+
+    The arena -- the slot value/VJP tables and the float64 leaf buffers --
+    is allocated once at compile time and overwritten on every replay, so a
+    replayed segment performs no tape bookkeeping and no leaf reallocation.
+    Gradient buffers follow the tracer's ownership discipline exactly
+    (shared buffers are defensively copied before they are handed out), so
+    nothing the caller receives ever aliases the arena.
+
+    A plan is not thread-safe: it belongs to one sweep/cache at a time,
+    like the tapes it replaces.
+    """
+
+    def __init__(self, program: CaptureProgram,
+                 concrete: list[tuple] | None) -> None:
+        self.kind = program.kind
+        self.watch = program.watch
+        self.n_slots = len(program.nodes)
+        self._shapes = [node.shape for node in program.nodes]
+        self._parents = [node.parents for node in program.nodes]
+        self._leaf_slots = program.leaf_slots
+        self._out_slot = program.out_slot
+        #: chain key -> producing slot (``None`` = untraced next-state entry)
+        self._seed_slots = {}
+        if program.kind == "step":
+            for key in program.watch:
+                tag, payload = program.out_entries.get(key, ("const", None))
+                self._seed_slots[key] = payload if tag == "slot" else None
+        self._concrete = concrete
+        #: gradient-buffer footprint estimate, same meter as ``Tape.nbytes``
+        self.nbytes_estimate = sum(
+            int(np.prod(shape, dtype=np.int64)) * 8 for shape in self._shapes)
+
+        self._ops: list[tuple[int, tuple[int, ...], Callable]] = []
+        for slot, node in enumerate(program.nodes):
+            if node.spec[0] == "leaf":
+                continue
+            emitter = _EMITTERS.get(node.spec[0])
+            if emitter is None:
+                raise KeyError(f"no emitter for spec kind {node.spec[0]!r}")
+            self._ops.append((slot, node.parents, emitter(node.spec, node)))
+
+        # the reusable arena: slot tables + preallocated leaf buffers
+        self._values: list = [None] * self.n_slots
+        self._vjps: list = [None] * self.n_slots
+        self._leaf_bufs = {slot: np.empty(self._shapes[slot],
+                                          dtype=np.float64)
+                           for slot in self._leaf_slots}
+
+    @property
+    def concrete_ok(self) -> bool:
+        """True when the plan can stand in for ``bench.run(state, 1)``."""
+        return self._concrete is not None
+
+    # -- forward execution ----------------------------------------------
+    def _forward(self, state: Mapping[str, Any], build_vjps: bool) -> None:
+        values, vjps = self._values, self._vjps
+        for key, slot in zip(self.watch, self._leaf_slots):
+            if build_vjps:
+                buf = self._leaf_bufs[slot]
+                np.copyto(buf, np.asarray(value_of(state[key])))
+                values[slot] = buf
+            else:
+                # concrete replay hands slot values out as the next state,
+                # so leaves must not alias the reusable arena buffers
+                values[slot] = np.asarray(value_of(state[key]),
+                                          dtype=np.float64)
+        for slot, parents, kernel in self._ops:
+            out, vjp = kernel([values[p] for p in parents])
+            values[slot] = out
+            if build_vjps:
+                vjps[slot] = vjp
+
+    # -- reverse execution (mirrors repro.ad.reverse bit for bit) --------
+    def _sweep(self, grads: list, owned: bytearray, start: int) -> None:
+        parents_of, vjps = self._parents, self._vjps
+        for idx in range(start, -1, -1):
+            g = grads[idx]
+            if g is None:
+                continue
+            parents = parents_of[idx]
+            if not parents:
+                continue  # leaf: gradient stays stashed for collection
+            grads[idx] = None
+            owned[idx] = 0
+            for p, pg in zip(parents, vjps[idx](g)):
+                if grads[p] is not None:
+                    if owned[p]:
+                        grads[p] += pg
+                    else:
+                        grads[p] = grads[p] + pg
+                        owned[p] = 1
+                else:
+                    grads[p] = pg
+                    owned[p] = 0
+
+    def _collect(self, grads: list, owned: bytearray) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for key, slot in zip(self.watch, self._leaf_slots):
+            g = grads[slot]
+            if g is None:
+                g = np.zeros(self._shapes[slot], dtype=np.float64)
+            elif not owned[slot]:
+                # shared with a VJP-captured operand (or a caller's seed):
+                # copy once, exactly as the tracer's reverse sweep does
+                g = np.array(g, dtype=np.float64, copy=True)
+                grads[slot] = g
+                owned[slot] = 1
+            out[key] = np.asarray(g, dtype=np.float64).reshape(
+                self._shapes[slot])
+        return out
+
+    # -- public replay entry points --------------------------------------
+    def replay_step(self, state: Mapping[str, Any],
+                    cotangents: Mapping[str, np.ndarray]
+                    ) -> dict[str, np.ndarray]:
+        """One segment's chained cotangents, without tracing."""
+        self._forward(state, build_vjps=True)
+        grads: list = [None] * self.n_slots
+        owned = bytearray(self.n_slots)
+        start = -1
+        for key in self.watch:
+            slot = self._seed_slots[key]
+            if slot is None:
+                continue  # untraced next-state entry: its cotangent dies
+            seed = np.broadcast_to(
+                np.asarray(cotangents[key], dtype=np.float64),
+                self._shapes[slot])
+            if grads[slot] is not None:
+                grads[slot] = grads[slot] + seed
+            else:
+                grads[slot] = np.array(seed, dtype=np.float64, copy=True)
+            owned[slot] = 1
+            if slot > start:
+                start = slot
+        self._sweep(grads, owned, start)
+        return self._collect(grads, owned)
+
+    def replay_output(self, state: Mapping[str, Any]
+                      ) -> dict[str, np.ndarray] | None:
+        """The output segment's cotangents (``None`` = untraced output)."""
+        if self._out_slot is None:
+            return None
+        self._forward(state, build_vjps=True)
+        grads: list = [None] * self.n_slots
+        owned = bytearray(self.n_slots)
+        slot = self._out_slot
+        grads[slot] = np.ones(self._shapes[slot], dtype=np.float64)
+        owned[slot] = 1
+        self._sweep(grads, owned, slot)
+        return self._collect(grads, owned)
+
+    def replay_concrete(self, state: Mapping[str, Any]) -> dict[str, Any]:
+        """One concrete forward step (stands in for ``bench.run(state, 1)``)."""
+        assert self._concrete is not None
+        self._forward(state, build_vjps=False)
+        values = self._values
+        next_state: dict[str, Any] = {}
+        for rule in self._concrete:
+            key, tag = rule[0], rule[1]
+            if tag == "slot":
+                next_state[key] = values[rule[2]]
+            elif tag == "const":
+                next_state[key] = rule[2]
+            else:  # incr
+                _key, _tag, delta, py_int, dtype_str = rule
+                advanced = int(value_of(state[key])) + delta
+                next_state[key] = advanced if py_int \
+                    else np.dtype(dtype_str).type(advanced)
+        return next_state
+
+
+# ---------------------------------------------------------------------------
+# the plan cache
+# ---------------------------------------------------------------------------
+
+class _Entry:
+    """Learning state of one (kind, probes, watch, coarse-signature) key."""
+
+    __slots__ = ("coarse_plan", "fine_plans", "captures", "coarse_rejected",
+                 "rejected", "reason")
+
+    def __init__(self) -> None:
+        self.coarse_plan: CompiledPlan | None = None
+        self.fine_plans: dict[tuple, CompiledPlan] = {}
+        self.captures: dict[tuple, CaptureProgram] = {}
+        self.coarse_rejected = False
+        self.rejected = False
+        self.reason = ""
+
+
+class _capture_scope:
+    """Context manager installing a capture sink for one trace."""
+
+    def __enter__(self) -> _CaptureSink:
+        self.sink = _CaptureSink()
+        _CAPTURE.capture = self.sink
+        return self.sink
+
+    def __exit__(self, *exc: Any) -> None:
+        _CAPTURE.capture = None
+
+
+class PlanCache:
+    """Compiled replay plans of one analysis, with hit/miss telemetry.
+
+    One cache serves one benchmark instance (the analyzer builds a fresh
+    cache per :meth:`~repro.core.criticality.CriticalityAnalyzer.analyze`
+    call and shares it across that analysis' sweeps and probes); keys are
+    (kind, probe count, watch list, structural signature), so step, output
+    and probe-batched plans never collide.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, _Entry] = {}
+        #: replayed traced segments
+        self.hits = 0
+        #: traced segments that had to run the tracer (capture or fallback)
+        self.misses = 0
+        #: plans compiled (coarse + fine)
+        self.compiles = 0
+        #: entries poisoned (unsupported op, nondeterminism, replay error)
+        self.rejects = 0
+        #: concrete forward steps served by a plan instead of ``bench.run``
+        self.forward_replays = 0
+        #: largest slot count of any compiled plan's arena
+        self.arena_slots = 0
+        #: largest gradient-buffer footprint estimate of any compiled plan
+        self.arena_nbytes = 0
+
+    def planner(self, bench, kind: str, watch: Sequence[str],
+                n_probes: int | None = None) -> "Planner":
+        """A :class:`Planner` bound to this cache for one sweep flavour."""
+        return Planner(self, bench, kind, tuple(watch), n_probes)
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the additive telemetry counters (for delta folds)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "compiles": self.compiles, "rejects": self.rejects,
+                "forward_replays": self.forward_replays}
+
+    def _entry(self, key: tuple) -> _Entry:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _Entry()
+            self._entries[key] = entry
+        return entry
+
+    def _compiled(self, entry: _Entry, program: CaptureProgram,
+                  other: CaptureProgram) -> CompiledPlan | None:
+        try:
+            plan = CompiledPlan(program, _concrete_rules(program, other))
+        except Exception as exc:  # noqa: BLE001 - compile must never fail a run
+            entry.rejected = True
+            entry.reason = f"compile failed: {type(exc).__name__}: {exc}"
+            self.rejects += 1
+            return None
+        self.compiles += 1
+        self.arena_slots = max(self.arena_slots, plan.n_slots)
+        self.arena_nbytes = max(self.arena_nbytes, plan.nbytes_estimate)
+        return plan
+
+    def learn(self, key: tuple, fine: tuple,
+              program: CaptureProgram) -> None:
+        """Fold one fresh capture into the entry's learning state."""
+        entry = self._entry(key)
+        if entry.rejected:
+            return
+        if not program.supported:
+            entry.rejected = True
+            entry.reason = program.reason
+            self.rejects += 1
+            return
+        if not entry.coarse_rejected and entry.captures:
+            for fs, prev in entry.captures.items():
+                if fs == fine:
+                    continue
+                if programs_equal(prev, program):
+                    entry.coarse_plan = self._compiled(entry, program, prev)
+                    entry.captures.clear()
+                else:
+                    # counter-dependent structure: refine to per-value plans
+                    entry.coarse_rejected = True
+                break
+        if entry.coarse_plan is not None or entry.rejected:
+            return
+        prev = entry.captures.get(fine)
+        if prev is not None:
+            if programs_equal(prev, program):
+                plan = self._compiled(entry, program, prev)
+                if plan is not None:
+                    while len(entry.fine_plans) >= _MAX_FINE_PLANS:
+                        entry.fine_plans.pop(next(iter(entry.fine_plans)))
+                    entry.fine_plans[fine] = plan
+                    del entry.captures[fine]
+            else:
+                # same non-float state, different structure: the trace
+                # depends on something no signature can see -- give up
+                entry.rejected = True
+                entry.reason = "structure varies at a fixed fine signature"
+                self.rejects += 1
+        elif len(entry.captures) < _MAX_PENDING_CAPTURES:
+            entry.captures[fine] = program
+
+
+class Planner:
+    """Capture-or-replay driver for one sweep flavour of one benchmark."""
+
+    def __init__(self, cache: PlanCache, bench, kind: str,
+                 watch: tuple[str, ...], n_probes: int | None) -> None:
+        self.cache = cache
+        self.bench = bench
+        self.kind = kind
+        self.watch = watch
+        self.n_probes = n_probes
+
+    # -- cache addressing -------------------------------------------------
+    def _key(self, state: Mapping[str, Any]) -> tuple:
+        return (self.kind, self.n_probes, self.watch,
+                coarse_signature(state, _structure_token(self.bench, state)))
+
+    def _lookup(self, state: Mapping[str, Any]
+                ) -> tuple[tuple, _Entry, tuple | None, CompiledPlan | None]:
+        key = self._key(state)
+        entry = self.cache._entry(key)
+        if entry.coarse_plan is not None:
+            return key, entry, None, entry.coarse_plan
+        fine = fine_signature(state)
+        return key, entry, fine, entry.fine_plans.get(fine)
+
+    def _poison(self, key: tuple, entry: _Entry, exc: Exception) -> None:
+        entry.rejected = True
+        entry.coarse_plan = None
+        entry.fine_plans.clear()
+        entry.captures.clear()
+        entry.reason = f"replay failed: {type(exc).__name__}: {exc}"
+        self.cache.rejects += 1
+        warnings.warn(
+            f"replay plan for {getattr(self.bench, 'name', self.bench)!r} "
+            f"failed ({entry.reason}); falling back to fresh tracing",
+            RuntimeWarning, stacklevel=3)
+
+    # -- tracing (the capture/fallback path) ------------------------------
+    def _trace(self, state: Mapping[str, Any], capture: bool):
+        sink = None
+        if capture:
+            scope = _capture_scope()
+            with scope as sink:
+                traced = self._call_tracer(state)
+        else:
+            traced = self._call_tracer(state)
+        return traced, sink
+
+    def _call_tracer(self, state: Mapping[str, Any]):
+        watch = list(self.watch)
+        if self.kind == "step":
+            if self.n_probes is None:
+                return self.bench.traced_step(state, watch=watch)
+            return self.bench.traced_step_probes(state, self.n_probes,
+                                                 watch=watch)
+        if self.n_probes is None:
+            return self.bench.traced_output(state, watch=watch)
+        return self.bench.traced_output_probes(state, self.n_probes,
+                                               watch=watch)
+
+    # -- sweep entry points ------------------------------------------------
+    def step_cotangents(self, state: Mapping[str, Any],
+                        cotangents: Mapping[str, np.ndarray],
+                        stats=None) -> dict[str, np.ndarray]:
+        """Chained cotangents of one segment: replay when compiled."""
+        from .reverse import backward_from_seeds
+
+        key, entry, fine, plan = self._lookup(state)
+        if plan is not None:
+            try:
+                result = plan.replay_step(state, cotangents)
+                self.cache.hits += 1
+                if stats is not None:
+                    stats.observe_plan_segment(plan.n_slots,
+                                               plan.nbytes_estimate)
+                return result
+            except Exception as exc:  # noqa: BLE001 - fall back, never fail
+                self._poison(key, entry, exc)
+        self.cache.misses += 1
+        capture = not entry.rejected
+        (tape, leaves, next_state), sink = self._trace(state, capture)
+        if stats is not None:
+            stats.observe(tape)
+        seeds: list[tuple[ADArray, np.ndarray]] = []
+        for chain_key in self.watch:
+            produced = next_state.get(chain_key)
+            if isinstance(produced, ADArray) and produced.node is not None:
+                seeds.append((produced, cotangents[chain_key]))
+        grads = backward_from_seeds(tape, seeds,
+                                    [leaves[k] for k in self.watch])
+        if capture:
+            # ``fine`` is always resolved here: _lookup leaves it None only
+            # when a coarse plan exists, and that path either returned or
+            # poisoned the entry (which disables capture)
+            program = _build_program("step", sink, tape, leaves, self.watch,
+                                     state, next_state, None, self.n_probes)
+            self.cache.learn(key, fine, program)
+        return dict(zip(self.watch, grads))
+
+    def output_cotangents(self, state: Mapping[str, Any],
+                          stats=None) -> dict[str, np.ndarray] | None:
+        """The output segment's cotangents (``None`` = untraced output)."""
+        from .reverse import backward
+
+        key, entry, fine, plan = self._lookup(state)
+        if plan is not None:
+            try:
+                result = plan.replay_output(state)
+                self.cache.hits += 1
+                if stats is not None:
+                    stats.observe_plan_segment(plan.n_slots,
+                                               plan.nbytes_estimate)
+                return result
+            except Exception as exc:  # noqa: BLE001 - fall back, never fail
+                self._poison(key, entry, exc)
+        self.cache.misses += 1
+        capture = not entry.rejected
+        (tape, leaves, out), sink = self._trace(state, capture)
+        if stats is not None:
+            stats.observe(tape)
+        if isinstance(out, ADArray) and out.node is not None:
+            grads = backward(tape, out, [leaves[k] for k in self.watch],
+                             strict=False)
+            cotangents = dict(zip(self.watch, grads))
+        else:
+            cotangents = None
+        if capture:
+            # see step_cotangents: ``fine`` is always resolved on this path
+            program = _build_program("output", sink, tape, leaves,
+                                     self.watch, state, None, out,
+                                     self.n_probes)
+            self.cache.learn(key, fine, program)
+        return cotangents
+
+    def advance(self, state: Mapping[str, Any]) -> dict[str, Any]:
+        """One concrete forward step: through the plan when it can.
+
+        Never captures (there is no tape to harvest from a concrete run);
+        a cold cache simply runs the benchmark until the reverse walk's
+        captures compile a plan, after which the remaining forward work --
+        later sweeps' forward passes and the binomial schedule's refills --
+        replays.  Entries with nothing replayable skip the signature
+        hashing entirely, so a rejected benchmark's forward loop pays
+        only the coarse shape check.
+        """
+        entry = self.cache._entries.get(self._key(state))
+        if entry is None or entry.rejected:
+            return self.bench.run(state, 1)
+        plan = entry.coarse_plan
+        if plan is None:
+            if not entry.fine_plans:
+                return self.bench.run(state, 1)
+            plan = entry.fine_plans.get(fine_signature(state))
+        if plan is not None and plan.concrete_ok:
+            self.cache.forward_replays += 1
+            return plan.replay_concrete(state)
+        return self.bench.run(state, 1)

@@ -48,6 +48,7 @@ from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from .plan import DEFAULT_TRACE_CACHE, TRACE_CACHES, PlanCache
 from .reverse import backward, backward_from_seeds
 from .schedule import (DEFAULT_SNAPSHOT_SCHEDULE, make_schedule,
                        snapshot_state)
@@ -202,7 +203,9 @@ def segmented_batched_gradients(bench, states: Sequence[Mapping[str, Any]],
                                 snapshot_schedule: str =
                                 DEFAULT_SNAPSHOT_SCHEDULE,
                                 snapshot_budget: int | None = None,
-                                spill_dir: str | Path | None = None
+                                spill_dir: str | Path | None = None,
+                                trace_cache: str = DEFAULT_TRACE_CACHE,
+                                plan_cache: PlanCache | None = None
                                 ) -> dict[str, np.ndarray]:
     """All probes' gradients, one *batched* iteration tape at a time.
 
@@ -224,6 +227,13 @@ def segmented_batched_gradients(bench, states: Sequence[Mapping[str, Any]],
     Returns a dict mapping each watched key to its stacked gradient array of
     shape ``(len(states),) + entry_shape`` in the entry's declared floating
     dtype.
+
+    ``trace_cache="plan"`` (the default) captures the batched step/output
+    structure once, compiles it to a replay plan (:mod:`repro.ad.plan`) and
+    replays further segments without tracing; the per-probe concrete
+    forward runs additionally replay through the *plain* step plan when a
+    shared ``plan_cache`` already holds one.  Gradients are
+    bitwise-identical either way.
     """
     states = [{key: value_of(val) for key, val in state.items()}
               for state in states]
@@ -231,6 +241,9 @@ def segmented_batched_gradients(bench, states: Sequence[Mapping[str, Any]],
         raise ValueError("need at least one probe state")
     _require_hooks(bench, ("traced_step_probes", "traced_output_probes",
                            "run"))
+    if trace_cache not in TRACE_CACHES:
+        raise ValueError(f"unknown trace_cache {trace_cache!r}; "
+                         f"choose from {TRACE_CACHES}")
     base = states[0]
 
     if watch is None:
@@ -252,6 +265,19 @@ def segmented_batched_gradients(bench, states: Sequence[Mapping[str, Any]],
     # flow through an unwatched auxiliary -- see repro.ad.segmented)
     chain = float_state_keys(base)
 
+    planner = out_planner = cache = plan_base = None
+    advance = lambda s: bench.run(s, 1)  # noqa: E731 - rebound below
+    if trace_cache == "plan":
+        cache = plan_cache if plan_cache is not None else PlanCache()
+        plan_base = cache.counters()
+        planner = cache.planner(bench, "step", chain, n_probes=n_probes)
+        out_planner = cache.planner(bench, "output", chain,
+                                    n_probes=n_probes)
+        # the batched traces cannot serve the per-probe concrete forward,
+        # but a *plain* step plan from the same shared cache (a per-probe
+        # sweep, an earlier analysis) can
+        advance = cache.planner(bench, "step", chain).advance
+
     # one schedule per probe: the per-probe boundary states are what the
     # schedules store/recompute/spill; stacking happens on fetch.  Built
     # inside the try so a failure partway through construction (e.g. a
@@ -260,7 +286,7 @@ def segmented_batched_gradients(bench, states: Sequence[Mapping[str, Any]],
     try:
         for _ in states:
             schedules.append(make_schedule(snapshot_schedule, steps=steps,
-                                           advance=lambda s: bench.run(s, 1),
+                                           advance=advance,
                                            budget=snapshot_budget,
                                            spill_dir=spill_dir, bench=bench))
         # -- forward pass: concrete per-probe runs, schedule-owned ---------
@@ -273,7 +299,7 @@ def segmented_batched_gradients(bench, states: Sequence[Mapping[str, Any]],
             current = snapshot_state(probe_state)
             schedule.record(0, current)
             for t in range(1, steps + 1):
-                current = bench.run(current, 1)
+                current = advance(current)
                 schedule.record(t, current)
             del current
 
@@ -288,24 +314,36 @@ def segmented_batched_gradients(bench, states: Sequence[Mapping[str, Any]],
 
         # -- output segment ------------------------------------------------
         last = stacked_boundary(steps)
-        tape, leaves, out = bench.traced_output_probes(last, n_probes,
-                                                       watch=chain)
-        if stats is not None:
-            stats.observe(tape)
-        if isinstance(out, ADArray) and out.node is not None:
-            grads = backward(tape, out, [leaves[key] for key in chain],
-                             strict=False)
-            cotangents = dict(zip(chain, grads))
+        if out_planner is not None:
+            cotangents = out_planner.output_cotangents(last, stats=stats)
         else:
+            tape, leaves, out = bench.traced_output_probes(last, n_probes,
+                                                           watch=chain)
+            if stats is not None:
+                stats.observe(tape)
+            if isinstance(out, ADArray) and out.node is not None:
+                grads = backward(tape, out, [leaves[key] for key in chain],
+                                 strict=False)
+                cotangents = dict(zip(chain, grads))
+            else:
+                cotangents = None
+            del tape, leaves, out
+        if cotangents is None:
             cotangents = {key: np.zeros(np.shape(last[key]),
                                         dtype=gradient_dtype(base[key]))
                           for key in chain}
-        del tape, leaves, out, last
+        del last
 
         # -- reverse walk: one batched iteration tape at a time ------------
         for k in range(steps - 1, -1, -1):
+            boundary = stacked_boundary(k)
+            if planner is not None:
+                cotangents = planner.step_cotangents(boundary, cotangents,
+                                                     stats=stats)
+                del boundary
+                continue
             tape, leaves, next_state = bench.traced_step_probes(
-                stacked_boundary(k), n_probes, watch=chain)
+                boundary, n_probes, watch=chain)
             if stats is not None:
                 stats.observe(tape)
             seeds: list[tuple[ADArray, np.ndarray]] = []
@@ -316,10 +354,13 @@ def segmented_batched_gradients(bench, states: Sequence[Mapping[str, Any]],
             grads = backward_from_seeds(tape, seeds,
                                         [leaves[key] for key in chain])
             cotangents = dict(zip(chain, grads))
-            del tape, leaves, next_state
+            del tape, leaves, next_state, boundary
     finally:
         if stats is not None:
             stats.observe_schedule(*schedules)
+            stats.trace_cache = trace_cache
+            if cache is not None:
+                stats.observe_plan(cache, since=plan_base)
         for schedule in schedules:
             schedule.close()
 

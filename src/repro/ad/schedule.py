@@ -12,19 +12,22 @@ module makes the retention policy pluggable:
     O(steps x state) -- exactly the original behaviour.
 
 ``"binomial"``
-    Griewank & Walther's *revolve* idea: keep only O(log steps) snapshots in
-    memory and recompute the missing boundaries forward from the nearest
-    kept one during the reverse walk, re-filling freed slots with bisection
-    midpoints as the walk descends.  Memory O(budget x state) for a budget
-    that defaults to ~log2(steps); the extra forward work is counted in the
-    schedule's ``recomputed_steps`` telemetry (surfaced through
-    :class:`~repro.ad.segmented.SweepStats`).
+    Griewank & Walther's *revolve* schedule: keep only O(log steps)
+    snapshots in memory -- placed by the exact binomial tables
+    (:func:`optimal_replay_cost`) -- and recompute the missing boundaries
+    forward from the nearest kept one during the reverse walk, re-filling
+    freed slots with the binomial splits of the gap being replayed.
+    Memory O(budget x state) for a budget that defaults to ~log2(steps);
+    the replay work meets the revolve optimum for the budget and is
+    counted in the schedule's ``recomputed_steps`` telemetry (surfaced
+    through :class:`~repro.ad.segmented.SweepStats`).
 
 ``"spill"``
     Write every boundary through the :mod:`repro.ckpt` writer to a scratch
     directory and read it back (through the :mod:`repro.ckpt` reader) when
-    the reverse walk needs it.  Resident memory is O(1 snapshot); disk holds
-    the rest.  Truncated or missing spill files are detected by the
+    the reverse walk needs it.  Resident memory is O(1) in the step count
+    -- one fetched snapshot plus the background write queue's bounded
+    copies -- and disk holds the rest.  Truncated or missing spill files are detected by the
     container format's size checks and raised as
     :class:`~repro.ckpt.format.CheckpointFormatError` -- never deserialised
     into garbage -- and the scratch directory is removed on :meth:`close`
@@ -54,8 +57,11 @@ own its buffers anyway.
 from __future__ import annotations
 
 import math
+import queue
 import shutil
 import tempfile
+import threading
+from functools import lru_cache
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
@@ -73,6 +79,7 @@ __all__ = [
     "snapshot_state",
     "state_nbytes",
     "default_snapshot_budget",
+    "optimal_replay_cost",
 ]
 
 #: recognised snapshot-retention policies of the segmented sweep
@@ -112,6 +119,95 @@ def state_nbytes(state: Mapping[str, Any]) -> int:
 def default_snapshot_budget(steps: int) -> int:
     """In-memory snapshot budget of the binomial schedule: O(log steps)."""
     return max(2, int(math.ceil(math.log2(steps + 1))) + 1)
+
+
+@lru_cache(maxsize=None)
+def optimal_replay_cost(length: int, slots: int) -> int:
+    """Minimal forward replays to serve one segment's reverse fetches.
+
+    The segment spans ``length`` boundaries above a stored base; every
+    boundary strictly between base and top is fetched once in decreasing
+    order (the top itself is handed out by the caller), and ``slots``
+    snapshots may be stored inside the segment while replaying.  This is
+    the Griewank-Walther binomial checkpointing optimum, expressed as the
+    dynamic program their closed form solves:
+
+    ``cost(l, c) = min over m of  m + cost(l - m, c - 1) + cost(m, c)``
+
+    -- advance ``m`` steps to place the next snapshot, reverse the upper
+    part with one slot fewer, then the lower part with the slot back.
+    ``tests/ad/test_schedule.py`` pins the DP against the closed-form
+    binomial counts ``r*l - beta(c + 1, r - 1)``.
+    """
+    if length <= 1:
+        return 0
+    if slots <= 0:
+        # no interior snapshots: every fetch replays from the base
+        return length * (length - 1) // 2
+    best = None
+    for m in range(1, length):
+        cost = m + optimal_replay_cost(length - m, slots - 1) \
+            + optimal_replay_cost(m, slots)
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+@lru_cache(maxsize=None)
+def _optimal_split(length: int, slots: int) -> int:
+    """Offset of the next snapshot inside a ``length``-step segment.
+
+    The smallest argmin of the :func:`optimal_replay_cost` recursion;
+    ``0`` when no snapshot should (or can) be placed.
+    """
+    if length <= 1 or slots <= 0:
+        return 0
+    best, best_m = None, 0
+    for m in range(1, length):
+        cost = m + optimal_replay_cost(length - m, slots - 1) \
+            + optimal_replay_cost(m, slots)
+        if best is None or cost < best:
+            best, best_m = cost, m
+    return best_m
+
+
+@lru_cache(maxsize=None)
+def _forward_plan(length: int, budget: int) -> tuple[int, tuple[int, ...]]:
+    """Optimal forward-pass snapshot chain and its total replay cost.
+
+    The forward pass stores snapshots for free as it passes every
+    boundary, so its placement problem differs from the in-replay split:
+    chain element ``i`` (counted from the base) leaves the segment above
+    it ``budget - 2 - i`` free replay slots, and up to ``budget - 3``
+    interior elements may be placed.  Returns ``(total_replays, chain)``
+    with chain offsets ascending from the base -- together with the
+    :func:`_optimal_split` refills this meets the exact protocol optimum
+    (pinned against an exhaustive search in ``tests/ad/test_schedule.py``).
+    """
+
+    @lru_cache(maxsize=None)
+    def best(l: int, i: int) -> tuple[int, int]:
+        free = budget - 2 - i
+        cost, split = optimal_replay_cost(l, free), 0
+        if i < budget - 3:
+            for m in range(1, l):
+                c = optimal_replay_cost(m, free) + best(l - m, i + 1)[0]
+                if c < cost:
+                    cost, split = c, m
+        return cost, split
+
+    chain: list[int] = []
+    remaining, i, base = length, 0, 0
+    total = best(length, 0)[0]
+    while True:
+        split = best(remaining, i)[1]
+        if split <= 0:
+            break
+        base += split
+        chain.append(base)
+        remaining -= split
+        i += 1
+    return total, tuple(chain)
 
 
 class SnapshotSchedule:
@@ -186,16 +282,18 @@ class SnapshotSchedule:
 
 
 class BinomialSnapshots(SnapshotSchedule):
-    """Revolve-style schedule: O(log steps) snapshots, recompute the rest.
+    """Revolve-optimal schedule: O(log steps) snapshots, recompute the rest.
 
-    The forward pass keeps boundary 0, boundary ``steps`` (consumed first by
-    the output segment) and ``budget - 2`` evenly spread interior boundaries.
-    When the reverse walk asks for a boundary that was not kept, the state is
-    recomputed forward from the nearest kept boundary below it with
-    ``advance``; slots freed by the walk's descent are re-filled with evenly
-    split positions of the gap being replayed (bisection refinement), so
-    each gap is replayed O(log gap) times rather than once per contained
-    boundary.
+    The forward pass keeps boundary 0, boundary ``steps`` (consumed first
+    by the output segment) and the interior chain the exact
+    Griewank-Walther binomial tables prescribe (:func:`optimal_replay_cost`
+    / :func:`_optimal_split`).  When the reverse walk asks for a boundary
+    that was not kept, the state is recomputed forward from the nearest
+    kept boundary below it with ``advance``; slots freed by the walk's
+    descent are re-filled with the same binomial splits of the gap being
+    replayed, so the total replay count meets the revolve optimum for the
+    schedule's slot accounting (pinned by ``tests/ad/test_schedule.py``)
+    instead of the even-split + bisection heuristic's O(steps log steps).
 
     Parameters
     ----------
@@ -230,34 +328,46 @@ class BinomialSnapshots(SnapshotSchedule):
         self._plan = self._placement(self.steps, budget)
 
     @staticmethod
+    def _chain_positions(lo: int, hi: int, free: int) -> frozenset[int]:
+        """Revolve-optimal snapshot chain strictly inside ``(lo, hi)``.
+
+        The replayed gap is the tail of a segment reaching one past ``hi``
+        (boundary ``hi + 1`` was consumed immediately before the miss), so
+        the Griewank-Walther split is taken for length ``hi - lo + 1``;
+        the recursion then descends into the *upper* part with one slot
+        fewer -- exactly the nested state an optimal reverse walk holds.
+        """
+        keep: set[int] = set()
+        while free > 0 and hi - lo > 1:
+            m = _optimal_split(hi - lo + 1, free)
+            if m <= 0 or lo + m >= hi:
+                # a split at the consumed top boundary stores nothing useful
+                break
+            keep.add(lo + m)
+            lo += m
+            free -= 1
+        return frozenset(keep)
+
+    @staticmethod
     def _placement(steps: int, budget: int) -> frozenset[int]:
         """Boundaries kept during the forward pass.
 
         Boundary 0 (fetched last) and ``steps`` (fetched first) are always
-        kept; ``budget - 3`` further slots split the interior evenly -- the
-        coarse level the reverse walk's bisection refines.  One slot stays
-        unplaced: filling all of them would leave the topmost gap with zero
-        free refill slots after ``steps`` pops (its replay would degrade to
-        O(gap^2) instead of bisecting like every later gap).
+        kept; up to ``budget - 3`` further slots hold the chain
+        :func:`_forward_plan` prescribes.  One slot stays unplaced so the
+        topmost gap has a free refill slot the moment ``steps`` pops.
         """
-        keep = {0, steps}
-        interior = budget - 3
-        for i in range(1, interior + 1):
-            keep.add((steps * i) // (interior + 1))
-        return frozenset(keep)
+        if steps <= 0:
+            return frozenset({0, steps})
+        return frozenset({0, steps} | set(_forward_plan(steps, budget)[1]))
 
     def _refill_positions(self, j: int, k: int, free: int) -> frozenset[int]:
-        """Even split of the replayed gap ``(j, k)`` over ``free`` slots.
+        """Revolve-optimal refill of the replayed gap ``(j, k)``.
 
         ``k`` itself is excluded: it is handed to the caller and dead right
         after, so storing it would waste a slot.
         """
-        gap = k - j
-        n = min(free, gap - 1)
-        if n <= 0:
-            return frozenset()
-        return frozenset({j + (gap * i) // (n + 1)
-                          for i in range(1, n + 1)} - {j, k})
+        return self._chain_positions(j, k, min(free, k - j - 1))
 
     def record(self, k: int, state: Mapping[str, Any]) -> None:
         if k in self._plan:
@@ -296,8 +406,10 @@ class SpillSnapshots(SnapshotSchedule):
     Every recorded boundary is written as a *full* checkpoint container to a
     private scratch directory (a fresh ``mkdtemp`` inside ``directory``, or
     the system temp dir); :meth:`fetch` reads it back through the checkpoint
-    reader and deletes the file, so at most one snapshot is resident in
-    memory and at most ``steps + 1`` containers on disk.  :meth:`close`
+    reader and deletes the file, so resident memory is bounded by one
+    fetched snapshot plus the bounded write queue's in-flight copies
+    (``_QUEUE_DEPTH + 2``; exactly one snapshot with ``async_writes=False``)
+    and at most ``steps + 1`` containers live on disk.  :meth:`close`
     removes the whole scratch directory.
 
     A truncated, corrupted or missing spill file surfaces as
@@ -312,12 +424,26 @@ class SpillSnapshots(SnapshotSchedule):
     bits.  The reader's default float64 coercion would make a float32
     scalar trace at a different precision than the in-memory schedules
     (and retype bools), breaking cross-schedule bitwise identity.
+
+    Asynchronous writes: by default (``async_writes=True``) the container
+    writes run on a single background worker thread fed by a bounded
+    queue, overlapping the spill I/O with the next segment's concrete
+    forward step instead of stalling between segments.  ``record`` hands
+    the worker a private deep copy, so the caller may mutate its state
+    freely; the first ``fetch`` joins the queue before reading anything
+    back, and a failed write re-raises its
+    :class:`~repro.ckpt.format.CheckpointFormatError` at the next
+    ``record``/``fetch``/``close`` -- the same error type, just deferred
+    to the synchronisation point.
     """
 
     policy = "spill"
 
+    #: bounded write queue: caps the extra resident copies async mode holds
+    _QUEUE_DEPTH = 4
+
     def __init__(self, steps: int, directory: str | Path | None = None,
-                 bench: Any = None) -> None:
+                 bench: Any = None, async_writes: bool = True) -> None:
         from repro.ckpt.format import CheckpointFormatError
 
         super().__init__(steps)
@@ -335,11 +461,52 @@ class SpillSnapshots(SnapshotSchedule):
                 f"{directory if directory is not None else 'the system temp dir'}: "
                 f"{exc}") from exc
         self._files: dict[int, Path] = {}
+        self._async = bool(async_writes)
+        self._queue: queue.Queue | None = None
+        self._worker: threading.Thread | None = None
+        self._write_error: BaseException | None = None
+        #: queued-but-unwritten copies (async) -- metered as resident;
+        #: updated from both the caller and the writer thread, so the
+        #: read-modify-write must be locked or the counters drift
+        self._pending = 0
+        self._pending_nbytes = 0
+        self._pending_lock = threading.Lock()
 
     def _path(self, k: int) -> Path:
         return self.directory / f"boundary-{k:06d}.ckpt"
 
-    def record(self, k: int, state: Mapping[str, Any]) -> None:
+    # -- background writer ---------------------------------------------
+    def _ensure_worker(self) -> None:
+        if self._worker is not None:
+            return
+        self._queue = queue.Queue(maxsize=self._QUEUE_DEPTH)
+        self._worker = threading.Thread(target=self._drain_writes,
+                                        name="repro-spill-writer",
+                                        daemon=True)
+        self._worker.start()
+
+    def _drain_writes(self) -> None:
+        assert self._queue is not None
+        while True:
+            item = self._queue.get()
+            try:
+                if item is None:
+                    return
+                k, state, nbytes = item
+                if self._write_error is None:
+                    try:
+                        self._write_one(k, state)
+                    except BaseException as exc:  # noqa: BLE001 - deferred
+                        # re-raised at the next synchronisation point;
+                        # later queued writes are skipped (fail fast)
+                        self._write_error = exc
+                with self._pending_lock:
+                    self._pending -= 1
+                    self._pending_nbytes -= nbytes
+            finally:
+                self._queue.task_done()
+
+    def _write_one(self, k: int, state: Mapping[str, Any]) -> None:
         from repro.ckpt.format import CheckpointFormatError
         from repro.ckpt.writer import write_full_checkpoint
 
@@ -356,10 +523,45 @@ class SpillSnapshots(SnapshotSchedule):
         self._files[k] = written.path
         self.spilled_nbytes += written.nbytes
 
+    def flush(self) -> None:
+        """Wait for every queued write; re-raise a deferred write error.
+
+        ``fetch`` and ``close`` flush implicitly; call this directly only
+        to synchronise with the scratch directory from outside (tests,
+        external inspection).
+        """
+        if self._queue is not None:
+            self._queue.join()
+        if self._write_error is not None:
+            error, self._write_error = self._write_error, None
+            raise error
+
+    _flush = flush
+
+    def record(self, k: int, state: Mapping[str, Any]) -> None:
+        if not self._async:
+            self._write_one(k, state)
+            return
+        self._ensure_worker()
+        if self._write_error is not None:
+            self._flush()
+        # the worker outlives this call: hand it a private copy so the
+        # caller's state (the sweep's running ``current``) stays mutable
+        snap = snapshot_state(state)
+        nbytes = state_nbytes(snap)
+        with self._pending_lock:
+            self._pending += 1
+            self._pending_nbytes += nbytes
+            self.peak_snapshots = max(self.peak_snapshots, self._pending)
+            self.peak_snapshot_nbytes = max(self.peak_snapshot_nbytes,
+                                            self._pending_nbytes)
+        self._queue.put((k, snap, nbytes))
+
     def fetch(self, k: int) -> dict[str, Any]:
         from repro.ckpt.format import CheckpointFormatError
         from repro.ckpt.reader import read_checkpoint
 
+        self._flush()
         for dead in [b for b in self._files if b > k]:
             self._files.pop(dead).unlink(missing_ok=True)
         path = self._files.pop(k, None)
@@ -388,9 +590,21 @@ class SpillSnapshots(SnapshotSchedule):
         return state
 
     def close(self) -> None:
-        super().close()
-        self._files.clear()
-        shutil.rmtree(self.directory, ignore_errors=True)
+        # join the writer before removing its target directory, and
+        # re-raise a deferred write error so a failed spill can never be
+        # mistaken for a clean sweep (the sweeps call close() last)
+        try:
+            if self._worker is not None:
+                self._flush()
+        finally:
+            if self._queue is not None:
+                self._queue.put(None)
+                self._worker.join()
+                self._queue = None
+                self._worker = None
+            super().close()
+            self._files.clear()
+            shutil.rmtree(self.directory, ignore_errors=True)
 
 
 def make_schedule(policy: str, *, steps: int,
@@ -398,7 +612,8 @@ def make_schedule(policy: str, *, steps: int,
                   | None = None,
                   budget: int | None = None,
                   spill_dir: str | Path | None = None,
-                  bench: Any = None) -> SnapshotSchedule:
+                  bench: Any = None,
+                  spill_async: bool = True) -> SnapshotSchedule:
     """Instantiate the snapshot schedule for one segmented sweep.
 
     Parameters
@@ -418,6 +633,11 @@ def make_schedule(policy: str, *, steps: int,
         (``None`` = the system temp dir); ignored by the other policies.
     bench:
         Benchmark whose metadata labels the spill containers (optional).
+    spill_async:
+        Whether ``"spill"`` overlaps its container writes with the next
+        segment on a background worker thread (the default); ``False``
+        forces the synchronous writes (the pre-async behaviour, and the
+        baseline the spill benchmark compares against).
     """
     if policy not in SNAPSHOT_SCHEDULES:
         raise ValueError(f"unknown snapshot schedule {policy!r}; "
@@ -428,5 +648,6 @@ def make_schedule(policy: str, *, steps: int,
                              "stepper to recompute dropped boundaries")
         return BinomialSnapshots(steps, advance, budget=budget)
     if policy == "spill":
-        return SpillSnapshots(steps, directory=spill_dir, bench=bench)
+        return SpillSnapshots(steps, directory=spill_dir, bench=bench,
+                              async_writes=spill_async)
     return SnapshotSchedule(steps)

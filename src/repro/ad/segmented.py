@@ -61,6 +61,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from .plan import DEFAULT_TRACE_CACHE, TRACE_CACHES, PlanCache
 from .reverse import backward, backward_from_seeds
 from .schedule import (DEFAULT_SNAPSHOT_SCHEDULE, SnapshotSchedule,
                        make_schedule, snapshot_state)
@@ -103,6 +104,22 @@ class SweepStats:
     recomputed_steps: int = 0
     #: bytes written to the spill scratch directory (spill)
     spilled_nbytes: int = 0
+    #: trace-cache policy of the observed sweep ("" = none observed)
+    trace_cache: str = ""
+    #: traced segments served by a compiled replay plan (no tracer run)
+    plan_hits: int = 0
+    #: traced segments that ran the tracer (plan capture or fallback)
+    plan_misses: int = 0
+    #: replay plans compiled from matching captures
+    plan_compiles: int = 0
+    #: plan-cache entries rejected (unsupported op, divergence, error)
+    plan_rejects: int = 0
+    #: concrete forward steps replayed instead of running the benchmark
+    plan_forward_replays: int = 0
+    #: largest slot count of any compiled plan's reusable arena
+    plan_arena_slots: int = 0
+    #: largest gradient-buffer footprint estimate of any plan arena (bytes)
+    plan_arena_nbytes: int = 0
 
     def observe(self, tape: Tape) -> None:
         """Record one tape's size before it is freed."""
@@ -112,6 +129,41 @@ class SweepStats:
         self.segment_nodes.append(nodes)
         self.peak_nodes = max(self.peak_nodes, nodes)
         self.peak_nbytes = max(self.peak_nbytes, tape.nbytes())
+
+    def observe_plan_segment(self, n_slots: int, nbytes: int) -> None:
+        """Record one *replayed* segment with the tape meter's semantics.
+
+        A replayed segment has no tape, but its plan's slot count and
+        gradient-buffer estimate are exactly what the equivalent tape would
+        report, so replays and traces stay comparable on one meter.
+        """
+        self.n_segments += 1
+        self.total_nodes += n_slots
+        self.segment_nodes.append(n_slots)
+        self.peak_nodes = max(self.peak_nodes, n_slots)
+        self.peak_nbytes = max(self.peak_nbytes, nbytes)
+
+    def observe_plan(self, cache: "PlanCache",
+                     since: dict | None = None) -> None:
+        """Fold one sweep's plan-cache telemetry in.
+
+        ``since`` is a :meth:`PlanCache.counters` snapshot taken when the
+        sweep started; passing it makes the fold a *delta*, so a plan cache
+        shared across sweeps (the analyzer's per-analysis cache) is never
+        double-counted.
+        """
+        counts = cache.counters()
+        base = since or {}
+        self.plan_hits += counts["hits"] - base.get("hits", 0)
+        self.plan_misses += counts["misses"] - base.get("misses", 0)
+        self.plan_compiles += counts["compiles"] - base.get("compiles", 0)
+        self.plan_rejects += counts["rejects"] - base.get("rejects", 0)
+        self.plan_forward_replays += (counts["forward_replays"]
+                                      - base.get("forward_replays", 0))
+        self.plan_arena_slots = max(self.plan_arena_slots,
+                                    cache.arena_slots)
+        self.plan_arena_nbytes = max(self.plan_arena_nbytes,
+                                     cache.arena_nbytes)
 
     def observe_schedule(self, *schedules: SnapshotSchedule) -> None:
         """Fold one sweep's snapshot-schedule telemetry in.
@@ -204,7 +256,9 @@ def segmented_gradients(bench, state: Mapping[str, Any],
                         stats: SweepStats | None = None,
                         snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
                         snapshot_budget: int | None = None,
-                        spill_dir: str | Path | None = None
+                        spill_dir: str | Path | None = None,
+                        trace_cache: str = DEFAULT_TRACE_CACHE,
+                        plan_cache: PlanCache | None = None
                         ) -> dict[str, np.ndarray]:
     """Gradients of the restart output w.r.t. ``watch``, one tape at a time.
 
@@ -247,6 +301,17 @@ def segmented_gradients(bench, state: Mapping[str, Any],
         Parent directory for the ``"spill"`` schedule's scratch directory
         (``None`` = system temp dir); the scratch directory is private to
         this sweep and removed on return *and* on exception.
+    trace_cache:
+        ``"plan"`` (default) records each step structure once, compiles it
+        to a replay plan (:mod:`repro.ad.plan`) and replays the plan for
+        further segments, forward refills and later sweeps --
+        bitwise-identical gradients, no repeated tracing; ``"off"`` traces
+        every segment afresh (the pre-plan behaviour).
+    plan_cache:
+        Optional :class:`~repro.ad.plan.PlanCache` shared across sweeps
+        (the criticality analyzer shares one per analysis, so per-probe
+        sweeps and repeated analyses replay each other's plans); ``None``
+        uses a private cache for this sweep.
 
     Returns
     -------
@@ -275,12 +340,24 @@ def segmented_gradients(bench, state: Mapping[str, Any],
         steps = _default_steps(bench, state)
     if steps < 0:
         raise ValueError("steps must be non-negative")
+    if trace_cache not in TRACE_CACHES:
+        raise ValueError(f"unknown trace_cache {trace_cache!r}; "
+                         f"choose from {TRACE_CACHES}")
 
     # chain every float entry, not just the requested keys (see module docs)
     chain = float_state_keys(state)
 
+    planner = out_planner = cache = plan_base = None
+    if trace_cache == "plan":
+        cache = plan_cache if plan_cache is not None else PlanCache()
+        plan_base = cache.counters()
+        planner = cache.planner(bench, "step", chain)
+        out_planner = cache.planner(bench, "output", chain)
+    advance = planner.advance if planner is not None \
+        else (lambda s: bench.run(s, 1))
+
     schedule = make_schedule(snapshot_schedule, steps=steps,
-                             advance=lambda s: bench.run(s, 1),
+                             advance=advance,
                              budget=snapshot_budget, spill_dir=spill_dir,
                              bench=bench)
     try:
@@ -288,33 +365,47 @@ def segmented_gradients(bench, state: Mapping[str, Any],
         # ``record`` copies every array entry, so a benchmark whose ``run``
         # mutates arrays in place cannot corrupt earlier boundaries through
         # aliasing; the initial copy also shields the caller's state.
+        # With a warm plan cache the advance itself is a concrete plan
+        # replay instead of a benchmark run.
         current = snapshot_state(state)
         schedule.record(0, current)
         for t in range(1, steps + 1):
-            current = bench.run(current, 1)
+            current = advance(current)
             schedule.record(t, current)
         del current
 
         # -- output segment: trace and sweep only the final reduction -----
         last = schedule.fetch(steps)
-        tape, leaves, out = bench.traced_output(last, watch=chain)
-        if stats is not None:
-            stats.observe(tape)
-        if isinstance(out, ADArray) and out.node is not None:
-            grads = backward(tape, out, [leaves[key] for key in chain],
-                             strict=False)
-            cotangents = dict(zip(chain, grads))
+        if out_planner is not None:
+            cotangents = out_planner.output_cotangents(last, stats=stats)
         else:
+            tape, leaves, out = bench.traced_output(last, watch=chain)
+            if stats is not None:
+                stats.observe(tape)
+            if isinstance(out, ADArray) and out.node is not None:
+                grads = backward(tape, out, [leaves[key] for key in chain],
+                                 strict=False)
+                cotangents = dict(zip(chain, grads))
+            else:
+                cotangents = None
+            del tape, leaves, out
+        if cotangents is None:
             # the output never touched a watched input (the monolithic
             # strict=False case): every gradient is exactly zero
             cotangents = {key: np.zeros(np.shape(last[key]),
                                         dtype=gradient_dtype(state[key]))
                           for key in chain}
-        del tape, leaves, out, last
+        del last
 
-        # -- reverse walk: one iteration's tape at a time ------------------
+        # -- reverse walk: one iteration's tape (or plan replay) at a time -
         for k in range(steps - 1, -1, -1):
-            tape, leaves, next_state = bench.traced_step(schedule.fetch(k),
+            boundary = schedule.fetch(k)
+            if planner is not None:
+                cotangents = planner.step_cotangents(boundary, cotangents,
+                                                     stats=stats)
+                del boundary
+                continue
+            tape, leaves, next_state = bench.traced_step(boundary,
                                                          watch=chain)
             if stats is not None:
                 stats.observe(tape)
@@ -329,10 +420,13 @@ def segmented_gradients(bench, state: Mapping[str, Any],
             grads = backward_from_seeds(tape, seeds,
                                         [leaves[key] for key in chain])
             cotangents = dict(zip(chain, grads))
-            del tape, leaves, next_state
+            del tape, leaves, next_state, boundary
     finally:
         if stats is not None:
             stats.observe_schedule(schedule)
+            stats.trace_cache = trace_cache
+            if cache is not None:
+                stats.observe_plan(cache, since=plan_base)
         schedule.close()
 
     # each gradient reports in its entry's declared floating dtype: casting

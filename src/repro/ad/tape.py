@@ -175,7 +175,12 @@ class Tape:
         dtype: np.dtype,
         meta: dict | None = None,
     ) -> Node:
-        """Append a new node to the tape and return it."""
+        """Append a new node to the tape and return it.
+
+        Node indices are dense and append-only; the replay-plan capture
+        (:mod:`repro.ad.plan`) relies on them as stable buffer-slot ids,
+        so nodes must never be reordered or removed from a live tape.
+        """
         node = Node(op, parents, vjp, shape, dtype, index=len(self.nodes),
                     meta=meta)
         self.nodes.append(node)

@@ -66,7 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="problem class (S reproduces the paper, "
                              "T is a reduced size for quick runs, A is the "
                              "enlarged class unlocked by --sweep segmented; "
-                             "class A is only registered for CG and FT)")
+                             "class A is registered for CG and FT -- larger "
+                             "arrays -- and EP and IS -- longer main loops)")
     parser.add_argument("--method", default="ad",
                         choices=("ad", "activity", "rule"),
                         help="criticality analysis method")
@@ -109,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="parent directory for the spill schedule's "
                              "scratch files (default: system temp dir); "
                              "always cleaned up afterwards")
+    parser.add_argument("--trace-cache", default="plan",
+                        choices=("plan", "off"),
+                        help="trace-specialisation of the segmented sweep: "
+                             "'plan' (default) records each step structure "
+                             "once, compiles it to a replay plan and "
+                             "replays it for further segments/probes "
+                             "(bitwise-identical masks); 'off' re-traces "
+                             "every segment -- the escape hatch for custom "
+                             "kernels whose traced structure depends on "
+                             "state values")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the per-benchmark "
                              "analyses (1 = in-process, the default)")
@@ -183,7 +194,8 @@ def _make_runner(args: argparse.Namespace,
                             probe_batching=args.probe_batching,
                             snapshot_schedule=args.snapshot_schedule,
                             snapshot_budget=args.snapshot_budget,
-                            spill_dir=args.spill_dir)
+                            spill_dir=args.spill_dir,
+                            trace_cache=args.trace_cache)
 
 
 def _run_analyze(args: argparse.Namespace) -> int:
@@ -222,6 +234,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--snapshot-budget must be at least 2")
     if args.spill_dir is not None and args.snapshot_schedule != "spill":
         parser.error("--spill-dir requires --snapshot-schedule spill")
+    if args.trace_cache != "plan" and args.sweep != "segmented":
+        parser.error("--trace-cache off only affects --sweep segmented")
 
     if args.command == "analyze":
         return _run_analyze(args)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.criticality import (DEFAULT_PROBE_SCALE,
                                     DEFAULT_SNAPSHOT_SCHEDULE,
+                                    DEFAULT_TRACE_CACHE,
                                     CriticalityAnalyzer, VariableCriticality)
 from repro.core.masks import MaskSummary
 from repro.core.regions import Region
@@ -176,7 +177,8 @@ def scrutinize(bench, step: int | None = None,
                probe_batching: str = "batched",
                snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
                snapshot_budget: int | None = None,
-               spill_dir: str | None = None) -> ScrutinyResult:
+               spill_dir: str | None = None,
+               trace_cache: str = DEFAULT_TRACE_CACHE) -> ScrutinyResult:
     """Run the full element-level analysis of one benchmark.
 
     Parameters
@@ -192,7 +194,7 @@ def scrutinize(bench, step: int | None = None,
     state:
         Explicit checkpoint state; overrides ``step`` when given.
     method, n_probes, steps, rng, sweep, probe_scale, probe_batching, \
-    snapshot_schedule, snapshot_budget, spill_dir:
+    snapshot_schedule, snapshot_budget, spill_dir, trace_cache:
         Forwarded to :class:`~repro.core.criticality.CriticalityAnalyzer`;
         ``sweep="segmented"`` bounds the AD tape memory to one main-loop
         iteration (bitwise-identical masks), ``probe_batching="batched"``
@@ -202,7 +204,10 @@ def scrutinize(bench, step: int | None = None,
         ``snapshot_budget``/``spill_dir``) picks the segmented sweep's
         boundary-snapshot policy -- ``"all"``, ``"binomial"`` (O(log steps)
         resident snapshots) or ``"spill"`` (boundaries on disk), all with
-        bitwise-identical masks.
+        bitwise-identical masks.  ``trace_cache="plan"`` (the default)
+        compiles each segmented step structure to a replay plan and
+        replays it instead of re-tracing (:mod:`repro.ad.plan`);
+        ``"off"`` re-traces every segment.
     """
     # ``analysis_step`` feeds the analyzer's per-analysis probe-rng
     # derivation: for an explicit state with no explicit step it stays
@@ -224,7 +229,8 @@ def scrutinize(bench, step: int | None = None,
                                    probe_batching=probe_batching,
                                    snapshot_schedule=snapshot_schedule,
                                    snapshot_budget=snapshot_budget,
-                                   spill_dir=spill_dir)
+                                   spill_dir=spill_dir,
+                                   trace_cache=trace_cache)
     variables = analyzer.analyze(bench, state=state, step=analysis_step)
     return ScrutinyResult(
         benchmark=bench.name,

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.ad import activity as activity_mod
 from repro.ad import probes as probes_mod
+from repro.ad.plan import DEFAULT_TRACE_CACHE, TRACE_CACHES, PlanCache
 from repro.ad.reverse import backward
 from repro.ad.schedule import DEFAULT_SNAPSHOT_SCHEDULE, SNAPSHOT_SCHEDULES
 from repro.ad.segmented import (cast_gradient, gradient_dtype,
@@ -56,6 +57,8 @@ __all__ = [
     "PROBE_BATCHING",
     "SNAPSHOT_SCHEDULES",
     "DEFAULT_SNAPSHOT_SCHEDULE",
+    "TRACE_CACHES",
+    "DEFAULT_TRACE_CACHE",
     "DEFAULT_PROBE_SCALE",
     "VariableCriticality",
     "CriticalityAnalyzer",
@@ -245,6 +248,17 @@ class CriticalityAnalyzer:
         broadcast over the probe axis; ``"per-probe"`` forces the legacy
         one-trace-per-probe loop.  Both produce identical masks (pinned in
         ``tests/ad/test_probes.py``); ignored when ``n_probes == 1``.
+    trace_cache:
+        Trace-specialisation policy of the segmented sweep
+        (:mod:`repro.ad.plan`): ``"plan"`` (default) records each step
+        structure once, compiles it to a replay plan and replays it for
+        further segments, probes and forward refills -- bitwise-identical
+        gradients and masks, no repeated tracing; ``"off"`` re-traces
+        every segment (the pre-plan behaviour, and the escape hatch for
+        kernels with state-dependent traced structure).  One plan cache is
+        shared per :meth:`analyze` call, so the per-probe loop replays
+        plans learned by earlier probes.  Ignored by the monolithic sweep
+        and the non-AD methods.
     """
 
     def __init__(self, method: str = "ad", n_probes: int = 1,
@@ -255,7 +269,8 @@ class CriticalityAnalyzer:
                  probe_batching: str = "batched",
                  snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
                  snapshot_budget: int | None = None,
-                 spill_dir: str | None = None) -> None:
+                 spill_dir: str | None = None,
+                 trace_cache: str = DEFAULT_TRACE_CACHE) -> None:
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
         if n_probes < 1:
@@ -271,6 +286,14 @@ class CriticalityAnalyzer:
                              f"{SNAPSHOT_SCHEDULES}")
         if snapshot_budget is not None and int(snapshot_budget) < 2:
             raise ValueError("snapshot_budget must be at least 2")
+        if trace_cache not in TRACE_CACHES:
+            raise ValueError(f"unknown trace_cache {trace_cache!r}; "
+                             f"choose from {TRACE_CACHES}")
+        if trace_cache != DEFAULT_TRACE_CACHE and sweep != "segmented":
+            # the monolithic sweep never replays; accepting the flag there
+            # would do nothing while still forking the result-cache key
+            raise ValueError("trace_cache='off' only affects "
+                             "sweep='segmented'")
         # inapplicable knobs would be silently ignored by the sweep while
         # still forking the result-cache key (the CLI repeats these checks
         # for a friendlier argparse error); every entry point -- scrutinize,
@@ -297,6 +320,7 @@ class CriticalityAnalyzer:
         self.snapshot_budget = None if snapshot_budget is None \
             else int(snapshot_budget)
         self.spill_dir = spill_dir
+        self.trace_cache = trace_cache
 
     # ------------------------------------------------------------------
     # public API
@@ -398,20 +422,28 @@ class CriticalityAnalyzer:
         for probe in range(1, self.n_probes):
             states.append(self._perturb_state(state, watch, probe, rng))
 
+        # one replay-plan cache per analysis: every segmented sweep of this
+        # analysis (all probes, batched or per-probe) shares the compiled
+        # plans, which is where trace-once/replay-many pays off
+        plan_cache = PlanCache() if (self.trace_cache == "plan"
+                                     and self.sweep == "segmented") else None
+
         stacked = None
         if self.probe_batching == "batched" and len(states) > 1:
-            stacked = self._batched_probe_gradients(bench, states, watch)
+            stacked = self._batched_probe_gradients(bench, states, watch,
+                                                    plan_cache)
 
         if stacked is not None:
             base_grads = {key: np.asarray(stacked[key][0]) for key in watch}
             key_masks = {key: criticality_from_gradient(stacked[key])
                          .any(axis=0) for key in watch}
         else:
-            base_grads = self._gradients(bench, states[0], watch)
+            base_grads = self._gradients(bench, states[0], watch, plan_cache)
             key_masks = {key: criticality_from_gradient(g)
                          for key, g in base_grads.items()}
             for probed_state in states[1:]:
-                probe_grads = self._gradients(bench, probed_state, watch)
+                probe_grads = self._gradients(bench, probed_state, watch,
+                                              plan_cache)
                 for key, g in probe_grads.items():
                     key_masks[key] |= criticality_from_gradient(g)
 
@@ -426,7 +458,8 @@ class CriticalityAnalyzer:
         return results
 
     def _batched_probe_gradients(self, bench, states: Sequence[Mapping[str, Any]],
-                                 watch: Sequence[str]
+                                 watch: Sequence[str],
+                                 plan_cache: PlanCache | None = None
                                  ) -> dict[str, np.ndarray] | None:
         """Stacked ``(n_probes,) + shape`` gradients, or ``None`` to fall
         back to the per-probe loop when the benchmark cannot broadcast.
@@ -446,7 +479,8 @@ class CriticalityAnalyzer:
                     bench, states, watch=list(watch), steps=self.steps,
                     snapshot_schedule=self.snapshot_schedule,
                     snapshot_budget=self.snapshot_budget,
-                    spill_dir=self.spill_dir)
+                    spill_dir=self.spill_dir,
+                    trace_cache=self.trace_cache, plan_cache=plan_cache)
             return probes_mod.batched_gradients(bench, states,
                                                 watch=list(watch),
                                                 steps=self.steps)
@@ -472,7 +506,9 @@ class CriticalityAnalyzer:
             return None
 
     def _gradients(self, bench, state: Mapping[str, Any],
-                   watch: Sequence[str]) -> dict[str, np.ndarray]:
+                   watch: Sequence[str],
+                   plan_cache: PlanCache | None = None
+                   ) -> dict[str, np.ndarray]:
         """One reverse sweep: derivative of the output w.r.t. every key.
 
         ``sweep="monolithic"`` traces the whole remaining computation on one
@@ -484,7 +520,9 @@ class CriticalityAnalyzer:
                                        steps=self.steps,
                                        snapshot_schedule=self.snapshot_schedule,
                                        snapshot_budget=self.snapshot_budget,
-                                       spill_dir=self.spill_dir)
+                                       spill_dir=self.spill_dir,
+                                       trace_cache=self.trace_cache,
+                                       plan_cache=plan_cache)
         tape, leaves, output = bench.traced_restart(state, watch=list(watch),
                                                     steps=self.steps)
         keys = list(leaves)

@@ -54,6 +54,7 @@ import numpy as np
 from repro.core.analysis import ScrutinyResult
 from repro.core.criticality import (DEFAULT_PROBE_SCALE,
                                     DEFAULT_SNAPSHOT_SCHEDULE,
+                                    DEFAULT_TRACE_CACHE,
                                     VariableCriticality)
 from repro.core.variables import CheckpointVariable, VariableKind
 
@@ -78,6 +79,7 @@ def cache_key(*, benchmark: str, problem_class: str, method: str,
               probe_batching: str = "batched",
               snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
               snapshot_budget: int | None = None,
+              trace_cache: str = DEFAULT_TRACE_CACHE,
               version: str | None = None) -> str:
     """Content address of one analysis configuration.
 
@@ -105,6 +107,7 @@ def cache_key(*, benchmark: str, problem_class: str, method: str,
         "snapshot_schedule": str(snapshot_schedule),
         "snapshot_budget": None if snapshot_budget is None
         else int(snapshot_budget),
+        "trace_cache": str(trace_cache),
         "step": None if step is None else int(step),
         "steps": None if steps is None else int(steps),
         "sweep": str(sweep),
@@ -173,7 +176,8 @@ class ResultStore:
             probe_scale: float = DEFAULT_PROBE_SCALE,
             probe_batching: str = "batched",
             snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
-            snapshot_budget: int | None = None) -> str:
+            snapshot_budget: int | None = None,
+            trace_cache: str = DEFAULT_TRACE_CACHE) -> str:
         """Cache key of one analysis configuration under this store."""
         return cache_key(benchmark=benchmark, problem_class=problem_class,
                          method=method, n_probes=n_probes, step=step,
@@ -181,6 +185,7 @@ class ResultStore:
                          probe_batching=probe_batching,
                          snapshot_schedule=snapshot_schedule,
                          snapshot_budget=snapshot_budget,
+                         trace_cache=trace_cache,
                          version=self.version)
 
     def _paths(self, benchmark: str, key: str) -> tuple[Path, Path]:
@@ -320,14 +325,17 @@ class ResultStore:
               probe_scale: float = DEFAULT_PROBE_SCALE,
               probe_batching: str = "batched",
               snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
-              snapshot_budget: int | None = None) -> ScrutinyResult | None:
+              snapshot_budget: int | None = None,
+              trace_cache: str = DEFAULT_TRACE_CACHE
+              ) -> ScrutinyResult | None:
         """``load`` keyed directly by analysis parameters."""
         key = self.key(benchmark=benchmark, problem_class=problem_class,
                        method=method, n_probes=n_probes, step=step,
                        steps=steps, sweep=sweep, probe_scale=probe_scale,
                        probe_batching=probe_batching,
                        snapshot_schedule=snapshot_schedule,
-                       snapshot_budget=snapshot_budget)
+                       snapshot_budget=snapshot_budget,
+                       trace_cache=trace_cache)
         return self.load(benchmark, key)
 
     def put(self, result: ScrutinyResult, *, n_probes: int,
@@ -336,7 +344,8 @@ class ResultStore:
             probe_scale: float = DEFAULT_PROBE_SCALE,
             probe_batching: str = "batched",
             snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
-            snapshot_budget: int | None = None) -> Path:
+            snapshot_budget: int | None = None,
+            trace_cache: str = DEFAULT_TRACE_CACHE) -> Path:
         """``save`` keyed by the parameters that produced ``result``.
 
         ``step`` is the *requested* checkpoint step (``None`` for the
@@ -349,7 +358,8 @@ class ResultStore:
                        steps=steps, sweep=sweep, probe_scale=probe_scale,
                        probe_batching=probe_batching,
                        snapshot_schedule=snapshot_schedule,
-                       snapshot_budget=snapshot_budget)
+                       snapshot_budget=snapshot_budget,
+                       trace_cache=trace_cache)
         self.save(key, result)
         return self._paths(result.benchmark, key)[0]
 

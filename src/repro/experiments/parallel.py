@@ -33,7 +33,8 @@ from typing import Any, Sequence
 
 from repro.core.analysis import ScrutinyResult, scrutinize
 from repro.core.criticality import (DEFAULT_PROBE_SCALE,
-                                    DEFAULT_SNAPSHOT_SCHEDULE)
+                                    DEFAULT_SNAPSHOT_SCHEDULE,
+                                    DEFAULT_TRACE_CACHE)
 from repro.core.store import ResultStore
 from repro.npb import registry
 
@@ -55,6 +56,7 @@ class ScrutinyJob:
     probe_batching: str = "batched"
     snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE
     snapshot_budget: int | None = None
+    trace_cache: str = DEFAULT_TRACE_CACHE
     #: scratch location of the "spill" schedule -- execution detail, not
     #: analysis identity, hence absent from :meth:`key_params` and from the
     #: job's equality/hash (jobs differing only in scratch location are the
@@ -78,6 +80,7 @@ class ScrutinyJob:
             "probe_batching": self.probe_batching,
             "snapshot_schedule": self.snapshot_schedule,
             "snapshot_budget": self.snapshot_budget,
+            "trace_cache": self.trace_cache,
         }
 
 
@@ -95,7 +98,8 @@ def run_job(job: ScrutinyJob) -> ScrutinyResult:
                       probe_batching=job.probe_batching,
                       snapshot_schedule=job.snapshot_schedule,
                       snapshot_budget=job.snapshot_budget,
-                      spill_dir=job.spill_dir)
+                      spill_dir=job.spill_dir,
+                      trace_cache=job.trace_cache)
 
 
 def default_workers() -> int:
@@ -171,7 +175,8 @@ class ParallelRunner:
                                        probe_scale=job.probe_scale,
                                        probe_batching=job.probe_batching,
                                        snapshot_schedule=job.snapshot_schedule,
-                                       snapshot_budget=job.snapshot_budget)
+                                       snapshot_budget=job.snapshot_budget,
+                                       trace_cache=job.trace_cache)
                     except OSError:
                         # an unwritable store degrades to no persistence;
                         # it must never lose a computed result

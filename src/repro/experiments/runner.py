@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.analysis import ScrutinyResult, scrutinize
 from repro.core.criticality import (DEFAULT_PROBE_SCALE,
                                     DEFAULT_SNAPSHOT_SCHEDULE,
+                                    DEFAULT_TRACE_CACHE,
                                     VariableCriticality)
 from repro.core.store import ResultStore
 from repro.npb import registry
@@ -111,6 +112,11 @@ class ExperimentRunner:
         bitwise-identical.  ``snapshot_schedule``/``snapshot_budget`` join
         the cache key; ``spill_dir`` is scratch and does not.  The CLI's
         ``--snapshot-schedule``/``--snapshot-budget``/``--spill-dir``.
+    trace_cache:
+        ``"plan"`` (default: segmented steps compile to replay plans and
+        replay instead of re-tracing, :mod:`repro.ad.plan`) or ``"off"``
+        (re-trace every segment).  Identical masks either way; part of the
+        cache key.  The CLI's ``--trace-cache``.
     """
 
     def __init__(self, problem_class: str = "S", method: str = "ad",
@@ -124,7 +130,8 @@ class ExperimentRunner:
                  probe_batching: str = "batched",
                  snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
                  snapshot_budget: int | None = None,
-                 spill_dir: str | None = None) -> None:
+                 spill_dir: str | None = None,
+                 trace_cache: str = DEFAULT_TRACE_CACHE) -> None:
         self.problem_class = problem_class
         self.method = method
         self.n_probes = int(n_probes)
@@ -137,6 +144,7 @@ class ExperimentRunner:
         self.snapshot_budget = None if snapshot_budget is None \
             else int(snapshot_budget)
         self.spill_dir = spill_dir
+        self.trace_cache = trace_cache
         self.workers = max(1, int(workers))
         store = None
         if cache_dir is not None and use_cache and rng is None:
@@ -213,7 +221,8 @@ class ExperimentRunner:
                                      probe_batching=self.probe_batching,
                                      snapshot_schedule=self.snapshot_schedule,
                                      snapshot_budget=self.snapshot_budget,
-                                     spill_dir=self.spill_dir)
+                                     spill_dir=self.spill_dir,
+                                     trace_cache=self.trace_cache)
                     for name in names}
         jobs = [ScrutinyJob(benchmark=name, problem_class=self.problem_class,
                             method=self.method, n_probes=self.n_probes,
@@ -222,6 +231,7 @@ class ExperimentRunner:
                             probe_batching=self.probe_batching,
                             snapshot_schedule=self.snapshot_schedule,
                             snapshot_budget=self.snapshot_budget,
-                            spill_dir=self.spill_dir)
+                            spill_dir=self.spill_dir,
+                            trace_cache=self.trace_cache)
                 for name in names]
         return dict(zip(names, self.engine.run(jobs)))

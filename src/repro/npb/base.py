@@ -270,6 +270,20 @@ class NPBBenchmark:
             out = self.output(traced_state)
         return tape, leaves, out
 
+    def plan_structure_token(self, state: Mapping[str, Any]):
+        """Discriminator for state-dependent traced structure (plan cache).
+
+        The replay-plan cache (:mod:`repro.ad.plan`) keys compiled step
+        plans by state *shape* and, when needed, by the exact non-float
+        state values; a benchmark whose traced op sequence additionally
+        depends on something neither tier can see -- a branch on a traced
+        float's value, a mode flag stored outside the state dict -- must
+        return the discriminating value here so structurally different
+        steps never share a plan.  ``None`` (the default, correct for all
+        NPB ports) adds nothing to the key.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # batched multi-probe AD entry points (see repro.ad.probes)
     # ------------------------------------------------------------------

@@ -28,7 +28,8 @@ __all__ = [
 #: recognised problem classes; "S" reproduces the paper, "T" is a reduced
 #: size for fast unit testing, "A" is the enlarged scenario unlocked by the
 #: segmented reverse sweep (registered for the benchmarks where the larger
-#: size is interesting: CG and FT)
+#: size is interesting: CG and FT scale their arrays, EP and IS their
+#: main-loop length)
 CLASSES = ("T", "S", "A")
 
 
@@ -283,6 +284,15 @@ _A_PARAMS = {
                    zeta_verify=float("nan")),
     "FT": FTParams(problem_class="A", nx=96, ny=96, nz_pad=65, nz=64,
                    niter=10),
+    # the two simple ports scale by loop length, not array size: EP's
+    # class A doubles the class-S batch count (smaller batches keep the
+    # per-iteration cost test-friendly), IS quadruples the ranked key
+    # volume and the iteration count -- both are the long-main-loop regime
+    # the segmented sweep's snapshot schedules are about
+    "EP": EPParams(problem_class="A", m=19, nk=10,
+                   sx_verify=float("nan"), sy_verify=float("nan")),
+    "IS": ISParams(problem_class="A", total_keys=131072, max_key=4096,
+                   num_buckets=1024, niter=40),
 }
 
 

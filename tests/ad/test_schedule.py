@@ -372,6 +372,9 @@ class TestSpillRobustness:
         sched = SpillSnapshots(boundaries - 1, directory=tmp_path)
         for k in range(boundaries):
             sched.record(k, dict(self.STATE, it=k))
+        # these tests inspect/tamper with the scratch directory directly,
+        # so the asynchronous writes must have landed first
+        sched.flush()
         return sched
 
     def test_roundtrip_is_bitwise(self, tmp_path):
@@ -448,7 +451,9 @@ class TestSpillRobustness:
 
     def test_spill_write_failure_is_wrapped(self, tmp_path, monkeypatch):
         # I/O failures of the spill layer surface under the schedule's one
-        # error type, distinguishable from unrelated OSErrors elsewhere
+        # error type, distinguishable from unrelated OSErrors elsewhere;
+        # with asynchronous writes the error is deferred to the next
+        # synchronisation point (flush/fetch/close), never lost
         import repro.ckpt.writer as writer_mod
 
         def failing_write(*args, **kwargs):
@@ -457,9 +462,42 @@ class TestSpillRobustness:
         monkeypatch.setattr(writer_mod, "write_full_checkpoint",
                             failing_write)
         sched = SpillSnapshots(1, directory=tmp_path)
+        sched.record(0, dict(self.STATE))
+        with pytest.raises(CheckpointFormatError, match="cannot spill"):
+            sched.flush()
+        sched.close()
+
+    def test_sync_spill_write_failure_raises_in_record(self, tmp_path,
+                                                       monkeypatch):
+        # the synchronous mode (async_writes=False) keeps the original
+        # raise-at-record semantics
+        import repro.ckpt.writer as writer_mod
+
+        def failing_write(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(writer_mod, "write_full_checkpoint",
+                            failing_write)
+        sched = SpillSnapshots(1, directory=tmp_path, async_writes=False)
         with pytest.raises(CheckpointFormatError, match="cannot spill"):
             sched.record(0, dict(self.STATE))
         sched.close()
+
+    def test_spill_write_failure_surfaces_at_close(self, tmp_path,
+                                                   monkeypatch):
+        # a sweep that never fetches (e.g. it failed elsewhere first on a
+        # clean path) still learns about a lost spill write at close()
+        import repro.ckpt.writer as writer_mod
+
+        monkeypatch.setattr(
+            writer_mod, "write_full_checkpoint",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")))
+        sched = SpillSnapshots(1, directory=tmp_path)
+        sched.record(0, dict(self.STATE))
+        with pytest.raises(CheckpointFormatError, match="cannot spill"):
+            sched.close()
+        # the worker is gone and the scratch directory removed regardless
+        assert not sched.directory.exists()
 
     def test_missing_spill_file_is_reported(self, tmp_path):
         sched = self._recorded(tmp_path)
@@ -539,15 +577,29 @@ class TestScheduleTelemetry:
         assert stats.peak_snapshots <= 3
         assert stats.recomputed_steps > 0
 
-    def test_spill_policy_keeps_one_resident(self, tmp_path):
+    def test_spill_policy_keeps_bounded_residency(self, tmp_path):
         bench = SquareMapBench(steps=6)
         stats = SweepStats()
         segmented_gradients(bench, bench.initial_state(), watch=["x"],
                             stats=stats, snapshot_schedule="spill",
                             spill_dir=tmp_path)
         assert stats.snapshot_policy == "spill"
-        assert stats.peak_snapshots == 1
+        # async writes hold up to the bounded queue's copies (plus the one
+        # in flight and the one awaiting a slot) resident on top of the
+        # one fetched snapshot -- O(1), independent of steps
+        assert 1 <= stats.peak_snapshots <= 2 + SpillSnapshots._QUEUE_DEPTH
         assert stats.spilled_nbytes > 0
+
+    def test_sync_spill_keeps_one_resident(self, tmp_path):
+        # without the write queue the original exactly-one-resident
+        # telemetry still holds
+        sched = SpillSnapshots(6, directory=tmp_path, async_writes=False)
+        for k in range(7):
+            sched.record(k, {"x": np.arange(4.0), "it": k})
+        for k in range(6, -1, -1):
+            sched.fetch(k)
+        assert sched.peak_snapshots == 1
+        sched.close()
 
     def test_observe_schedule_sums_simultaneous_schedules(self):
         a, b = SnapshotSchedule(1), SnapshotSchedule(1)
@@ -647,3 +699,117 @@ def test_npb_multi_probe_batched_masks_identical(policy, tmp_path):
         assert np.array_equal(base.variables[var].mask,
                               other.variables[var].mask)
     assert list(tmp_path.iterdir()) == []
+
+
+class TestBinomialOptimality:
+    """The binomial schedule meets the exact Griewank-Walther optimum.
+
+    ``optimal_replay_cost`` is the revolve dynamic program; the schedule's
+    forward placement plus in-replay refills must *achieve* its bound --
+    not approximate it -- under the schedule's own slot accounting
+    (``budget`` = resident snapshots incl. the replay working copy).
+    """
+
+    @staticmethod
+    def _achieved(steps, budget):
+        calls = {"n": 0}
+
+        def advance(state):
+            calls["n"] += 1
+            return {"n": state["n"] + 1}
+
+        sched = BinomialSnapshots(steps, advance, budget=budget)
+        for t in range(steps + 1):
+            sched.record(t, {"n": t})
+        for k in range(steps, -1, -1):
+            got = sched.fetch(k)
+            assert got["n"] == k, "binomial replay produced the wrong state"
+        sched.close()
+        assert sched.recomputed_steps == calls["n"]
+        return sched.recomputed_steps, sched.peak_snapshots
+
+    @pytest.mark.parametrize("steps", [2, 3, 4, 6, 8, 12, 15, 16, 30, 47])
+    @pytest.mark.parametrize("budget", [2, 3, 4, 6])
+    def test_replays_meet_the_binomial_optimum(self, steps, budget):
+        from repro.ad.schedule import _forward_plan
+
+        achieved, peak = self._achieved(steps, budget)
+        assert achieved == _forward_plan(steps, budget)[0], \
+            f"steps={steps} budget={budget}: not revolve-optimal"
+        assert peak <= budget
+
+    def test_optimum_matches_exhaustive_search(self):
+        # independent ground truth: brute-force the schedule protocol
+        # (free forward placement, nearest-kept replays, en-route refills)
+        # over every placement strategy for small instances
+        import itertools
+        from functools import lru_cache
+
+        from repro.ad.schedule import _forward_plan
+
+        def brute(steps, B):
+            @lru_cache(maxsize=None)
+            def serve(kept, k):
+                if k < 0:
+                    return 0
+                kept = frozenset(x for x in kept if x <= k)
+                if k in kept:
+                    return serve(frozenset(x for x in kept if x < k), k - 1)
+                j = max(x for x in kept if x < k)
+                free = (B - 1) - len(kept)
+                gap = range(j + 1, k)
+                best = None
+                for n in range(0, min(max(free, 0), len(gap)) + 1):
+                    for placed in itertools.combinations(gap, n):
+                        c = (k - j) + serve(kept | frozenset(placed), k - 1)
+                        if best is None or c < best:
+                            best = c
+                return best
+
+            interior = list(range(1, steps))
+            best = None
+            for n in range(0, min(max(B - 3, 0), len(interior)) + 1):
+                for placed in itertools.combinations(interior, n):
+                    kept0 = frozenset({0, steps}) | frozenset(placed)
+                    c = serve(kept0, steps)
+                    if best is None or c < best:
+                        best = c
+            return best
+
+        for steps in (2, 4, 6, 8, 10):
+            for budget in (2, 3, 4):
+                assert _forward_plan(steps, budget)[0] == \
+                    brute(steps, budget), (steps, budget)
+
+    def test_cg_a_default_budget_never_regresses(self):
+        # CG-A (30 steps) at the default budget: the revolve tables give
+        # 38 replays where the old even-split + bisection refill needed 41
+        # -- recomputed_steps must never increase past that old count
+        steps = 30
+        budget = default_snapshot_budget(steps)
+        achieved, peak = self._achieved(steps, budget)
+        assert achieved == 38
+        assert achieved <= 41
+        assert peak <= budget
+
+    def test_closed_form_binomial_consistency(self):
+        # the DP counts a gap's full first replay, so ample slots leave
+        # exactly the one pass over the segment (l - 1 steps) and zero
+        # slots the quadratic replay-from-base bound
+        from repro.ad.schedule import _forward_plan, optimal_replay_cost
+
+        for length in (2, 5, 9):
+            assert optimal_replay_cost(length, length) == length - 1
+            assert optimal_replay_cost(length, 0) == \
+                length * (length - 1) // 2
+        assert optimal_replay_cost(1, 3) == 0
+        # with free forward placement an ample budget needs no replays
+        for length in (2, 5, 9):
+            assert _forward_plan(length, length + 3)[0] == 0
+        # monotone in both arguments
+        for length in (4, 9, 17):
+            for slots in (1, 2, 3):
+                assert optimal_replay_cost(length, slots + 1) <= \
+                    optimal_replay_cost(length, slots)
+                assert optimal_replay_cost(length + 1, slots) >= \
+                    optimal_replay_cost(length, slots)

@@ -86,11 +86,11 @@ class TestStoreScheduleKey:
             cache_key(**self.PARAMS, snapshot_schedule="all",
                       snapshot_budget=None, version="1")
 
-    def test_version_bumped_to_1_3_0(self):
-        # the schedule/budget fields joined the key payload in 1.3.0; the
-        # version bump guarantees no pre-schedule entry can ever be read
-        # back under a post-schedule key
-        assert repro.__version__ == "1.3.0"
+    def test_version_bumped_past_1_2_0(self):
+        # the schedule/budget fields joined the key payload in 1.3.0 (and
+        # trace_cache in 1.4.0); the version bumps guarantee no
+        # pre-schedule entry can ever be read back under a newer key
+        assert tuple(int(p) for p in repro.__version__.split(".")) >= (1, 3, 0)
         assert cache_key(**self.PARAMS) != cache_key(**self.PARAMS,
                                                      version="1.2.0")
 

@@ -23,7 +23,7 @@ class TestClassARegistration:
     def test_class_a_is_a_known_class(self):
         assert "A" in CLASSES
 
-    @pytest.mark.parametrize("name", ["CG", "FT"])
+    @pytest.mark.parametrize("name", ["CG", "FT", "EP", "IS"])
     def test_class_a_params_registered(self, name):
         params = params_for(name, "A")
         assert params.problem_class == "A"
@@ -33,6 +33,14 @@ class TestClassARegistration:
         assert params_for("CG", "A").niter > params_for("CG", "S").niter
         a, s = params_for("FT", "A"), params_for("FT", "S")
         assert a.nx * a.ny * a.nz_pad > s.nx * s.ny * s.nz_pad
+
+    def test_class_a_simple_ports_have_longer_loops(self):
+        # EP and IS scale by main-loop length (the snapshot-schedule
+        # regime), not by array size
+        assert params_for("EP", "A").n_batches > params_for("EP", "S").n_batches
+        assert params_for("IS", "A").niter > params_for("IS", "S").niter
+        assert params_for("IS", "A").total_keys \
+            > params_for("IS", "S").total_keys
 
     def test_unregistered_benchmark_gets_actionable_error(self):
         with pytest.raises(KeyError, match="no class-A parameters"):
@@ -79,3 +87,29 @@ class TestClassAEndToEnd:
         # peak must stay close to the largest single segment
         assert stats.peak_nodes <= max(stats.segment_nodes)
         assert stats.peak_nodes * 3 < stats.total_nodes
+
+    def test_ep_class_a_segmented_smoke(self):
+        """EP's long-loop class A end-to-end under the segmented sweep
+        (analysis depth limited to keep the suite fast; EP's accumulators
+        are structurally critical at every step)."""
+        bench = registry.create("EP", "A")
+        assert bench.total_steps == 512
+        state = bench.checkpoint_state(bench.total_steps - 3)
+        result = scrutinize(bench, state=state, steps=3, sweep="segmented")
+        assert result.problem_class == "A"
+        # sums and annulus counts are read-modify-write accumulators:
+        # every element stays critical, exactly as at class S
+        for name in ("sx", "sy", "q"):
+            assert result.variables[name].mask.all()
+
+    def test_is_class_a_segmented_smoke(self):
+        """IS's enlarged class A: integer-only state stays critical by
+        rule and the segmented sweep degrades gracefully to zeros."""
+        bench = registry.create("IS", "A")
+        assert bench.total_steps == 40
+        state = bench.checkpoint_state(bench.total_steps - 2)
+        result = scrutinize(bench, state=state, steps=2, sweep="segmented")
+        assert result.problem_class == "A"
+        for name, crit in result.variables.items():
+            assert crit.method == "rule", name
+            assert crit.mask.all(), name
