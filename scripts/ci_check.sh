@@ -39,6 +39,9 @@ python -m pytest -q tests/ad/test_probes.py \
 echo "== replay plans: plan-vs-tracer bitwise equivalence =="
 python -m pytest -q tests/ad/test_plan.py
 
+echo "== tangent sweep: mask equivalence across all ports =="
+python -m pytest -q tests/ad/test_tangent.py
+
 echo "== CLI smoke: segmented sweep, enlarged class A =="
 python -m repro.cli --class A --sweep segmented analyze CG >/dev/null
 
@@ -48,6 +51,9 @@ python -m repro.cli --class A --sweep segmented \
 
 echo "== CLI smoke: batched multi-probe analysis =="
 python -m repro.cli --class T --probes 4 analyze CG >/dev/null
+
+echo "== CLI smoke: forward-mode tangent sweep =="
+python -m repro.cli --class T --method tangent analyze EP >/dev/null
 
 echo "== perf baseline: BENCH_segmented.json =="
 python benchmarks/test_segmented_memory.py --json BENCH_segmented.json
@@ -60,6 +66,9 @@ python benchmarks/test_snapshot_schedule.py --json BENCH_snapshots.json
 
 echo "== perf baseline: BENCH_plan.json =="
 python benchmarks/test_trace_plan.py --json BENCH_plan.json
+
+echo "== perf baseline: BENCH_tangent.json =="
+python benchmarks/test_tangent_sweep.py --json BENCH_tangent.json
 
 echo "== CLI smoke: segmented sweep with the replay plan disabled =="
 python -m repro.cli --class T --sweep segmented --trace-cache off \

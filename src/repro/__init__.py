@@ -5,8 +5,8 @@ The package is organised as layered subsystems (see DESIGN.md):
 
 ``repro.ad``
     Reverse-mode automatic differentiation engine over NumPy arrays (the
-    Enzyme substitute), plus forward-mode, activity analysis and gradient
-    checking.
+    Enzyme substitute), plus the tape-free forward-mode (JVP) tangent
+    sweep, activity analysis and gradient checking.
 ``repro.npb``
     Python ports of the NAS Parallel Benchmarks kernels (BT, SP, LU, MG, CG,
     FT, EP, IS) at class-S layouts, restartable from an explicit state.
@@ -25,7 +25,7 @@ The package is organised as layered subsystems (see DESIGN.md):
 from . import ad, ckpt, core, experiments, npb, viz
 from .core import ScrutinyResult, scrutinize
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ad",

@@ -1,22 +1,23 @@
-"""Traced array type used by the reverse-mode AD engine.
+"""Stacked-tangent dual arrays for the forward-mode (JVP) sweep.
 
-:class:`ADArray` wraps a plain :class:`numpy.ndarray` value together with a
-reference to the :class:`repro.ad.tape.Node` that produced it.  Arithmetic on
-``ADArray`` objects records primitive operations on the active tape (see
-:mod:`repro.ad.ops`) while computing the numerical result eagerly with NumPy,
-so traced code runs at ordinary vectorised NumPy speed plus a small,
-per-operation recording overhead.
+:class:`TangentArray` pairs a plain numpy value with a *stacked tangent*:
+an array of shape ``(n_directions,) + value.shape`` whose leading axis
+enumerates independent differentiation directions.  One forward pass through
+the benchmark kernels therefore carries the directional derivative along
+*every* direction at once -- the forward-mode analogue of the leading probe
+axis of :mod:`repro.ad.probes` -- and, unlike the reverse-mode
+:class:`~repro.ad.tensor.ADArray`, records **nothing**: there is no tape,
+no node graph, and peak memory is one (value, tangent) state regardless of
+how many loop iterations are differentiated through.
 
-Mutation semantics
-------------------
-The NPB kernels are most naturally written with in-place updates
-(``u[1:-1, 1:-1, 1:-1] += du``).  Reverse-mode AD, however, needs the value
-that was overwritten.  ``ADArray`` therefore implements ``__setitem__`` with
-*copy-on-write* functional-update semantics: the assignment builds a new
-buffer (``index_update``) and re-binds the Python object to the new value and
-node.  Any previously derived results keep referencing the old node through
-the tape, so gradients remain correct, while kernel code reads like ordinary
-imperative NumPy.
+Arithmetic delegates to the primitive library (:mod:`repro.ad.ops`), which
+propagates tangents with the exact same compute/derivative rule tables
+(``EW_BINARY_RULES``/``UNARY_RULES``/``MINMAX_RULES``) the reverse sweep
+uses, so the two modes cannot diverge on tie/zero subgradient conventions.
+
+Mutation semantics mirror ``ADArray``: ``__setitem__`` and ``index_add``
+are copy-on-write functional updates that re-bind the Python object, so the
+NPB kernels' imperative updates work unchanged on tangent state.
 """
 
 from __future__ import annotations
@@ -25,43 +26,41 @@ from typing import Any
 
 import numpy as np
 
-from .dual import TangentArray
-from .tape import Node, Tape, get_active_tape
-
-__all__ = ["ADArray", "value_of", "is_traced"]
+__all__ = ["TangentArray"]
 
 
-class ADArray:
-    """A numpy array paired with its provenance on an AD tape.
+class TangentArray:
+    """A numpy value paired with a stacked tangent of shape ``(n,) + shape``.
 
     Parameters
     ----------
     value:
-        The concrete numpy value of this array.
-    node:
-        Tape node that produced the value, or ``None`` for an untraced
-        constant wrapper.
-    tape:
-        The tape the node belongs to.  Kept so that in-place updates recorded
-        after the original tape context exited still land on the right tape.
+        The concrete numpy value (the *primal*).
+    tangent:
+        Directional derivatives of ``value``, stacked along a leading
+        direction axis: ``tangent[d]`` is the derivative of ``value`` along
+        direction ``d``.  Must have exactly one more dimension than
+        ``value`` and match its trailing shape.
     """
 
-    __slots__ = ("value", "node", "tape")
+    __slots__ = ("value", "tangent")
 
     __array_priority__ = 200.0  # ensure ndarray defers to our reflected ops
 
-    def __init__(self, value: np.ndarray, node: Node | None = None,
-                 tape: Tape | None = None) -> None:
+    def __init__(self, value: np.ndarray, tangent: np.ndarray) -> None:
         self.value = np.asarray(value)
-        self.node = node
-        self.tape = tape
+        self.tangent = np.asarray(tangent)
+        if self.tangent.shape[1:] != self.value.shape:
+            raise ValueError(
+                f"tangent shape {self.tangent.shape} does not stack "
+                f"directions over value shape {self.value.shape}")
 
     # ------------------------------------------------------------------
     # ndarray-like metadata
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple:
-        """Shape of the underlying value."""
+        """Shape of the underlying value (the direction axis is hidden)."""
         return self.value.shape
 
     @property
@@ -71,7 +70,7 @@ class ADArray:
 
     @property
     def size(self) -> int:
-        """Total number of elements."""
+        """Total number of (logical) elements."""
         return self.value.size
 
     @property
@@ -80,8 +79,13 @@ class ADArray:
         return self.value.dtype
 
     @property
-    def T(self) -> "ADArray":
-        """Transpose (records a ``transpose`` primitive)."""
+    def n_directions(self) -> int:
+        """Number of stacked tangent directions."""
+        return self.tangent.shape[0]
+
+    @property
+    def T(self) -> "TangentArray":
+        """Transpose of the logical dimensions."""
         from . import ops
 
         return ops.transpose(self)
@@ -90,8 +94,8 @@ class ADArray:
         return len(self.value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        traced = "traced" if self.node is not None else "const"
-        return f"ADArray({traced}, shape={self.shape}, dtype={self.dtype})"
+        return (f"TangentArray(n_directions={self.n_directions}, "
+                f"shape={self.shape}, dtype={self.dtype})")
 
     # ------------------------------------------------------------------
     # conversions
@@ -110,15 +114,15 @@ class ADArray:
     def __bool__(self) -> bool:
         return bool(self.value)
 
-    def copy(self) -> "ADArray":
-        """Return a traced copy (identity with respect to derivatives)."""
+    def copy(self) -> "TangentArray":
+        """Return a copy (identity with respect to derivatives)."""
         from . import ops
 
         return ops.copy(self)
 
-    def astype(self, dtype) -> "ADArray":
-        """Cast the value.  Casting to float keeps the trace; casting to an
-        integer dtype detaches (derivatives through integers are zero)."""
+    def astype(self, dtype) -> Any:
+        """Cast the value.  Casting to float keeps the tangent; casting to
+        an integer dtype detaches (derivatives through integers are zero)."""
         from . import ops
 
         return ops.astype(self, dtype)
@@ -203,29 +207,25 @@ class ADArray:
     def __iadd__(self, other):
         from . import ops
 
-        result = ops.add(self, other)
-        self._rebind(result)
+        self._rebind(ops.add(self, other))
         return self
 
     def __isub__(self, other):
         from . import ops
 
-        result = ops.subtract(self, other)
-        self._rebind(result)
+        self._rebind(ops.subtract(self, other))
         return self
 
     def __imul__(self, other):
         from . import ops
 
-        result = ops.multiply(self, other)
-        self._rebind(result)
+        self._rebind(ops.multiply(self, other))
         return self
 
     def __itruediv__(self, other):
         from . import ops
 
-        result = ops.divide(self, other)
-        self._rebind(result)
+        self._rebind(ops.divide(self, other))
         return self
 
     # ------------------------------------------------------------------
@@ -255,7 +255,7 @@ class ADArray:
     # ------------------------------------------------------------------
     # indexing
     # ------------------------------------------------------------------
-    def __getitem__(self, index) -> "ADArray":
+    def __getitem__(self, index) -> "TangentArray":
         from . import ops
 
         return ops.getitem(self, index)
@@ -263,56 +263,54 @@ class ADArray:
     def __setitem__(self, index, value) -> None:
         from . import ops
 
-        updated = ops.index_update(self, index, value)
-        self._rebind(updated)
+        self._rebind(ops.index_update(self, index, value))
 
     def index_add(self, index, value) -> None:
         """In-place scatter-add ``self[index] += value`` with copy-on-write
         semantics (NumPy ``np.add.at`` analogue, unbuffered)."""
         from . import ops
 
-        updated = ops.index_add(self, index, value)
-        self._rebind(updated)
+        self._rebind(ops.index_add(self, index, value))
 
     # ------------------------------------------------------------------
     # reductions and shape ops as methods (mirroring ndarray API)
     # ------------------------------------------------------------------
-    def sum(self, axis=None, keepdims: bool = False) -> "ADArray":
+    def sum(self, axis=None, keepdims: bool = False) -> "TangentArray":
         from . import ops
 
         return ops.sum(self, axis=axis, keepdims=keepdims)
 
-    def mean(self, axis=None, keepdims: bool = False) -> "ADArray":
+    def mean(self, axis=None, keepdims: bool = False) -> "TangentArray":
         from . import ops
 
         return ops.mean(self, axis=axis, keepdims=keepdims)
 
-    def max(self, axis=None, keepdims: bool = False) -> "ADArray":
+    def max(self, axis=None, keepdims: bool = False) -> "TangentArray":
         from . import ops
 
         return ops.max(self, axis=axis, keepdims=keepdims)
 
-    def min(self, axis=None, keepdims: bool = False) -> "ADArray":
+    def min(self, axis=None, keepdims: bool = False) -> "TangentArray":
         from . import ops
 
         return ops.min(self, axis=axis, keepdims=keepdims)
 
-    def reshape(self, *shape) -> "ADArray":
+    def reshape(self, *shape) -> "TangentArray":
         from . import ops
 
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         return ops.reshape(self, shape)
 
-    def ravel(self) -> "ADArray":
+    def ravel(self) -> "TangentArray":
         from . import ops
 
         return ops.reshape(self, (-1,))
 
-    def flatten(self) -> "ADArray":
+    def flatten(self) -> "TangentArray":
         return self.ravel()
 
-    def transpose(self, *axes) -> "ADArray":
+    def transpose(self, *axes) -> "TangentArray":
         from . import ops
 
         if len(axes) == 0:
@@ -323,7 +321,7 @@ class ADArray:
             axes_arg = axes
         return ops.transpose(self, axes_arg)
 
-    def dot(self, other) -> "ADArray":
+    def dot(self, other) -> "TangentArray":
         from . import ops
 
         return ops.matmul(self, other)
@@ -331,35 +329,12 @@ class ADArray:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _rebind(self, other: "ADArray") -> None:
-        """Point this Python object at the value/node of ``other``.
-
-        Implements the copy-on-write in-place semantics described in the
-        module docstring.
-        """
+    def _rebind(self, other: "TangentArray") -> None:
+        """Point this Python object at the value/tangent of ``other``
+        (copy-on-write in-place semantics, exactly as ``ADArray``)."""
         self.value = other.value
-        self.node = other.node
-        self.tape = other.tape
-
-
-def value_of(x: Any) -> np.ndarray:
-    """Return the concrete numpy value of ``x``.
-
-    Accepts reverse-mode :class:`ADArray`, forward-mode
-    :class:`~repro.ad.dual.TangentArray` and plain array-likes; wrappers of
-    either mode unwrap to their primal value.
-    """
-    if isinstance(x, ADArray):
-        return x.value
-    if isinstance(x, TangentArray):
-        return x.value
-    return np.asarray(x)
-
-
-def is_traced(x: Any) -> bool:
-    """True when ``x`` is an :class:`ADArray` attached to a tape node."""
-    return isinstance(x, ADArray) and x.node is not None
+        self.tangent = other.tangent
 
 
 def _raw(x: Any) -> Any:
-    return x.value if isinstance(x, ADArray) else x
+    return x.value if isinstance(x, TangentArray) else x

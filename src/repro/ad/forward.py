@@ -21,17 +21,36 @@ from typing import Any, Callable
 
 import numpy as np
 
-__all__ = ["Dual", "jvp", "directional_derivative"]
+__all__ = ["Dual", "jvp", "directional_derivative",
+           "maximum", "minimum", "clip", "where"]
 
 
-def _val(x: Any) -> np.ndarray:
-    return x.value if isinstance(x, Dual) else np.asarray(x)
+def _float_dtype(dtype) -> np.dtype:
+    """The floating dtype derivatives are carried in for a given value dtype.
+
+    Mirrors the ``gradient_dtype`` convention of the reverse sweeps: a
+    declared floating dtype (float32, float64, ...) is preserved; anything
+    else (ints, bools) promotes to float64 working precision.
+    """
+    dtype = np.dtype(dtype)
+    return dtype if dtype.kind == "f" else np.dtype(np.float64)
 
 
-def _tan(x: Any, like: np.ndarray) -> np.ndarray:
+def _val(x: Any) -> Any:
+    if isinstance(x, Dual):
+        return x.value
+    if isinstance(x, (bool, int, float)):
+        # keep Python scalars unwrapped so numpy's value-based promotion
+        # applies: float32 Dual + 1.0 stays float32, exactly as for ndarrays
+        return x
+    return np.asarray(x)
+
+
+def _tan(x: Any, like: Any) -> np.ndarray:
     if isinstance(x, Dual):
         return x.tangent
-    return np.zeros_like(np.asarray(like, dtype=np.float64))
+    like = np.asarray(like)
+    return np.zeros(like.shape, dtype=_float_dtype(like.dtype))
 
 
 class Dual:
@@ -46,10 +65,13 @@ class Dual:
     __array_priority__ = 150.0
 
     def __init__(self, value, tangent=None) -> None:
-        self.value = np.asarray(value, dtype=np.float64)
+        value = np.asarray(value)
+        # preserve a declared floating dtype (float32 stays float32);
+        # non-float input promotes to float64 working precision
+        self.value = np.asarray(value, dtype=_float_dtype(value.dtype))
         if tangent is None:
             tangent = np.zeros_like(self.value)
-        self.tangent = np.asarray(tangent, dtype=np.float64)
+        self.tangent = np.asarray(tangent, dtype=self.value.dtype)
         if self.tangent.shape != self.value.shape:
             self.tangent = np.broadcast_to(self.tangent, self.value.shape).copy()
 
@@ -100,8 +122,14 @@ class Dual:
         if isinstance(exponent, Dual):
             raise TypeError("dual exponents are not supported in forward mode")
         e = float(exponent)
-        return Dual(self.value ** e,
-                    e * self.value ** (e - 1.0) * self.tangent)
+        # e * v**(e-1) overflows to inf (and then nan after multiplying a
+        # zero tangent) at v == 0 for fractional exponents; the subgradient
+        # convention at the kink is 0, matching the finite one-sided limit
+        # of e * v**(e-1) * t for t == 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            d = e * self.value ** (e - 1.0)
+        d = np.where((self.value == 0.0) & ~np.isfinite(d), 0.0, d)
+        return Dual(self.value ** e, d * self.tangent)
 
     def __neg__(self):
         return Dual(-self.value, -self.tangent)
@@ -151,6 +179,24 @@ class Dual:
     def cos(self):
         return Dual(np.cos(self.value), -np.sin(self.value) * self.tangent)
 
+    # -- piecewise functions (ops.py subgradient conventions) ------------
+    def maximum(self, other):
+        """Elementwise maximum; ties send the tangent to ``self``
+        (the ``av >= bv`` mask of ``repro.ad.ops.MINMAX_RULES``)."""
+        return maximum(self, other)
+
+    def minimum(self, other):
+        """Elementwise minimum; ties send the tangent to ``self``
+        (the ``av <= bv`` mask of ``repro.ad.ops.MINMAX_RULES``)."""
+        return minimum(self, other)
+
+    def clip(self, lo, hi):
+        """Clamp to ``[lo, hi]``; the tangent passes only strictly inside
+        or exactly on the bounds (the inclusive mask of ``ops.clip``)."""
+        inside = (self.value >= lo) & (self.value <= hi)
+        return Dual(np.clip(self.value, lo, hi),
+                    self.tangent * inside.astype(self.value.dtype))
+
 
 # module-level helpers so validation functions can be written generically ---
 
@@ -184,23 +230,80 @@ def sum(x, axis=None):  # noqa: A001 - mirrors numpy naming
     return x.sum(axis=axis) if isinstance(x, Dual) else np.sum(x, axis=axis)
 
 
+def maximum(a, b):
+    """Elementwise maximum on Dual or plain arrays.
+
+    Ties send the tangent to the first operand -- the same ``av >= bv``
+    mask :data:`repro.ad.ops.MINMAX_RULES` uses for the reverse cotangent,
+    so forward and reverse subgradients agree bitwise at ties.
+    """
+    if not (isinstance(a, Dual) or isinstance(b, Dual)):
+        return np.maximum(a, b)
+    av, bv = _val(a), _val(b)
+    mask = av >= bv
+    return Dual(np.maximum(av, bv),
+                _tan(a, av) * mask + _tan(b, bv) * ~mask)
+
+
+def minimum(a, b):
+    """Elementwise minimum on Dual or plain arrays (ties to the first
+    operand via the ``av <= bv`` mask, as in ``repro.ad.ops``)."""
+    if not (isinstance(a, Dual) or isinstance(b, Dual)):
+        return np.minimum(a, b)
+    av, bv = _val(a), _val(b)
+    mask = av <= bv
+    return Dual(np.minimum(av, bv),
+                _tan(a, av) * mask + _tan(b, bv) * ~mask)
+
+
+def clip(x, lo, hi):
+    """``clip`` working on Dual or plain arrays (inclusive-bounds mask)."""
+    return x.clip(lo, hi) if isinstance(x, Dual) else np.clip(x, lo, hi)
+
+
+def where(cond, a, b):
+    """Elementwise select on Dual or plain arrays.
+
+    The condition is treated as non-differentiable (it contributes no
+    tangent), exactly as in ``repro.ad.ops.where``.
+    """
+    cv = _val(cond).astype(bool)
+    if not (isinstance(a, Dual) or isinstance(b, Dual)):
+        return np.where(cv, a, b)
+    av, bv = _val(a), _val(b)
+    return Dual(np.where(cv, av, bv),
+                _tan(a, av) * cv + _tan(b, bv) * ~cv)
+
+
 def jvp(fun: Callable, x: np.ndarray, v: np.ndarray) -> float:
     """Jacobian-vector product of a scalar function ``fun`` at ``x`` along ``v``.
 
     ``fun`` must be written against the Dual-compatible helpers of this
     module (or plain operators).  Returns the scalar directional derivative.
     """
-    x = np.asarray(x, dtype=np.float64)
-    v = np.asarray(v, dtype=np.float64)
+    x = np.asarray(x)
+    x = np.asarray(x, dtype=_float_dtype(x.dtype))
+    v = np.asarray(v, dtype=x.dtype)
     out = fun(Dual(x, v))
     if isinstance(out, Dual):
         if out.value.size != 1:
-            raise ValueError("jvp expects a scalar-valued function")
+            raise ValueError(
+                f"jvp expects a scalar-valued function; got output shape "
+                f"{out.value.shape}")
         return float(out.tangent)
     # function ignored its input entirely -> zero derivative
     return 0.0
 
 
 def directional_derivative(fun: Callable, x: np.ndarray, v: np.ndarray) -> float:
-    """Alias of :func:`jvp` with a name matching the maths literature."""
+    """Alias of :func:`jvp` with a name matching the maths literature.
+
+    Unlike the permissive :func:`jvp` (whose tangent broadcasts), a
+    directional derivative is only defined for a direction in the point's
+    own space, so ``x`` and ``v`` must have identical shapes.
+    """
+    if np.shape(x) != np.shape(v):
+        raise ValueError(
+            f"direction shape {np.shape(v)} does not match point shape "
+            f"{np.shape(x)}")
     return jvp(fun, x, v)

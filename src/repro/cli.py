@@ -69,8 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "class A is registered for CG and FT -- larger "
                              "arrays -- and EP and IS -- longer main loops)")
     parser.add_argument("--method", default="ad",
-                        choices=("ad", "activity", "rule"),
-                        help="criticality analysis method")
+                        choices=("ad", "tangent", "activity", "rule"),
+                        help="criticality analysis method: 'ad' is the "
+                             "paper's reverse-mode sweep, 'tangent' computes "
+                             "the same derivative criterion with the "
+                             "tape-free forward-mode (JVP) sweep -- "
+                             "bitwise-identical masks, memory independent "
+                             "of the loop length, cost scaling with the "
+                             "number of watched elements instead")
     parser.add_argument("--probes", type=int, default=1,
                         help="number of AD probes per variable")
     parser.add_argument("--probe-batching", default="batched",

@@ -3,7 +3,7 @@
 Given a restartable application and the state captured at a checkpoint, the
 analysis decides for every element of every checkpoint variable whether it
 is *critical* (it influences the application output, so it must be saved) or
-*uncritical* (zero influence, it can be dropped).  Three methods are
+*uncritical* (zero influence, it can be dropped).  Four methods are
 provided:
 
 ``"ad"`` (default, the paper's method)
@@ -13,6 +13,19 @@ provided:
     Optionally the derivative is probed at several perturbed base states and
     the nonzero masks are OR-ed (guards against coincidental zeros, see the
     ablation in DESIGN.md).
+
+``"tangent"``
+    The same derivative criterion computed with the forward-mode (JVP)
+    tangent sweep (:mod:`repro.ad.tangent`): the benchmark's plain ``run``
+    loop is executed on stacked-tangent state, one identity direction per
+    watched element, recording **no tape** -- peak memory is one state,
+    independent of the remaining loop length.  Shares the primitive rule
+    tables with the reverse engine, so the masks match the ``"ad"`` masks
+    bitwise (pinned for all eight NPB ports); cost grows with the number
+    of watched elements instead of the loop length, so it wins for small
+    states with long loops and many probes.  Supports ``n_probes`` exactly
+    like ``"ad"``; the reverse-sweep knobs (``sweep``, snapshot schedules,
+    ``probe_batching``, ``trace_cache``) do not apply and are ignored.
 
 ``"activity"``
     A read-dependency analysis over the same tape: an element is classified
@@ -46,6 +59,7 @@ from repro.ad.reverse import backward
 from repro.ad.schedule import DEFAULT_SNAPSHOT_SCHEDULE, SNAPSHOT_SCHEDULES
 from repro.ad.segmented import (cast_gradient, gradient_dtype,
                                 segmented_gradients)
+from repro.ad.tangent import tangent_gradients
 from repro.ad.tensor import value_of
 from repro.core.masks import MaskSummary, combine_or, summarize_mask
 from repro.core.regions import Region, encode_mask
@@ -68,7 +82,7 @@ __all__ = [
 
 
 #: recognised analysis methods
-METHODS = ("ad", "activity", "rule")
+METHODS = ("ad", "tangent", "activity", "rule")
 
 #: recognised reverse-sweep strategies for the AD method
 SWEEPS = ("monolithic", "segmented")
@@ -198,7 +212,8 @@ class CriticalityAnalyzer:
     Parameters
     ----------
     method:
-        ``"ad"``, ``"activity"`` or ``"rule"`` (see module docstring).
+        ``"ad"``, ``"tangent"``, ``"activity"`` or ``"rule"`` (see module
+        docstring).
     n_probes:
         Number of AD evaluations per variable; probe 0 uses the checkpoint
         state itself (the paper's method), further probes perturb the
@@ -357,6 +372,11 @@ class CriticalityAnalyzer:
                         var, np.ones(var.shape, dtype=bool), method="rule")
             elif self.method == "activity":
                 results.update(self._activity_masks(bench, state, ad_vars))
+            elif self.method == "tangent":
+                rng = self.rng if self.rng is not None \
+                    else self._analysis_rng(bench, state, step)
+                results.update(self._tangent_masks(bench, state, ad_vars,
+                                                   rng))
             else:
                 rng = self.rng if self.rng is not None \
                     else self._analysis_rng(bench, state, step)
@@ -454,6 +474,46 @@ class CriticalityAnalyzer:
             gradients = {key: base_grads[key] for key in var.state_keys()}
             results[var.name] = VariableCriticality(
                 var, mask.reshape(var.shape), method="ad",
+                gradients=gradients)
+        return results
+
+    # ------------------------------------------------------------------
+    # tangent (forward-mode) method
+    # ------------------------------------------------------------------
+    def _tangent_masks(self, bench, state: Mapping[str, Any],
+                       variables: Sequence[CheckpointVariable],
+                       rng: np.random.Generator
+                       ) -> dict[str, VariableCriticality]:
+        """Forward-mode twin of :meth:`_ad_masks`.
+
+        Probe states are drawn in the exact same ``(probe, key)`` order with
+        the same generator, so an OR-of-probes tangent analysis perturbs the
+        state identically to the reverse methods; each probe then runs one
+        tape-free JVP sweep instead of a reverse sweep.
+        """
+        watch = self._watched_keys(variables)
+        states = [dict(state)]
+        for probe in range(1, self.n_probes):
+            states.append(self._perturb_state(state, watch, probe, rng))
+
+        base_grads = tangent_gradients(bench, states[0], watch=list(watch),
+                                       steps=self.steps)
+        key_masks = {key: criticality_from_gradient(g)
+                     for key, g in base_grads.items()}
+        for probed_state in states[1:]:
+            probe_grads = tangent_gradients(bench, probed_state,
+                                            watch=list(watch),
+                                            steps=self.steps)
+            for key, g in probe_grads.items():
+                key_masks[key] |= criticality_from_gradient(g)
+
+        results: dict[str, VariableCriticality] = {}
+        for var in variables:
+            parts = [key_masks[key] for key in var.state_keys()]
+            mask = combine_or(parts) if len(parts) > 1 else parts[0]
+            gradients = {key: base_grads[key] for key in var.state_keys()}
+            results[var.name] = VariableCriticality(
+                var, mask.reshape(var.shape), method="tangent",
                 gradients=gradients)
         return results
 

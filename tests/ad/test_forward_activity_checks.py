@@ -67,6 +67,108 @@ class TestForwardMode:
         assert d.tangent.shape == (2, 3)
 
 
+class TestForwardModeFixes:
+    def test_dual_preserves_float32(self):
+        # regression: Dual used to force-cast every entry to float64
+        d = forward.Dual(np.ones(3, dtype=np.float32),
+                         np.ones(3, dtype=np.float32))
+        assert d.value.dtype == np.float32
+        assert d.tangent.dtype == np.float32
+        out = d * d + 1.0
+        assert out.value.dtype == np.float32
+        assert out.tangent.dtype == np.float32
+
+    def test_jvp_preserves_float32(self):
+        x = np.linspace(0.5, 2.0, 4, dtype=np.float32)
+        v = np.ones(4, dtype=np.float32)
+        seen = {}
+
+        def f(d):
+            seen["value"] = d.value.dtype
+            return forward.sum(d * d)
+
+        forward.jvp(f, x, v)
+        assert seen["value"] == np.float32
+
+    def test_dual_int_input_promotes_to_float64(self):
+        d = forward.Dual(np.arange(3))
+        assert d.value.dtype == np.float64
+
+    def test_pow_tangent_finite_at_zero_base(self):
+        # regression: e * v**(e-1) emitted inf/nan at v == 0 for
+        # fractional exponents
+        d = forward.Dual(np.array([0.0, 4.0]), np.array([1.0, 1.0]))
+        out = d ** 0.5
+        assert np.all(np.isfinite(out.tangent))
+        assert out.tangent[0] == 0.0
+        assert np.isclose(out.tangent[1], 0.25)
+
+    def test_pow_tangent_unchanged_away_from_zero(self):
+        d = forward.Dual(np.array([2.0]), np.array([1.0]))
+        assert np.isclose((d ** 3.0).tangent[0], 12.0)
+
+    def _reverse_grad(self, f, x):
+        from repro.ad.tape import Tape as _Tape
+
+        with _Tape() as t:
+            leaf = t.watch(np.array(x, copy=True), name="x")
+            out = f(leaf)
+        return t.gradient(out, [leaf])[0]
+
+    def test_maximum_minimum_tie_conventions_match_ops(self):
+        # ties send the tangent to the first operand -- the exact av>=bv /
+        # av<=bv masks of ops.MINMAX_RULES, pinned bitwise
+        x = np.array([-1.0, 0.0, 1.0, 2.0])
+        other = np.array([0.0, 0.0, 1.0, 3.0])
+        for fwd, op in ((forward.maximum, ops.maximum),
+                        (forward.minimum, ops.minimum)):
+            g_rev = self._reverse_grad(lambda z: ops.sum(op(z, other)), x)
+            d = fwd(forward.Dual(x, np.ones_like(x)), other)
+            np.testing.assert_array_equal(d.tangent, g_rev)
+            np.testing.assert_array_equal(d.value, op(x, other))
+
+    def test_clip_inclusive_bounds_match_ops(self):
+        x = np.array([-2.0, -1.0, 0.0, 1.0, 2.0])
+        g_rev = self._reverse_grad(
+            lambda z: ops.sum(ops.clip(z, -1.0, 1.0)), x)
+        d = forward.clip(forward.Dual(x, np.ones_like(x)), -1.0, 1.0)
+        np.testing.assert_array_equal(d.tangent, g_rev)
+
+    def test_where_condition_not_differentiable(self):
+        x = np.array([-1.0, 0.5, 2.0])
+        g_rev = self._reverse_grad(
+            lambda z: ops.sum(ops.where(z > 0.0, z * 2.0, z * 3.0)), x)
+        d = forward.where(x > 0.0,
+                          forward.Dual(x, np.ones_like(x)) * 2.0,
+                          forward.Dual(x, np.ones_like(x)) * 3.0)
+        np.testing.assert_array_equal(d.tangent, g_rev)
+
+    def test_piecewise_helpers_pass_through_plain_arrays(self):
+        x = np.array([1.0, -2.0])
+        np.testing.assert_array_equal(forward.maximum(x, 0.0),
+                                      np.maximum(x, 0.0))
+        np.testing.assert_array_equal(forward.clip(x, -1.0, 1.0),
+                                      np.clip(x, -1.0, 1.0))
+        np.testing.assert_array_equal(forward.where(x > 0, x, 0.0),
+                                      np.where(x > 0, x, 0.0))
+
+    def test_jvp_error_names_output_shape(self):
+        with pytest.raises(ValueError, match=r"got output shape \(3,\)"):
+            forward.jvp(lambda d: d, np.ones(3), np.ones(3))
+
+    def test_directional_derivative_validates_shapes(self):
+        with pytest.raises(ValueError,
+                           match=r"direction shape \(2,\).*point shape "
+                                 r"\(3,\)"):
+            forward.directional_derivative(lambda d: forward.sum(d),
+                                           np.ones(3), np.ones(2))
+
+    def test_directional_derivative_still_works(self):
+        val = forward.directional_derivative(
+            lambda d: forward.sum(d * d), np.arange(3.0), np.ones(3))
+        assert np.isclose(val, 6.0)
+
+
 class TestActivityAnalysis:
     def test_sliced_read_marks_region(self):
         with Tape() as t:

@@ -1,0 +1,282 @@
+"""Tests of the forward-mode (JVP) tangent sweep and its method plumbing."""
+
+from __future__ import annotations
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.ad import ops
+from repro.ad.dual import TangentArray
+from repro.ad.segmented import SweepStats, segmented_gradients
+from repro.ad.tangent import tangent_gradients
+from repro.ad.tape import Tape
+from repro.core.analysis import scrutinize
+from repro.core.criticality import (METHODS, CriticalityAnalyzer,
+                                    criticality_from_gradient)
+from repro.core.store import cache_key
+from repro.npb.cg import CG
+from repro.npb.ep import EP
+
+
+def bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact bit-pattern equality of two float64 arrays."""
+    a = np.ascontiguousarray(np.asarray(a, dtype=np.float64))
+    b = np.ascontiguousarray(np.asarray(b, dtype=np.float64))
+    return a.shape == b.shape and np.array_equal(a.view(np.uint64),
+                                                 b.view(np.uint64))
+
+
+class TestTangentArray:
+    def test_stacking_validated(self):
+        with pytest.raises(ValueError, match="stack directions"):
+            TangentArray(np.ones((2, 3)), np.ones((4, 3, 2)))
+
+    def test_metadata_hides_direction_axis(self):
+        ta = TangentArray(np.ones((2, 3)), np.zeros((5, 2, 3)))
+        assert ta.shape == (2, 3)
+        assert ta.ndim == 2
+        assert ta.n_directions == 5
+
+    def test_setitem_rebinds_copy_on_write(self):
+        ta = TangentArray(np.arange(4.0), np.eye(4))
+        original_tangent = ta.tangent
+        ta[1:3] = 0.0
+        assert ta.value[1] == 0.0
+        assert ta.tangent[1, 1] == 0.0 and ta.tangent[0, 0] == 1.0
+        # the old buffer is untouched (functional update)
+        assert original_tangent[1, 1] == 1.0
+
+
+class TestTangentOpsAgainstReverse:
+    """Composite chains: stacked-tangent JVP vs reverse-mode gradient.
+
+    The two modes accumulate the same per-primitive rules in opposite
+    association orders, so generic chains agree to rounding (and exactly on
+    the zero pattern -- the criticality criterion); chains whose rules are
+    exact 0/1 gates (tie masks, clip, where, indexing) agree bitwise.
+    """
+
+    def assert_same_gradient(self, gr, gt):
+        np.testing.assert_array_equal(gr == 0.0, gt == 0.0)
+        np.testing.assert_allclose(gt, gr, rtol=1e-13, atol=0.0)
+
+    def reverse_gradient(self, f, x):
+        with Tape() as t:
+            leaf = t.watch(np.array(x, copy=True), name="x")
+            out = f(leaf)
+        return t.gradient(out, [leaf])[0]
+
+    def tangent_gradient(self, f, x):
+        x = np.asarray(x, dtype=np.float64)
+        seed = np.eye(x.size).reshape((x.size,) + x.shape)
+        out = f(TangentArray(np.array(x, copy=True), seed))
+        return np.asarray(out.tangent).reshape(x.shape)
+
+    def test_elementwise_unary_reduction_chain(self):
+        x = np.linspace(0.3, 1.8, 7)
+
+        def f(z):
+            return ops.sum(ops.sqrt(z) * ops.sin(z) + ops.exp(-z) / (z + 1.0))
+
+        self.assert_same_gradient(self.reverse_gradient(f, x),
+                                  self.tangent_gradient(f, x))
+
+    def test_minmax_clip_where_conventions(self):
+        x = np.array([-2.0, -1.0, 0.0, 0.5, 1.0, 1.0, 3.0])
+
+        def f(z):
+            a = ops.maximum(z, 1.0)          # ties -> first operand
+            b = ops.minimum(z, 0.5)
+            c = ops.clip(z, -1.0, 1.0)       # inclusive bounds
+            d = ops.where(z > 0.0, z * 2.0, z * 3.0)
+            return ops.sum(a + b + c + d)
+
+        assert bitwise_equal(self.reverse_gradient(f, x),
+                             self.tangent_gradient(f, x))
+
+    def test_matmul_and_shape_ops(self):
+        rng = np.random.default_rng(7)
+        m = rng.standard_normal((4, 4))
+        x = rng.standard_normal(8)
+
+        def f(z):
+            y = ops.reshape(z, (4, 2))
+            w = ops.matmul(m, y)
+            return ops.sum(ops.transpose(w) * 0.5) + ops.sum(z * z)
+
+        self.assert_same_gradient(self.reverse_gradient(f, x),
+                                  self.tangent_gradient(f, x))
+
+    def test_index_update_add_getitem_chain(self):
+        x = np.arange(1.0, 7.0)
+
+        def f(z):
+            acc = ops.index_update(z, slice(0, 2), 0.25)
+            acc = ops.index_add(acc, np.array([2, 3]), z[4:6])
+            return ops.sum(acc[1:5] * np.array([1.0, 2.0, 3.0, 4.0]))
+
+        assert bitwise_equal(self.reverse_gradient(f, x),
+                             self.tangent_gradient(f, x))
+
+    def test_reductions_with_ties(self):
+        x = np.array([1.0, 3.0, 3.0, 0.0, 2.0])
+
+        def f(z):
+            return ops.max(z) + ops.min(z) + ops.prod(z) + ops.mean(z)
+
+        assert bitwise_equal(self.reverse_gradient(f, x),
+                             self.tangent_gradient(f, x))
+
+
+#: per-port step counts for the bitwise agreement sweep: the heavy stencil
+#: ports (and MG's 2800-element state) analyse one iteration -- identical
+#: code paths, fraction of the runtime; None = the port's own default
+PORT_STEPS = {"EP": None, "CG": None, "MG": 1, "FT": None,
+              "IS": None, "BT": 1, "SP": 1, "LU": 1}
+PORT_MODULES = {"EP": "repro.npb.ep", "CG": "repro.npb.cg",
+                "MG": "repro.npb.mg", "FT": "repro.npb.ft",
+                "IS": "repro.npb.is_", "BT": "repro.npb.bt",
+                "SP": "repro.npb.sp", "LU": "repro.npb.lu"}
+
+
+class TestTangentSweep:
+    @pytest.mark.parametrize("name", sorted(PORT_STEPS))
+    def test_masks_bitwise_match_reverse_all_ports(self, name):
+        bench = getattr(importlib.import_module(PORT_MODULES[name]),
+                        name)(problem_class="T")
+        state = bench.checkpoint_state(1)
+        watch = list(bench.default_watch_keys())
+        steps = PORT_STEPS[name]
+        reverse = segmented_gradients(bench, state, watch=watch, steps=steps)
+        tangent = tangent_gradients(bench, state, watch=watch, steps=steps)
+        assert sorted(reverse) == sorted(tangent)
+        for key in watch:
+            np.testing.assert_array_equal(
+                criticality_from_gradient(reverse[key]),
+                criticality_from_gradient(tangent[key]),
+                err_msg=f"{name}:{key} tangent mask diverges from reverse")
+
+    def test_chunked_directions_bitwise_identical(self):
+        bench = CG(problem_class="T")
+        state = bench.checkpoint_state(1)
+        full = tangent_gradients(bench, state)
+        for max_directions in (1, 5):
+            chunked = tangent_gradients(bench, state,
+                                        max_directions=max_directions)
+            for key in full:
+                assert bitwise_equal(full[key], chunked[key]), \
+                    f"max_directions={max_directions} changed {key!r}"
+
+    def test_no_tape_nodes_recorded(self):
+        bench = EP(problem_class="T")
+        state = bench.checkpoint_state(1)
+        with Tape() as tape:
+            tangent_gradients(bench, state, steps=2)
+        assert len(tape.nodes) == 0
+
+    def test_peak_memory_independent_of_steps(self):
+        bench = EP(problem_class="T")
+        state = bench.checkpoint_state(0)
+        peaks = []
+        for steps in (1, bench.total_steps):
+            stats = SweepStats()
+            tangent_gradients(bench, state, steps=steps, stats=stats)
+            peaks.append(stats.tangent_peak_state_nbytes)
+        assert peaks[0] == peaks[1] > 0
+
+    def test_stats_record_passes_and_directions(self):
+        bench = EP(problem_class="T")
+        state = bench.checkpoint_state(1)
+        n = sum(np.size(state[k]) for k in bench.default_watch_keys())
+        stats = SweepStats()
+        tangent_gradients(bench, state, stats=stats, max_directions=5)
+        assert stats.tangent_passes == -(-n // 5)
+        assert stats.tangent_directions == n
+
+    def test_unknown_watch_key_raises(self):
+        bench = EP(problem_class="T")
+        with pytest.raises(KeyError, match="unknown state entry"):
+            tangent_gradients(bench, bench.checkpoint_state(1),
+                              watch=["nope"])
+
+    def test_negative_steps_and_bad_chunk_raise(self):
+        bench = EP(problem_class="T")
+        state = bench.checkpoint_state(1)
+        with pytest.raises(ValueError, match="non-negative"):
+            tangent_gradients(bench, state, steps=-1)
+        with pytest.raises(ValueError, match="max_directions"):
+            tangent_gradients(bench, state, max_directions=0)
+
+    def test_non_restartable_object_raises(self):
+        with pytest.raises(TypeError, match="run"):
+            tangent_gradients(object(), {"x": np.ones(2)})
+
+    def test_vector_output_names_shape(self):
+        class VectorBench:
+            name = "VEC"
+
+            def run(self, state, steps):
+                return dict(state)
+
+            def output(self, state):
+                return state["x"] * 2.0
+
+        with pytest.raises(ValueError, match=r"output shape \(3,\)"):
+            tangent_gradients(VectorBench(), {"x": np.ones(3)},
+                              watch=["x"], steps=1)
+
+    def test_float32_state_gets_float32_gradient(self):
+        class TinyBench:
+            name = "TINY"
+
+            def run(self, state, steps):
+                return {"x": state["x"] * 2.0}
+
+            def output(self, state):
+                return ops.sum(state["x"])
+
+        grads = tangent_gradients(TinyBench(),
+                                  {"x": np.ones(3, dtype=np.float32)},
+                                  watch=["x"], steps=1)
+        assert grads["x"].dtype == np.float32
+
+
+class TestTangentMethodPlumbing:
+    def test_method_registered(self):
+        assert "tangent" in METHODS
+
+    def test_analyzer_rejects_unknown_method_still(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            CriticalityAnalyzer(method="jvp")
+
+    @pytest.mark.parametrize("bench_cls", [EP, CG])
+    def test_scrutinize_tangent_masks_match_ad(self, bench_cls):
+        ref = scrutinize(bench_cls(problem_class="T"), method="ad")
+        res = scrutinize(bench_cls(problem_class="T"), method="tangent")
+        for name, crit in res.variables.items():
+            np.testing.assert_array_equal(crit.mask,
+                                          ref.variables[name].mask)
+            if ref.variables[name].method == "ad":
+                assert crit.method == "tangent"
+
+    def test_multi_probe_draws_match_ad(self):
+        # probe states are drawn in the same (probe, key) order with the
+        # same per-analysis generator, so OR-of-probes masks agree too
+        ref = scrutinize(CG(problem_class="T"), method="ad", n_probes=3)
+        res = scrutinize(CG(problem_class="T"), method="tangent", n_probes=3)
+        for name, crit in res.variables.items():
+            np.testing.assert_array_equal(crit.mask,
+                                          ref.variables[name].mask)
+
+    def test_store_key_never_aliases_ad(self):
+        common = dict(benchmark="EP", problem_class="T", n_probes=1)
+        assert cache_key(method="tangent", **common) \
+            != cache_key(method="ad", **common)
+
+    def test_version_bump_invalidates_old_entries(self):
+        common = dict(benchmark="EP", problem_class="T", method="tangent",
+                      n_probes=1)
+        assert cache_key(version="1.5.0", **common) \
+            != cache_key(version="1.4.0", **common)

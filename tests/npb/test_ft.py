@@ -83,6 +83,28 @@ class TestDynamics:
         assert not bench.verify(final).passed
 
 
+class TestSampling:
+    def test_checksum_samples_are_a_proper_subset(self, bench):
+        # regression: with n_samples >= grid size the old code sampled
+        # every grid point, so the checksum only saw the DC coefficient
+        # and every other spectral weight was *mathematically* zero --
+        # criticality there was decided by round-off noise
+        p = bench.params
+        ki, _, _ = bench._sample_indices
+        assert len(ki) < p.nx * p.ny * p.nz
+
+    def test_no_spectral_coefficient_has_zero_weight(self, bench):
+        # the structural weight of coefficient (i, j, k) is the (i, j, k)
+        # Fourier coefficient of the sample-indicator field
+        p = bench.params
+        ki, kj, kk = bench._sample_indices
+        indicator = np.zeros((p.nx, p.ny, p.nz))
+        np.add.at(indicator, (ki, kj, kk), 1.0)
+        assert np.all(indicator <= 1.0)          # no repeated samples
+        weights = np.fft.fftn(indicator)
+        assert np.abs(weights).min() > 1.0e-6
+
+
 class TestCriticality:
     def test_only_padding_plane_uncritical(self, bench, result):
         mask = result.variables["y"].mask
