@@ -42,6 +42,10 @@ python -m pytest -q tests/ad/test_plan.py
 echo "== tangent sweep: mask equivalence across all ports =="
 python -m pytest -q tests/ad/test_tangent.py
 
+echo "== segmented activity: monolithic-vs-chained bitwise equivalence =="
+python -m pytest -q tests/ad/test_activity_sweep.py \
+    tests/experiments/test_activity_plumbing.py
+
 echo "== CLI smoke: segmented sweep, enlarged class A =="
 python -m repro.cli --class A --sweep segmented analyze CG >/dev/null
 
@@ -70,8 +74,15 @@ python benchmarks/test_trace_plan.py --json BENCH_plan.json
 echo "== perf baseline: BENCH_tangent.json =="
 python benchmarks/test_tangent_sweep.py --json BENCH_tangent.json
 
+echo "== perf baseline: BENCH_activity.json =="
+python benchmarks/test_activity_replay.py --json BENCH_activity.json
+
 echo "== CLI smoke: segmented sweep with the replay plan disabled =="
 python -m repro.cli --class T --sweep segmented --trace-cache off \
     analyze CG >/dev/null
+
+echo "== CLI smoke: plan-replayed segmented activity analysis =="
+python -m repro.cli --class T --method activity --sweep segmented \
+    --trace-cache plan analyze CG >/dev/null
 
 echo "ci_check: OK"

@@ -49,23 +49,54 @@ all of ``b`` -- the addend's values are consumed by the addition, not
 relocated, so a leaf appearing as the addend is live.  The primitives record
 their traced-operand roles in ``Node.meta["roles"]`` for exactly this
 distinction.
+
+Sweep modes
+-----------
+The analysis runs in three modes that produce **bitwise-identical** masks:
+
+* **monolithic** -- :func:`read_masks` over one ``traced_restart`` tape
+  (the historical path; O(steps) tape memory, re-traced every run);
+* **segmented** -- :func:`segmented_read_masks` traces one iteration at a
+  time and composes per-segment masks across boundaries with the same
+  chaining trick as :func:`repro.ad.segmented.segmented_gradients`: in the
+  monolithic tape, reads accumulate on a boundary value across iterations
+  *only* when the very same node object passes through a step untouched
+  (an identity pass-through in the next-state dict), so folding the next
+  boundary's masks into the pass-through entries of the current segment
+  reproduces the monolithic result exactly, with O(1-iteration) tape
+  memory and every snapshot schedule of :mod:`repro.ad.schedule`;
+* **plan-replayed** -- a :class:`repro.ad.plan.CompiledPlan` records op
+  identity, operand roles and index expressions as plain data, so each
+  segment's read/movement transfer is derived **once** from the plan
+  structure (:func:`plan_transfer`) and replayed on later analyses with no
+  tracing at all, falling back to fresh tracing on plan rejects exactly
+  like the gradient path.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from .tape import Node, Tape
-from .tensor import ADArray
+from .tensor import ADArray, value_of
 
 __all__ = [
     "CONSUMING_OPS",
     "MOVEMENT_OPS",
+    "SPEC_CONSUMING",
+    "SPEC_MOVEMENT",
     "read_mask",
     "read_masks",
     "ActivityResult",
+    "masks_from_tape",
+    "chain_step_masks",
+    "plan_transfer",
+    "replay_step_masks",
+    "replay_output_masks",
+    "segmented_read_masks",
 ]
 
 
@@ -87,6 +118,33 @@ MOVEMENT_OPS = frozenset({
 
 #: indexing primitives: they read only the selected subset of the parent
 INDEXING_OPS = frozenset({"getitem", "take"})
+
+# -- capture-spec categories (the plan-side mirror of the op sets) ---------
+#
+# A compiled plan stores each slot's capture spec, whose first field is the
+# *spec kind* -- a slightly different vocabulary from tape op names (every
+# unary math op shares kind "unary", reductions "max"/"min" share
+# "redminmax", "roll" may lower to "roll_flat", ...).  These two sets
+# partition the spec kinds of ``repro.ad.plan._EMITTERS`` exactly as
+# CONSUMING_OPS/MOVEMENT_OPS partition op names, so a transfer derived from
+# a plan categorises every primitive identically to the tape walk.  Ops
+# without a capture spec (``mod``, ``take``) can never appear in a compiled
+# plan -- their presence rejects the capture and the sweep falls back to
+# tracing, where the tape categories apply.
+
+#: spec kinds whose use of a parent's elements is a real read of the values
+SPEC_CONSUMING = frozenset({
+    "ewbinary", "minmax", "unary", "negative",
+    "sum", "mean", "redminmax", "prod", "where",
+    "matmul", "matmul_probe", "matmul_multirhs", "concat", "stack",
+})
+
+#: spec kinds that only move data around
+SPEC_MOVEMENT = frozenset({
+    "copy", "astype", "reshape", "transpose", "swapaxes", "moveaxis",
+    "broadcast_to", "squeeze", "expand_dims", "flip", "roll", "roll_flat",
+    "pad_zero", "leaf",
+})
 
 
 class ActivityResult:
@@ -252,7 +310,17 @@ def _indexed_region(shape: tuple, node: Node) -> np.ndarray:
             sl[axis] = np.asarray(idx).reshape(-1)
             mask[tuple(sl)] = True
         return mask
-    index = meta.get("index")
+    return _region_from_index(shape, meta.get("index"))
+
+
+def _region_from_index(shape: tuple, index: Any) -> np.ndarray:
+    """Boolean mask of the elements a plain index expression selects.
+
+    Shared by the tape walk (``Node.meta["index"]``) and the plan transfer
+    (the capture spec's index field); with an unbatched sweep the two store
+    the *same* expression, so both paths select identical regions.
+    """
+    mask = np.zeros(shape, dtype=bool)
     if index is None:
         mask[...] = True
         return mask
@@ -261,3 +329,311 @@ def _indexed_region(shape: tuple, node: Node) -> np.ndarray:
     except (IndexError, TypeError):  # exotic index expression: be conservative
         mask[...] = True
     return mask
+
+
+# -- segment chaining (the tape-traced path) --------------------------------
+
+def masks_from_tape(tape: Tape, leaves: Mapping[str, ADArray],
+                    chain: Sequence[str]) -> dict[str, "ActivityResult"]:
+    """Per-key read/moved masks of one traced segment, keyed by chain key."""
+    results = read_masks(tape, [leaves[key] for key in chain])
+    return {key: ActivityResult(key, res.read, res.moved)
+            for key, res in zip(chain, results)}
+
+
+def chain_step_masks(tape: Tape, leaves: Mapping[str, ADArray],
+                     next_state: Mapping[str, Any], chain: Sequence[str],
+                     prev: Mapping[str, "ActivityResult"]
+                     ) -> dict[str, "ActivityResult"]:
+    """Fold the next boundary's masks through one traced iteration.
+
+    In the monolithic tape a boundary value keeps collecting reads across
+    later iterations only when it reaches the next boundary as the *same*
+    node object -- an identity pass-through in the next-state dict.  Any
+    primitive in between (even a pure ``copy``) produces a new node, and the
+    monolithic walk does not chase reads of that derived node back to the
+    leaf (the documented movement under-approximation).  So the exact
+    cross-boundary composition is: take this segment's own masks, then, for
+    every next-state entry that *is* one of this segment's leaves, also
+    inherit that entry's masks from the next boundary.
+    """
+    masks = masks_from_tape(tape, leaves, chain)
+    owner = {id(leaves[key].node): key for key in chain
+             if leaves[key].node is not None}
+    for out_key in chain:
+        produced = next_state.get(out_key)
+        if isinstance(produced, ADArray) and produced.node is not None:
+            in_key = owner.get(id(produced.node))
+            if in_key is not None:
+                inherited = prev[out_key]
+                masks[in_key].read |= inherited.read
+                masks[in_key].moved |= inherited.moved
+        # a derived or constant next-state entry severs the chain: reads of
+        # it in later iterations never reach this boundary's leaf, exactly
+        # as on the monolithic tape
+    return masks
+
+
+# -- plan-derived transfer (the replay path) --------------------------------
+
+class PlanActivityTransfer:
+    """Static activity transfer of one compiled plan's segment.
+
+    ``read``/``moved`` hold, per chain key, the mask this segment
+    contributes on its own; ``passes`` maps each next-state chain key that
+    is an identity pass-through of a leaf back to that leaf's key.  Derived
+    once per plan (cached on the plan) and applied per replay by two mask
+    copies plus the pass-through ORs -- no tracing, no graph walk.
+    """
+
+    __slots__ = ("read", "moved", "passes")
+
+    def __init__(self, read: dict[str, np.ndarray],
+                 moved: dict[str, np.ndarray],
+                 passes: dict[str, str]) -> None:
+        self.read = read
+        self.moved = moved
+        self.passes = passes
+
+
+def plan_transfer(plan) -> PlanActivityTransfer:
+    """Derive (and cache) a plan's activity transfer from its structure.
+
+    Walks the flat slot program exactly as :func:`read_mask` walks a tape:
+    every slot whose parents include a watched leaf slot dispatches on its
+    capture-spec kind through the same category rules the tape walk applies
+    to op names.  The index expressions and traced-operand roles needed for
+    ``getitem``/``index_update``/``index_add`` are all present in the specs
+    as plain data.
+    """
+    cached = getattr(plan, "_activity_transfer", None)
+    if cached is not None:
+        return cached
+
+    owner = {slot: key for key, slot in zip(plan.watch, plan._leaf_slots)}
+    read = {key: np.zeros(plan._shapes[slot], dtype=bool)
+            for key, slot in zip(plan.watch, plan._leaf_slots)}
+    moved = {key: np.zeros(plan._shapes[slot], dtype=bool)
+             for key, slot in zip(plan.watch, plan._leaf_slots)}
+
+    for spec, parents in zip(plan._specs, plan._parents):
+        kind = spec[0]
+        if kind == "leaf":
+            continue
+        for pos, parent in enumerate(parents):
+            key = owner.get(parent)
+            if key is None:
+                continue
+            shape = plan._shapes[parent]
+            if kind == "getitem":
+                read[key] |= _region_from_index(shape, spec[1])
+            elif kind in ("index_update", "index_add"):
+                # spec fields: (kind, idx, a_traced, b_traced, ...); the
+                # parents tuple lists the traced operands in (target, value)
+                # order, so the role follows from the position -- the same
+                # alignment Node.meta["roles"] records for the tape walk
+                roles = (("target",) if spec[2] else ()) \
+                    + (("value",) if spec[3] else ())
+                role = roles[pos]
+                if kind == "index_update":
+                    if role == "target":
+                        moved[key] |= ~_region_from_index(shape, spec[1])
+                    else:
+                        moved[key][...] = True
+                else:  # index_add
+                    if role == "target":
+                        moved[key][...] = True
+                    else:
+                        read[key][...] = True
+            elif kind in SPEC_CONSUMING:
+                read[key][...] = True
+            elif kind in SPEC_MOVEMENT:
+                moved[key][...] = True
+            else:  # unknown spec kind: be conservative, like the tape walk
+                read[key][...] = True
+
+    passes: dict[str, str] = {}
+    if plan.kind == "step":
+        for out_key in plan.watch:
+            slot = plan._seed_slots.get(out_key)
+            if slot is not None:
+                in_key = owner.get(slot)
+                if in_key is not None:
+                    passes[out_key] = in_key
+
+    transfer = PlanActivityTransfer(read, moved, passes)
+    plan._activity_transfer = transfer
+    return transfer
+
+
+def replay_step_masks(plan, prev: Mapping[str, "ActivityResult"]
+                      ) -> dict[str, "ActivityResult"]:
+    """Apply a step plan's transfer: segment masks + pass-through folds."""
+    transfer = plan_transfer(plan)
+    masks = {key: ActivityResult(key, transfer.read[key].copy(),
+                                 transfer.moved[key].copy())
+             for key in plan.watch}
+    for out_key, in_key in transfer.passes.items():
+        inherited = prev[out_key]
+        masks[in_key].read |= inherited.read
+        masks[in_key].moved |= inherited.moved
+    return masks
+
+
+def replay_output_masks(plan) -> dict[str, "ActivityResult"]:
+    """Apply an output plan's transfer (the chain's seed: nothing to fold)."""
+    transfer = plan_transfer(plan)
+    return {key: ActivityResult(key, transfer.read[key].copy(),
+                                transfer.moved[key].copy())
+            for key in plan.watch}
+
+
+# -- the segmented driver ---------------------------------------------------
+
+def segmented_read_masks(bench, state: Mapping[str, Any],
+                         watch: Sequence[str] | None = None,
+                         steps: int | None = None,
+                         stats=None,
+                         snapshot_schedule: str | None = None,
+                         snapshot_budget: int | None = None,
+                         spill_dir: str | Path | None = None,
+                         trace_cache: str | None = None,
+                         plan_cache=None) -> dict[str, "ActivityResult"]:
+    """Activity masks of the restart, one iteration's tape at a time.
+
+    Drop-in replacement for the monolithic ``traced_restart`` +
+    :func:`read_masks` pair with bitwise-identical results: traces (or
+    plan-replays) one iteration per segment and composes the per-segment
+    masks across boundaries via :func:`chain_step_masks`, so peak tape
+    memory is O(1 iteration) and the sweep inherits every snapshot schedule
+    and the trace-once/replay-many plan cache of the gradient path.
+
+    Parameters mirror :func:`repro.ad.segmented.segmented_gradients`
+    (``snapshot_schedule``/``snapshot_budget``/``spill_dir`` select the
+    boundary retention policy, ``trace_cache="plan"`` replays compiled
+    transfers, ``plan_cache`` shares plans across analyses); ``stats``
+    additionally collects the activity telemetry fields of
+    :class:`~repro.ad.segmented.SweepStats`.
+
+    Returns a dict mapping each watched key to its
+    :class:`ActivityResult`.  Like the gradient sweep, only floating-point
+    state entries are chained; a watched non-float entry comes back with
+    all-False masks (the analyzer routes integer variables to rules, never
+    here).
+    """
+    from .plan import DEFAULT_TRACE_CACHE, TRACE_CACHES, PlanCache
+    from .schedule import DEFAULT_SNAPSHOT_SCHEDULE, make_schedule, \
+        snapshot_state
+    from .segmented import _default_steps, float_state_keys
+
+    if snapshot_schedule is None:
+        snapshot_schedule = DEFAULT_SNAPSHOT_SCHEDULE
+    if trace_cache is None:
+        trace_cache = DEFAULT_TRACE_CACHE
+
+    for hook in ("traced_step", "traced_output"):
+        if not callable(getattr(bench, hook, None)):
+            raise TypeError(
+                f"benchmark {getattr(bench, 'name', bench)!r} does not "
+                f"expose {hook}(); the segmented sweep needs the "
+                f"per-iteration tracing API (use sweep='monolithic')")
+
+    state = {key: value_of(value) for key, value in state.items()}
+    if watch is None:
+        watch = bench.default_watch_keys() if callable(
+            getattr(bench, "default_watch_keys", None)) \
+            else float_state_keys(state)
+    watch = list(watch)
+    for key in watch:
+        if key not in state:
+            raise KeyError(f"cannot watch unknown state entry {key!r}")
+
+    if steps is None:
+        steps = _default_steps(bench, state)
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    if trace_cache not in TRACE_CACHES:
+        raise ValueError(f"unknown trace_cache {trace_cache!r}; "
+                         f"choose from {TRACE_CACHES}")
+
+    # chain every float entry, not just the requested keys: an identity
+    # pass-through may run via an unwatched auxiliary (see segmented's docs)
+    chain = float_state_keys(state)
+
+    planner = out_planner = cache = plan_base = None
+    if trace_cache == "plan":
+        cache = plan_cache if plan_cache is not None else PlanCache()
+        plan_base = cache.counters()
+        planner = cache.planner(bench, "step", chain)
+        out_planner = cache.planner(bench, "output", chain)
+    advance = planner.advance if planner is not None \
+        else (lambda s: bench.run(s, 1))
+
+    schedule = make_schedule(snapshot_schedule, steps=steps,
+                             advance=advance,
+                             budget=snapshot_budget, spill_dir=spill_dir,
+                             bench=bench)
+    try:
+        # -- forward pass: schedule-owned snapshots at every boundary ------
+        current = snapshot_state(state)
+        schedule.record(0, current)
+        for t in range(1, steps + 1):
+            current = advance(current)
+            schedule.record(t, current)
+        del current
+
+        # -- output segment: the chain's seed ------------------------------
+        last = schedule.fetch(steps)
+        if out_planner is not None:
+            masks = out_planner.output_activity(last, stats=stats)
+        else:
+            tape, leaves, _out = bench.traced_output(last, watch=chain)
+            if stats is not None:
+                stats.observe(tape)
+                stats.activity_retraces += 1
+            masks = masks_from_tape(tape, leaves, chain)
+            del tape, leaves
+        if stats is not None:
+            stats.activity_segments += 1
+        del last
+
+        # -- reverse walk: one iteration's masks (or replay) at a time -----
+        for k in range(steps - 1, -1, -1):
+            boundary = schedule.fetch(k)
+            if planner is not None:
+                masks = planner.step_activity(boundary, masks, stats=stats)
+            else:
+                tape, leaves, next_state = bench.traced_step(boundary,
+                                                             watch=chain)
+                if stats is not None:
+                    stats.observe(tape)
+                    stats.activity_retraces += 1
+                masks = chain_step_masks(tape, leaves, next_state, chain,
+                                         masks)
+                del tape, leaves, next_state
+            if stats is not None:
+                stats.activity_segments += 1
+            del boundary
+
+        if stats is not None:
+            # the resident mask payload is fixed for the whole walk: one
+            # read + one moved mask per chained key
+            stats.activity_peak_mask_nbytes = max(
+                stats.activity_peak_mask_nbytes,
+                sum(res.read.nbytes + res.moved.nbytes
+                    for res in masks.values()))
+    finally:
+        if stats is not None:
+            stats.observe_schedule(schedule)
+            stats.trace_cache = trace_cache
+            if cache is not None:
+                stats.observe_plan(cache, since=plan_base)
+        schedule.close()
+
+    def _empty(key: str) -> ActivityResult:
+        shape = np.shape(state[key])
+        return ActivityResult(key, np.zeros(shape, dtype=bool),
+                              np.zeros(shape, dtype=bool))
+
+    return {key: masks[key] if key in masks else _empty(key)
+            for key in watch}

@@ -1147,6 +1147,12 @@ class CompiledPlan:
         self.n_slots = len(program.nodes)
         self._shapes = [node.shape for node in program.nodes]
         self._parents = [node.parents for node in program.nodes]
+        #: per-slot capture specs, kept as plain data so derived analyses
+        #: (the activity transfer of :mod:`repro.ad.activity`) can read op
+        #: identity, operand roles and index expressions without a tape
+        self._specs = [node.spec for node in program.nodes]
+        #: lazily derived activity transfer (see activity.plan_transfer)
+        self._activity_transfer = None
         self._leaf_slots = program.leaf_slots
         self._out_slot = program.out_slot
         #: chain key -> producing slot (``None`` = untraced next-state entry)
@@ -1565,6 +1571,80 @@ class Planner:
                                      self.n_probes)
             self.cache.learn(key, fine, program)
         return cotangents
+
+    def step_activity(self, state: Mapping[str, Any],
+                      masks: Mapping[str, Any],
+                      stats=None) -> dict[str, Any]:
+        """Chained read/moved masks of one segment: replay when compiled.
+
+        The activity twin of :meth:`step_cotangents`: a compiled plan's
+        static structure already fixes which leaf elements each segment
+        reads or moves, so a plan hit applies the precomputed transfer
+        (:func:`repro.ad.activity.replay_step_masks`) without running the
+        tracer at all.  Misses trace one iteration, chain through the tape
+        and feed the capture tier exactly like the gradient path, so
+        activity and gradient sweeps share one plan per step structure.
+        """
+        from . import activity as activity_mod
+
+        key, entry, fine, plan = self._lookup(state)
+        if plan is not None:
+            try:
+                result = activity_mod.replay_step_masks(plan, masks)
+                self.cache.hits += 1
+                if stats is not None:
+                    stats.observe_plan_segment(plan.n_slots,
+                                               plan.nbytes_estimate)
+                    stats.activity_plan_replays += 1
+                return result
+            except Exception as exc:  # noqa: BLE001 - fall back, never fail
+                self._poison(key, entry, exc)
+        self.cache.misses += 1
+        capture = not entry.rejected
+        (tape, leaves, next_state), sink = self._trace(state, capture)
+        if stats is not None:
+            stats.observe(tape)
+            stats.activity_retraces += 1
+        result = activity_mod.chain_step_masks(tape, leaves, next_state,
+                                               self.watch, masks)
+        if capture:
+            # see step_cotangents: ``fine`` is always resolved on this path
+            program = _build_program("step", sink, tape, leaves, self.watch,
+                                     state, next_state, None, self.n_probes)
+            self.cache.learn(key, fine, program)
+        return result
+
+    def output_activity(self, state: Mapping[str, Any],
+                        stats=None) -> dict[str, Any]:
+        """The output segment's read/moved masks (seed of the chain)."""
+        from . import activity as activity_mod
+
+        key, entry, fine, plan = self._lookup(state)
+        if plan is not None:
+            try:
+                result = activity_mod.replay_output_masks(plan)
+                self.cache.hits += 1
+                if stats is not None:
+                    stats.observe_plan_segment(plan.n_slots,
+                                               plan.nbytes_estimate)
+                    stats.activity_plan_replays += 1
+                return result
+            except Exception as exc:  # noqa: BLE001 - fall back, never fail
+                self._poison(key, entry, exc)
+        self.cache.misses += 1
+        capture = not entry.rejected
+        (tape, leaves, out), sink = self._trace(state, capture)
+        if stats is not None:
+            stats.observe(tape)
+            stats.activity_retraces += 1
+        result = activity_mod.masks_from_tape(tape, leaves, self.watch)
+        if capture:
+            # see step_cotangents: ``fine`` is always resolved on this path
+            program = _build_program("output", sink, tape, leaves,
+                                     self.watch, state, None, out,
+                                     self.n_probes)
+            self.cache.learn(key, fine, program)
+        return result
 
     def advance(self, state: Mapping[str, Any]) -> dict[str, Any]:
         """One concrete forward step: through the plan when it can.

@@ -1,9 +1,11 @@
-"""Pluggable snapshot schedules for the segmented reverse sweep.
+"""Pluggable snapshot schedules for the segmented sweeps.
 
-The segmented sweep (:mod:`repro.ad.segmented`, :mod:`repro.ad.probes`)
-bounds the *tape* to one iteration, but it still has to remember the
-concrete state at every main-loop boundary so each segment can be re-traced
-during the reverse walk.  Stored naively that costs O(steps x state) memory
+The segmented sweeps (:mod:`repro.ad.segmented`, :mod:`repro.ad.probes`,
+and the chained activity analysis of
+:func:`repro.ad.activity.segmented_read_masks` -- all three share this
+module unchanged) bound the *tape* to one iteration, but they still have to
+remember the concrete state at every main-loop boundary so each segment can
+be re-traced during the reverse walk.  Stored naively that costs O(steps x state) memory
 -- the next cap on analysable problem sizes after the tape itself.  This
 module makes the retention policy pluggable:
 

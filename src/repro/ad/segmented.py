@@ -120,6 +120,14 @@ class SweepStats:
     plan_arena_slots: int = 0
     #: largest gradient-buffer footprint estimate of any plan arena (bytes)
     plan_arena_nbytes: int = 0
+    #: segments processed by a segmented activity (read-set) sweep
+    activity_segments: int = 0
+    #: activity segments served by a plan-derived transfer (no tracer run)
+    activity_plan_replays: int = 0
+    #: activity segments that ran the tracer (plan capture or fallback)
+    activity_retraces: int = 0
+    #: largest resident read/moved mask payload of an activity sweep (bytes)
+    activity_peak_mask_nbytes: int = 0
     #: forward passes run by a tangent (JVP) sweep
     tangent_passes: int = 0
     #: tangent directions carried across all passes of a tangent sweep

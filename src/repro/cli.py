@@ -76,7 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "tape-free forward-mode (JVP) sweep -- "
                              "bitwise-identical masks, memory independent "
                              "of the loop length, cost scaling with the "
-                             "number of watched elements instead")
+                             "number of watched elements instead; "
+                             "'activity' is the derivative-free read-set "
+                             "baseline (honours --sweep, the snapshot "
+                             "schedules and --trace-cache like 'ad')")
     parser.add_argument("--probes", type=int, default=1,
                         help="number of AD probes per variable")
     parser.add_argument("--probe-batching", default="batched",
@@ -94,11 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "so different magnitudes never alias")
     parser.add_argument("--sweep", default="monolithic",
                         choices=("monolithic", "segmented"),
-                        help="reverse-sweep strategy of the AD analyses: "
-                             "'monolithic' records every remaining "
-                             "iteration on one tape, 'segmented' chains "
-                             "per-iteration tapes so peak memory is bounded "
-                             "by a single iteration (identical masks)")
+                        help="sweep strategy of the 'ad' and 'activity' "
+                             "analyses: 'monolithic' records every "
+                             "remaining iteration on one tape, 'segmented' "
+                             "chains per-iteration tapes so peak memory is "
+                             "bounded by a single iteration (identical "
+                             "masks)")
     parser.add_argument("--snapshot-schedule", default="all",
                         choices=("all", "binomial", "spill"),
                         help="boundary-snapshot policy of the segmented "
@@ -242,6 +246,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--spill-dir requires --snapshot-schedule spill")
     if args.trace_cache != "plan" and args.sweep != "segmented":
         parser.error("--trace-cache off only affects --sweep segmented")
+    if args.method == "activity" and args.probes != 1:
+        parser.error("--method activity is value-independent; "
+                     "--probes must be 1")
 
     if args.command == "analyze":
         return _run_analyze(args)

@@ -207,7 +207,12 @@ def scrutinize(bench, step: int | None = None,
         bitwise-identical masks.  ``trace_cache="plan"`` (the default)
         compiles each segmented step structure to a replay plan and
         replays it instead of re-tracing (:mod:`repro.ad.plan`);
-        ``"off"`` re-traces every segment.
+        ``"off"`` re-traces every segment.  The sweep knobs apply to the
+        ``"ad"`` *and* ``"activity"`` methods: a segmented activity
+        analysis chains per-iteration read masks across boundaries
+        (:func:`repro.ad.activity.segmented_read_masks`) with the same
+        schedules and plan replay, bitwise-identical to the monolithic
+        walk.
     """
     # ``analysis_step`` feeds the analyzer's per-analysis probe-rng
     # derivation: for an explicit state with no explicit step it stays

@@ -32,7 +32,13 @@ provided:
     critical when it is read directly from the checkpointed variable by any
     primitive.  Cheaper and derivative-free, but only an approximation of
     criticality (see :mod:`repro.ad.activity`); provided as the baseline the
-    ablation experiments compare the AD method against.
+    ablation experiments compare the AD method against.  Honours the same
+    sweep machinery as ``"ad"``: ``sweep="segmented"`` chains per-iteration
+    read masks across boundaries (O(1-iteration) tape memory, every
+    snapshot schedule) and ``trace_cache="plan"`` replays the analysis from
+    compiled plan structure with no tracing at all -- all modes
+    bitwise-identical to the monolithic tape walk.  Value-independent, so
+    ``n_probes`` must stay 1 (probing cannot change a read set).
 
 ``"rule"``
     Classify every element of every variable critical.  This is the
@@ -234,11 +240,13 @@ class CriticalityAnalyzer:
         every iteration left until the benchmark completes (the paper's
         setting: criticality with respect to the final output).
     sweep:
-        Reverse-sweep strategy of the AD method: ``"monolithic"`` (one tape
-        for the whole remaining computation, the default) or ``"segmented"``
-        (:mod:`repro.ad.segmented` -- one iteration's tape at a time, peak
-        memory bounded by a single iteration, bitwise-identical masks).
-        Ignored by the "activity" and "rule" methods.
+        Reverse-sweep strategy of the AD and activity methods:
+        ``"monolithic"`` (one tape for the whole remaining computation, the
+        default) or ``"segmented"`` (:mod:`repro.ad.segmented` for "ad",
+        :func:`repro.ad.activity.segmented_read_masks` for "activity" --
+        one iteration's tape at a time, peak memory bounded by a single
+        iteration, bitwise-identical masks).  Ignored by the "tangent" and
+        "rule" methods.
     snapshot_schedule:
         Boundary-snapshot retention policy of the segmented sweep
         (:mod:`repro.ad.schedule`): ``"all"`` (default) keeps every
@@ -272,8 +280,9 @@ class CriticalityAnalyzer:
         every segment (the pre-plan behaviour, and the escape hatch for
         kernels with state-dependent traced structure).  One plan cache is
         shared per :meth:`analyze` call, so the per-probe loop replays
-        plans learned by earlier probes.  Ignored by the monolithic sweep
-        and the non-AD methods.
+        plans learned by earlier probes.  Applies to the "ad" and
+        "activity" methods with ``sweep="segmented"``; ignored by the
+        monolithic sweep and the "tangent"/"rule" methods.
     """
 
     def __init__(self, method: str = "ad", n_probes: int = 1,
@@ -290,6 +299,12 @@ class CriticalityAnalyzer:
             raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
         if n_probes < 1:
             raise ValueError("n_probes must be at least 1")
+        if method == "activity" and int(n_probes) != 1:
+            # the read set depends only on the traced structure, never on
+            # the state values, so probing cannot change the masks; raising
+            # beats silently charging for sweeps that prove nothing
+            raise ValueError("method='activity' is value-independent; "
+                             "n_probes must be 1")
         if sweep not in SWEEPS:
             raise ValueError(f"unknown sweep {sweep!r}; choose from {SWEEPS}")
         if probe_batching not in PROBE_BATCHING:
@@ -624,11 +639,28 @@ class CriticalityAnalyzer:
                         variables: Sequence[CheckpointVariable]
                         ) -> dict[str, VariableCriticality]:
         watch = self._watched_keys(variables)
-        tape, leaves, _output = bench.traced_restart(state, watch=list(watch),
-                                                     steps=self.steps)
-        keys = list(leaves)
-        activity = activity_mod.read_masks(tape, [leaves[k] for k in keys])
-        key_masks = {key: res.read for key, res in zip(keys, activity)}
+        if self.sweep == "segmented":
+            # the same sweep machinery as _ad_masks: one iteration's tape
+            # (or compiled transfer) at a time, chained across boundaries;
+            # a fresh per-analysis plan cache keeps repeated analyses of
+            # one analyzer honest about what each call costs
+            plan_cache = PlanCache() if self.trace_cache == "plan" else None
+            activity = activity_mod.segmented_read_masks(
+                bench, state, watch=list(watch), steps=self.steps,
+                snapshot_schedule=self.snapshot_schedule,
+                snapshot_budget=self.snapshot_budget,
+                spill_dir=self.spill_dir,
+                trace_cache=self.trace_cache,
+                plan_cache=plan_cache)
+            key_masks = {key: activity[key].read for key in watch}
+        else:
+            tape, leaves, _output = bench.traced_restart(
+                state, watch=list(watch), steps=self.steps)
+            keys = list(leaves)
+            results_by_key = activity_mod.read_masks(
+                tape, [leaves[k] for k in keys])
+            key_masks = {key: res.read
+                         for key, res in zip(keys, results_by_key)}
 
         results: dict[str, VariableCriticality] = {}
         for var in variables:

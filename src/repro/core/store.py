@@ -22,7 +22,12 @@ benchmark for human navigation::
 ``<key>`` is the first 20 hex digits of the SHA-256 of the canonical JSON
 encoding of the key parameters -- content-addressed, so two stores built
 with the same package version agree on addresses and a parameter change
-(method, n_probes, version bump, ...) can never alias an old entry.
+(method, n_probes, version bump, ...) can never alias an old entry.  The
+sweep knobs (``sweep``, ``snapshot_schedule``/``snapshot_budget``,
+``trace_cache``) key *every* method they apply to -- since repro 1.6.0
+that includes ``method="activity"``, whose entries from earlier versions
+(when those knobs were silently ignored) are invalidated by the version
+field rather than aliased.
 
 The ``.npz`` member names are namespaced:
 

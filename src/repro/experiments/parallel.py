@@ -43,7 +43,15 @@ __all__ = ["ScrutinyJob", "ParallelRunner", "run_job", "default_workers"]
 
 @dataclass(frozen=True)
 class ScrutinyJob:
-    """One unit of analysis work; picklable and usable as a dict key."""
+    """One unit of analysis work; picklable and usable as a dict key.
+
+    The sweep knobs (``sweep``, ``snapshot_schedule``/``snapshot_budget``,
+    ``trace_cache``) parameterise the ``"ad"`` and ``"activity"`` methods
+    alike -- a segmented activity job chains read masks across boundaries
+    and replays compiled plan transfers, bitwise-identical to the
+    monolithic walk -- and all join :meth:`key_params`, so jobs differing
+    in any of them never alias in the result store.
+    """
 
     benchmark: str
     problem_class: str = "S"

@@ -117,6 +117,11 @@ class ExperimentRunner:
         replay instead of re-tracing, :mod:`repro.ad.plan`) or ``"off"``
         (re-trace every segment).  Identical masks either way; part of the
         cache key.  The CLI's ``--trace-cache``.
+
+    The ``sweep``/``snapshot_*``/``trace_cache`` knobs drive the
+    ``"activity"`` method exactly as they drive ``"ad"`` (segmented
+    chained read masks, plan-derived replays -- bitwise-identical masks);
+    only ``"tangent"`` and ``"rule"`` ignore them.
     """
 
     def __init__(self, problem_class: str = "S", method: str = "ad",

@@ -28,7 +28,7 @@ __all__ = [
 #: recognised problem classes; "S" reproduces the paper, "T" is a reduced
 #: size for fast unit testing, "A" is the enlarged scenario unlocked by the
 #: segmented reverse sweep (registered for the benchmarks where the larger
-#: size is interesting: CG and FT scale their arrays, EP and IS their
+#: size is interesting: CG, FT and MG scale their arrays, EP and IS their
 #: main-loop length)
 CLASSES = ("T", "S", "A")
 
@@ -284,6 +284,12 @@ _A_PARAMS = {
                    zeta_verify=float("nan")),
     "FT": FTParams(problem_class="A", nx=96, ny=96, nz_pad=65, nz=64,
                    niter=10),
+    # MG is the first stencil port with a class A: a 16**3 finest grid over
+    # four V-cycle levels (the flat hierarchy uses 7112 of 7400 declared
+    # slots) with twice the class-S iteration count -- the dense-stencil
+    # tape regime the segmented sweep and the chained activity analysis
+    # are for
+    "MG": MGParams(problem_class="A", nx=16, levels=4, nr=7400, niter=8),
     # the two simple ports scale by loop length, not array size: EP's
     # class A doubles the class-S batch count (smaller batches keep the
     # per-iteration cost test-friendly), IS quadruples the ranked key

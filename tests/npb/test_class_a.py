@@ -23,7 +23,7 @@ class TestClassARegistration:
     def test_class_a_is_a_known_class(self):
         assert "A" in CLASSES
 
-    @pytest.mark.parametrize("name", ["CG", "FT", "EP", "IS"])
+    @pytest.mark.parametrize("name", ["CG", "FT", "MG", "EP", "IS"])
     def test_class_a_params_registered(self, name):
         params = params_for(name, "A")
         assert params.problem_class == "A"
@@ -33,6 +33,17 @@ class TestClassARegistration:
         assert params_for("CG", "A").niter > params_for("CG", "S").niter
         a, s = params_for("FT", "A"), params_for("FT", "S")
         assert a.nx * a.ny * a.nz_pad > s.nx * s.ny * s.nz_pad
+
+    def test_class_a_mg_is_larger_than_class_t(self):
+        # MG's class A grows the stencil hierarchy (not past class S, whose
+        # 46480-slot tape is out of reach for a pure-numpy port) and doubles
+        # the V-cycle count -- the dense-tape regime the segmented sweep is
+        # for
+        a, t = params_for("MG", "A"), params_for("MG", "T")
+        assert a.used_elements > t.used_elements
+        assert a.niter > t.niter
+        assert a.levels > t.levels
+        assert a.used_elements <= a.nr
 
     def test_class_a_simple_ports_have_longer_loops(self):
         # EP and IS scale by main-loop length (the snapshot-schedule
@@ -87,6 +98,50 @@ class TestClassAEndToEnd:
         # peak must stay close to the largest single segment
         assert stats.peak_nodes <= max(stats.segment_nodes)
         assert stats.peak_nodes * 3 < stats.total_nodes
+
+    def test_mg_class_a_segmented_scrutiny(self):
+        """MG's stencil class A under the segmented sweep (analysis depth
+        limited to keep the suite fast; the declared-but-unused tail of the
+        flat hierarchy is step-independent)."""
+        bench = registry.create("MG", "A")
+        assert bench.total_steps == 8
+        state = bench.checkpoint_state(bench.total_steps - 2)
+        result = scrutinize(bench, state=state, steps=2, sweep="segmented")
+        assert result.problem_class == "A"
+        p = bench.params
+        # the class-S structural finding survives the resize: the slack
+        # slots past the flat level layout are never touched
+        for name in ("u", "r"):
+            mask = result.variables[name].mask
+            assert mask.shape == (p.nr,)
+            assert not mask[p.used_elements:].any()
+        assert result.variables["u"].mask[: p.used_elements].any()
+
+    def test_mg_class_a_peak_tape_is_per_iteration(self):
+        bench = registry.create("MG", "A")
+        state = bench.checkpoint_state(bench.total_steps - 2)
+        stats = SweepStats()
+        segmented_gradients(bench, state, stats=stats)
+        assert stats.n_segments == 3            # 2 V-cycles + output
+        assert stats.peak_nodes <= max(stats.segment_nodes)
+        assert stats.peak_nodes * 2 < stats.total_nodes
+
+    @pytest.mark.parametrize("trace_cache", ["off", "plan"])
+    def test_mg_class_a_segmented_activity_matches_monolithic(
+            self, trace_cache):
+        """The chained activity sweep on the stencil class A: bitwise the
+        same read masks as the monolithic tape walk."""
+        mono = registry.create("MG", "A")
+        state = mono.checkpoint_state(mono.total_steps - 2)
+        mono_result = scrutinize(mono, state=dict(state), steps=2,
+                                 method="activity")
+        seg = registry.create("MG", "A")
+        seg_result = scrutinize(seg, state=dict(state), steps=2,
+                                method="activity", sweep="segmented",
+                                trace_cache=trace_cache)
+        for name, crit in mono_result.variables.items():
+            np.testing.assert_array_equal(
+                crit.mask, seg_result.variables[name].mask, err_msg=name)
 
     def test_ep_class_a_segmented_smoke(self):
         """EP's long-loop class A end-to-end under the segmented sweep
