@@ -39,6 +39,9 @@ python -m pytest -q tests/ad/test_probes.py \
 echo "== replay plans: plan-vs-tracer bitwise equivalence =="
 python -m pytest -q tests/ad/test_plan.py
 
+echo "== plan lowering: IR passes, fused-vs-unfused bitwise equivalence =="
+python -m pytest -q tests/ad/test_passes.py tests/ad/test_primitive_coverage.py
+
 echo "== tangent sweep: mask equivalence across all ports =="
 python -m pytest -q tests/ad/test_tangent.py
 
@@ -77,6 +80,9 @@ python benchmarks/test_tangent_sweep.py --json BENCH_tangent.json
 echo "== perf baseline: BENCH_activity.json =="
 python benchmarks/test_activity_replay.py --json BENCH_activity.json
 
+echo "== perf baseline: BENCH_lowering.json =="
+python benchmarks/test_plan_lowering.py --json BENCH_lowering.json
+
 echo "== CLI smoke: segmented sweep with the replay plan disabled =="
 python -m repro.cli --class T --sweep segmented --trace-cache off \
     analyze CG >/dev/null
@@ -84,5 +90,13 @@ python -m repro.cli --class T --sweep segmented --trace-cache off \
 echo "== CLI smoke: plan-replayed segmented activity analysis =="
 python -m repro.cli --class T --method activity --sweep segmented \
     --trace-cache plan analyze CG >/dev/null
+
+echo "== CLI smoke: plan passes disabled (unfused interpreter) =="
+python -m repro.cli --class T --sweep segmented --plan-optimize off \
+    analyze CG >/dev/null
+
+echo "== CLI smoke: explicit interp executor =="
+python -m repro.cli --class T --sweep segmented --executor interp \
+    analyze CG >/dev/null
 
 echo "ci_check: OK"

@@ -399,32 +399,38 @@ class PlanActivityTransfer:
 def plan_transfer(plan) -> PlanActivityTransfer:
     """Derive (and cache) a plan's activity transfer from its structure.
 
-    Walks the flat slot program exactly as :func:`read_mask` walks a tape:
-    every slot whose parents include a watched leaf slot dispatches on its
-    capture-spec kind through the same category rules the tape walk applies
-    to op names.  The index expressions and traced-operand roles needed for
+    Walks the plan's typed IR (:class:`repro.ad.ir.PlanIR`) exactly as
+    :func:`read_mask` walks a tape: every instruction whose parents include
+    a watched leaf slot dispatches on its spec kind through the same
+    category rules the tape walk applies to op names.  The index
+    expressions and traced-operand roles needed for
     ``getitem``/``index_update``/``index_add`` are all present in the specs
-    as plain data.
+    as plain data.  The walk covers the **full** instruction list -- dead
+    instructions the optimisation passes skip at execution time still
+    touched their operands in the traced program, so they contribute to
+    the masks identically in ``plan_optimize="fuse"`` and ``"off"``.
     """
     cached = getattr(plan, "_activity_transfer", None)
     if cached is not None:
         return cached
 
-    owner = {slot: key for key, slot in zip(plan.watch, plan._leaf_slots)}
-    read = {key: np.zeros(plan._shapes[slot], dtype=bool)
-            for key, slot in zip(plan.watch, plan._leaf_slots)}
-    moved = {key: np.zeros(plan._shapes[slot], dtype=bool)
-             for key, slot in zip(plan.watch, plan._leaf_slots)}
+    ir = plan.ir
+    owner = {slot: key for key, slot in zip(ir.watch, ir.leaf_slots)}
+    read = {key: np.zeros(ir.instrs[slot].shape, dtype=bool)
+            for key, slot in zip(ir.watch, ir.leaf_slots)}
+    moved = {key: np.zeros(ir.instrs[slot].shape, dtype=bool)
+             for key, slot in zip(ir.watch, ir.leaf_slots)}
 
-    for spec, parents in zip(plan._specs, plan._parents):
-        kind = spec[0]
+    for instr in ir.instrs:
+        spec, parents = instr.spec, instr.parents
+        kind = instr.kind
         if kind == "leaf":
             continue
         for pos, parent in enumerate(parents):
             key = owner.get(parent)
             if key is None:
                 continue
-            shape = plan._shapes[parent]
+            shape = ir.instrs[parent].shape
             if kind == "getitem":
                 read[key] |= _region_from_index(shape, spec[1])
             elif kind in ("index_update", "index_add"):
@@ -453,9 +459,9 @@ def plan_transfer(plan) -> PlanActivityTransfer:
                 read[key][...] = True
 
     passes: dict[str, str] = {}
-    if plan.kind == "step":
-        for out_key in plan.watch:
-            slot = plan._seed_slots.get(out_key)
+    if ir.kind == "step":
+        for out_key in ir.watch:
+            slot = ir.seed_slots.get(out_key)
             if slot is not None:
                 in_key = owner.get(slot)
                 if in_key is not None:
@@ -498,7 +504,10 @@ def segmented_read_masks(bench, state: Mapping[str, Any],
                          snapshot_budget: int | None = None,
                          spill_dir: str | Path | None = None,
                          trace_cache: str | None = None,
-                         plan_cache=None) -> dict[str, "ActivityResult"]:
+                         plan_cache=None,
+                         plan_optimize: str | None = None,
+                         executor: str | None = None
+                         ) -> dict[str, "ActivityResult"]:
     """Activity masks of the restart, one iteration's tape at a time.
 
     Drop-in replacement for the monolithic ``traced_restart`` +
@@ -511,8 +520,10 @@ def segmented_read_masks(bench, state: Mapping[str, Any],
     Parameters mirror :func:`repro.ad.segmented.segmented_gradients`
     (``snapshot_schedule``/``snapshot_budget``/``spill_dir`` select the
     boundary retention policy, ``trace_cache="plan"`` replays compiled
-    transfers, ``plan_cache`` shares plans across analyses); ``stats``
-    additionally collects the activity telemetry fields of
+    transfers, ``plan_cache`` shares plans across analyses,
+    ``plan_optimize``/``executor`` configure how a freshly created cache
+    lowers and runs its plans -- ignored when ``plan_cache`` is supplied);
+    ``stats`` additionally collects the activity telemetry fields of
     :class:`~repro.ad.segmented.SweepStats`.
 
     Returns a dict mapping each watched key to its
@@ -521,7 +532,8 @@ def segmented_read_masks(bench, state: Mapping[str, Any],
     all-False masks (the analyzer routes integer variables to rules, never
     here).
     """
-    from .plan import DEFAULT_TRACE_CACHE, TRACE_CACHES, PlanCache
+    from .plan import (DEFAULT_EXECUTOR, DEFAULT_PLAN_OPTIMIZE,
+                       DEFAULT_TRACE_CACHE, TRACE_CACHES, PlanCache)
     from .schedule import DEFAULT_SNAPSHOT_SCHEDULE, make_schedule, \
         snapshot_state
     from .segmented import _default_steps, float_state_keys
@@ -530,6 +542,10 @@ def segmented_read_masks(bench, state: Mapping[str, Any],
         snapshot_schedule = DEFAULT_SNAPSHOT_SCHEDULE
     if trace_cache is None:
         trace_cache = DEFAULT_TRACE_CACHE
+    if plan_optimize is None:
+        plan_optimize = DEFAULT_PLAN_OPTIMIZE
+    if executor is None:
+        executor = DEFAULT_EXECUTOR
 
     for hook in ("traced_step", "traced_output"):
         if not callable(getattr(bench, hook, None)):
@@ -562,7 +578,8 @@ def segmented_read_masks(bench, state: Mapping[str, Any],
 
     planner = out_planner = cache = plan_base = None
     if trace_cache == "plan":
-        cache = plan_cache if plan_cache is not None else PlanCache()
+        cache = plan_cache if plan_cache is not None \
+            else PlanCache(plan_optimize=plan_optimize, executor=executor)
         plan_base = cache.counters()
         planner = cache.planner(bench, "step", chain)
         out_planner = cache.planner(bench, "output", chain)

@@ -1,0 +1,1520 @@
+"""Pluggable executors for lowered replay plans.
+
+The back end of the capture -> IR -> passes -> executor pipeline: given a
+validated :class:`~repro.ad.ir.PlanIR` and the :class:`~repro.ad.passes.
+PlanLayout` the optimisation passes derived from it, this module builds the
+executable op list a :class:`~repro.ad.plan.CompiledPlan` replays -- a flat
+sequence of ``(slot, parents, kernel)`` triples where every kernel maps
+parent slot values to ``(value, vjp)``.
+
+Two executors hide behind one interface:
+
+``"interp"`` (default)
+    The numpy interpreter.  Unfused instructions run the same per-primitive
+    kernels as before (moved here verbatim from ``repro.ad.plan``); fused
+    elementwise/unary chains run a single ``exec``-generated straight-line
+    kernel with **preallocated ``out=`` buffers** for every ufunc step, so
+    a warm replay of a fused chain performs no Python-level dispatch per
+    primitive and no per-step allocation.  The generated code calls exactly
+    the shared rule tables (``EW_BINARY_RULES`` / ``UNARY_RULES`` /
+    ``MINMAX_RULES``) and the ops-layer broadcast helpers, so fused values
+    and cotangents are bitwise what the unfused interpreter produces.
+
+``"numba"`` (optional)
+    Import-gated on ``numba`` availability with **silent fallback**: when
+    the package is missing (it is an optional dependency, never required),
+    requesting ``executor="numba"`` simply runs the interpreter and reports
+    ``executor_kind == "interp"``.  When present, qualifying fused chains
+    (same-shape float64 add/subtract/negative chains -- the subset whose
+    VJPs need no retained intermediates and whose scalar evaluation cannot
+    be re-associated or FMA-contracted) are compiled to a single jitted
+    ufunc via ``numba.vectorize``; every other instruction falls back to
+    the interpreter kernel per-group, so a failed JIT can never fail a
+    replay.
+
+Bitwise discipline for ``out=`` buffers: a preallocated buffer is only used
+when the captured output dtype equals the ufunc's natural result dtype (no
+cast is inserted), and never for a slot whose value escapes the plan
+(concrete next-state slots), so arena reuse cannot corrupt caller-visible
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .ir import Instr, PlanIR
+
+__all__ = ["EXECUTORS", "DEFAULT_EXECUTOR", "resolve_executor", "build_ops"]
+
+#: recognised plan executors
+EXECUTORS = ("interp", "numba")
+
+#: the executor used when none is requested
+DEFAULT_EXECUTOR = "interp"
+
+
+def _numba_module():
+    """The ``numba`` module, or ``None`` when unavailable (silent gate)."""
+    try:
+        import numba  # type: ignore[import-not-found]
+    except Exception:  # pragma: no cover - depends on the environment
+        return None
+    return numba
+
+
+def resolve_executor(requested: str) -> str:
+    """The executor kind that will actually run for ``requested``.
+
+    ``"numba"`` degrades silently to ``"interp"`` when the optional
+    dependency is missing; the resolved kind is what telemetry reports.
+    """
+    if requested not in EXECUTORS:
+        raise ValueError(f"unknown executor {requested!r}; "
+                         f"choose from {EXECUTORS}")
+    if requested == "numba" and _numba_module() is None:
+        return "interp"
+    return requested
+
+
+def _ops_mod():
+    from . import ops  # deferred: ops imports the plan layer at load time
+
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# per-primitive interpreter kernels
+# ---------------------------------------------------------------------------
+#
+# Every emitter receives one instruction's spec and returns a *kernel*: a
+# closure over the spec's constants mapping the parent slot values to
+# ``(value, vjp)``.  Kernels execute exactly the numpy expressions the
+# corresponding ops-layer primitive executes -- the elementwise/unary/
+# min-max families share their rule tables with :mod:`repro.ad.ops`
+# outright, the rest mirror the primitive line for line (and reuse the ops
+# helpers ``_unbroadcast`` / ``_unbroadcast_keep_probe`` /
+# ``_matmul_grad_*``) -- so a replayed value or cotangent is bitwise what a
+# fresh trace produces.
+
+
+def _emit_ewbinary(spec: tuple, node: Instr) -> Callable:
+    ops = _ops_mod()
+    (_, op, a_tr, b_tr, a_const, b_const,
+     a_shape, b_shape, a_lift, b_lift) = spec
+    compute, grad_a, grad_b = ops.EW_BINARY_RULES[op]
+    unbroadcast, restore = ops._unbroadcast, ops._probe_restore
+    a_re = a_tr and tuple(a_lift) != tuple(a_shape)
+    b_re = b_tr and tuple(b_lift) != tuple(b_shape)
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i].reshape(a_lift) if a_re else vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = (vals[i].reshape(b_lift) if b_re else vals[i]) if b_tr \
+            else b_const
+        out = compute(av, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            if a_tr:
+                grads.append(restore(unbroadcast(grad_a(g, av, bv), a_lift),
+                                     a_shape))
+            if b_tr:
+                grads.append(restore(unbroadcast(grad_b(g, av, bv), b_lift),
+                                     b_shape))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_minmax(spec: tuple, node: Instr) -> Callable:
+    ops = _ops_mod()
+    (_, op, a_tr, b_tr, a_const, b_const,
+     a_shape, b_shape, a_lift, b_lift) = spec
+    compute, mask_of = ops.MINMAX_RULES[op]
+    unbroadcast, restore = ops._unbroadcast, ops._probe_restore
+    a_re = a_tr and tuple(a_lift) != tuple(a_shape)
+    b_re = b_tr and tuple(b_lift) != tuple(b_shape)
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i].reshape(a_lift) if a_re else vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = (vals[i].reshape(b_lift) if b_re else vals[i]) if b_tr \
+            else b_const
+        out = compute(av, bv)
+        mask_a = mask_of(av, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            if a_tr:
+                grads.append(restore(unbroadcast(g * mask_a, a_lift),
+                                     a_shape))
+            if b_tr:
+                grads.append(restore(unbroadcast(g * ~mask_a, b_lift),
+                                     b_shape))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_unary(spec: tuple, node: Instr) -> Callable:
+    compute, dydx = _ops_mod().UNARY_RULES[spec[1]]
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = compute(av)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (g * dydx(av, out),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_negative(spec: tuple, node: Instr) -> Callable:
+    def kernel(vals: list) -> tuple:
+        return -vals[0], lambda g: (-g,)
+
+    return kernel
+
+
+def _emit_copy(spec: tuple, node: Instr) -> Callable:
+    def kernel(vals: list) -> tuple:
+        return np.array(vals[0], copy=True), lambda g: (g,)
+
+    return kernel
+
+
+def _emit_astype(spec: tuple, node: Instr) -> Callable:
+    _, dtype_str, src_str = spec
+    dtype, src = np.dtype(dtype_str), np.dtype(src_str)
+
+    def kernel(vals: list) -> tuple:
+        out = vals[0].astype(dtype)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.asarray(g, dtype=src),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_sum(spec: tuple, node: Instr) -> Callable:
+    _, axis, keepdims, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = np.sum(av, axis=axis, keepdims=keepdims)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            return (np.broadcast_to(g, in_shape).copy(),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_mean(spec: tuple, node: Instr) -> Callable:
+    _, axis, keepdims, count, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = np.mean(av, axis=axis, keepdims=keepdims)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g) / count
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            return (np.broadcast_to(g, in_shape).copy(),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_redminmax(spec: tuple, node: Instr) -> Callable:
+    _, op, axis, keepdims, in_shape = spec
+    reduce_fn = np.max if op == "max" else np.min
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = reduce_fn(av, axis=axis, keepdims=keepdims)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g)
+            out_k = out
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                out_k = np.expand_dims(out, axis=axis)
+            mask = (av == out_k)
+            denom = mask.sum(axis=axis, keepdims=True) if axis is not None \
+                else mask.sum()
+            return (mask * g / denom,)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_prod(spec: tuple, node: Instr) -> Callable:
+    _, axis, keepdims, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = np.prod(av, axis=axis, keepdims=keepdims)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g)
+            out_k = out
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                out_k = np.expand_dims(out, axis=axis)
+            safe = np.where(av == 0, 1.0, av)
+            return (g * out_k / safe,)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_getitem(spec: tuple, node: Instr) -> Callable:
+    _, idx, advanced, contig, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = av[idx]
+        if contig:
+            out = np.ascontiguousarray(out)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grad = np.zeros(in_shape, dtype=np.result_type(g, np.float64))
+            if advanced:
+                np.add.at(grad, idx, g)
+            else:
+                grad[idx] += g
+            return (grad,)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_index_update(spec: tuple, node: Instr) -> Callable:
+    ops = _ops_mod()
+    (_, idx, a_tr, b_tr, a_const, b_const, b_shape, batched,
+     lift_shape) = spec
+    keep_probe = ops._unbroadcast_keep_probe
+    lifted_const = None
+    if not a_tr and lift_shape is not None:
+        lifted_const = np.broadcast_to(a_const, lift_shape)
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            out = np.array(vals[i], copy=True)
+            i += 1
+        elif lifted_const is not None:
+            out = np.array(lifted_const, copy=True, order="C")
+        else:
+            out = np.array(a_const, copy=True)
+        bv = vals[i] if b_tr else b_const
+        out[idx] = bv
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            if a_tr:
+                ga = np.array(g, copy=True)
+                ga[idx] = 0.0
+                grads.append(ga)
+            if b_tr:
+                gb = np.asarray(g)[idx]
+                grads.append(keep_probe(gb, b_shape, batched))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_index_add(spec: tuple, node: Instr) -> Callable:
+    ops = _ops_mod()
+    (_, idx, a_tr, b_tr, a_const, b_const, b_shape, batched,
+     lift_shape) = spec
+    keep_probe = ops._unbroadcast_keep_probe
+    lifted_const = None
+    if not a_tr and lift_shape is not None:
+        lifted_const = np.broadcast_to(a_const, lift_shape)
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            out = np.array(vals[i], copy=True)
+            i += 1
+        elif lifted_const is not None:
+            out = np.array(lifted_const, copy=True, order="C")
+        else:
+            out = np.array(a_const, copy=True)
+        bv = vals[i] if b_tr else b_const
+        np.add.at(out, idx, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            if a_tr:
+                grads.append(np.asarray(g))
+            if b_tr:
+                gb = np.asarray(g)[idx]
+                grads.append(keep_probe(gb, b_shape, batched))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_where(spec: tuple, node: Instr) -> Callable:
+    ops = _ops_mod()
+    (_, cv, a_tr, b_tr, a_const, b_const,
+     a_shape, b_shape, a_lift, b_lift) = spec
+    unbroadcast, restore = ops._unbroadcast, ops._probe_restore
+    a_re = a_tr and tuple(a_lift) != tuple(a_shape)
+    b_re = b_tr and tuple(b_lift) != tuple(b_shape)
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i].reshape(a_lift) if a_re else vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = (vals[i].reshape(b_lift) if b_re else vals[i]) if b_tr \
+            else b_const
+        out = np.where(cv, av, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            if a_tr:
+                grads.append(restore(unbroadcast(g * cv, a_lift), a_shape))
+            if b_tr:
+                grads.append(restore(unbroadcast(g * (~cv), b_lift),
+                                     b_shape))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_matmul(spec: tuple, node: Instr) -> Callable:
+    ops = _ops_mod()
+    _, a_tr, b_tr, a_const, b_const = spec
+    grad_a, grad_b = ops._matmul_grad_a, ops._matmul_grad_b
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = vals[i] if b_tr else b_const
+        out = np.matmul(av, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g)
+            grads = []
+            if a_tr:
+                grads.append(grad_a(g, av, bv))
+            if b_tr:
+                grads.append(grad_b(g, av, bv))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_matmul_probe(spec: tuple, node: Instr) -> Callable:
+    ops = _ops_mod()
+    _, a_tr, b_tr, a_const, b_const, la, lb = spec
+    keep_probe = ops._unbroadcast_keep_probe
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = vals[i] if b_tr else b_const
+        av_m = av[..., None, :] if la == 1 else av
+        bv_m = bv[..., :, None] if lb == 1 else bv
+        out_m = np.matmul(av_m, bv_m)
+        if la == 1 and lb == 1:
+            out = out_m[..., 0, 0]
+        elif la == 1:
+            out = out_m[..., 0, :]
+        elif lb == 1:
+            out = out_m[..., :, 0]
+        else:
+            out = out_m
+
+        def vjp(g: np.ndarray) -> tuple:
+            g = np.asarray(g)
+            if la == 1 and lb == 1:
+                g_m = g[..., None, None]
+            elif la == 1:
+                g_m = g[..., None, :]
+            elif lb == 1:
+                g_m = g[..., :, None]
+            else:
+                g_m = g
+            grads = []
+            if a_tr:
+                ga = np.matmul(g_m, np.swapaxes(bv_m, -1, -2))
+                grads.append(keep_probe(ga, av_m.shape,
+                                        True).reshape(av.shape))
+            if b_tr:
+                gb = np.matmul(np.swapaxes(av_m, -1, -2), g_m)
+                grads.append(keep_probe(gb, bv_m.shape,
+                                        True).reshape(bv.shape))
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_matmul_multirhs(spec: tuple, node: Instr) -> Callable:
+    _, a_const = spec
+    a_t = np.swapaxes(a_const, -1, -2)
+
+    def kernel(vals: list) -> tuple:
+        out = np.matmul(vals[0], a_t)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.matmul(np.asarray(g), a_const),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_reshape(spec: tuple, node: Instr) -> Callable:
+    _, out_shape, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.reshape(vals[0], out_shape)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.reshape(g, in_shape),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_transpose(spec: tuple, node: Instr) -> Callable:
+    _, axes, inv_axes = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.transpose(vals[0], axes)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.transpose(g, inv_axes),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_swapaxes(spec: tuple, node: Instr) -> Callable:
+    _, ax1, ax2 = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.swapaxes(vals[0], ax1, ax2)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.swapaxes(g, ax1, ax2),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _moveaxis_order(src: Any, dst: Any, ndim: int) -> tuple[int, ...]:
+    """The axis permutation ``np.moveaxis(a, src, dst)`` applies.
+
+    Mirrors numpy's own implementation (normalize, remove sources, insert
+    at destinations in ascending order); precomputing it lets the compiled
+    kernel run one C-level ``transpose`` instead of re-normalising the
+    axes on every replay -- same view, same bits.
+    """
+    src_t = tuple(ax % ndim for ax in
+                  (src if isinstance(src, (tuple, list)) else (src,)))
+    dst_t = tuple(ax % ndim for ax in
+                  (dst if isinstance(dst, (tuple, list)) else (dst,)))
+    order = [ax for ax in range(ndim) if ax not in src_t]
+    for d, s in sorted(zip(dst_t, src_t)):
+        order.insert(d, s)
+    return tuple(order)
+
+
+def _emit_moveaxis(spec: tuple, node: Instr) -> Callable:
+    _, src, dst = spec
+    ndim = len(node.shape)
+    fwd = _moveaxis_order(src, dst, ndim)
+    rev = _moveaxis_order(dst, src, ndim)
+
+    def kernel(vals: list) -> tuple:
+        out = vals[0].transpose(fwd)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.asarray(g).transpose(rev),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_broadcast_to(spec: tuple, node: Instr) -> Callable:
+    ops = _ops_mod()
+    _, out_shape, in_shape = spec
+    unbroadcast = ops._unbroadcast
+
+    def kernel(vals: list) -> tuple:
+        out = np.array(np.broadcast_to(vals[0], out_shape))
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (unbroadcast(g, in_shape),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_squeeze(spec: tuple, node: Instr) -> Callable:
+    _, axis, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.squeeze(vals[0], axis=axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.reshape(g, in_shape),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_expand_dims(spec: tuple, node: Instr) -> Callable:
+    _, axis, in_shape = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.expand_dims(vals[0], axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.reshape(g, in_shape),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_flip(spec: tuple, node: Instr) -> Callable:
+    _, axis = spec
+
+    def kernel(vals: list) -> tuple:
+        out = np.flip(vals[0], axis=axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.flip(g, axis=axis),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_roll(spec: tuple, node: Instr) -> Callable:
+    _, shift, axis = spec
+    neg = -np.asarray(shift) if np.ndim(shift) else -shift
+
+    def kernel(vals: list) -> tuple:
+        out = np.roll(vals[0], shift, axis=axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (np.roll(g, neg, axis=axis),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_roll_flat(spec: tuple, node: Instr) -> Callable:
+    _, shift, flat_shape, in_shape = spec
+    neg = -np.asarray(shift) if np.ndim(shift) else -shift
+
+    def kernel(vals: list) -> tuple:
+        av = vals[0]
+        out = np.roll(av.reshape(flat_shape), shift, axis=1).reshape(in_shape)
+
+        def vjp(g: np.ndarray) -> tuple:
+            g2 = np.asarray(g).reshape(flat_shape)
+            return (np.roll(g2, neg, axis=1).reshape(in_shape),)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_pad_zero(spec: tuple, node: Instr) -> Callable:
+    _, norm_pad, in_shape = spec
+    pad = np.asarray(norm_pad)
+    index = tuple(slice(before, before + size)
+                  for (before, _after), size in zip(pad, in_shape))
+
+    def kernel(vals: list) -> tuple:
+        out = np.pad(vals[0], pad, mode="constant")
+
+        def vjp(g: np.ndarray) -> tuple:
+            return (g[index],)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_concat(spec: tuple, node: Instr) -> Callable:
+    _, axis, parts, offsets = spec
+    traced_spans = [(start, stop)
+                    for (tag, payload), start, stop
+                    in zip(parts, offsets[:-1], offsets[1:]) if tag == "t"]
+
+    def kernel(vals: list) -> tuple:
+        seq = []
+        i = 0
+        for tag, payload in parts:
+            if tag == "t":
+                seq.append(vals[i])
+                i += 1
+            else:
+                seq.append(payload)
+        out = np.concatenate(seq, axis=axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            grads = []
+            for start, stop in traced_spans:
+                index = [slice(None)] * g.ndim
+                index[axis] = slice(start, stop)
+                grads.append(g[tuple(index)])
+            return tuple(grads)
+
+        return out, vjp
+
+    return kernel
+
+
+def _emit_stack(spec: tuple, node: Instr) -> Callable:
+    _, axis, parts = spec
+    traced_pos = [i for i, (tag, _payload) in enumerate(parts)
+                  if tag == "t"]
+
+    def kernel(vals: list) -> tuple:
+        seq = []
+        i = 0
+        for tag, payload in parts:
+            if tag == "t":
+                seq.append(vals[i])
+                i += 1
+            else:
+                seq.append(payload)
+        out = np.stack(seq, axis=axis)
+
+        def vjp(g: np.ndarray) -> tuple:
+            return tuple(np.take(g, i, axis=axis) for i in traced_pos)
+
+        return out, vjp
+
+    return kernel
+
+
+#: spec kind -> emitter
+_EMITTERS: dict[str, Callable] = {
+    "ewbinary": _emit_ewbinary,
+    "minmax": _emit_minmax,
+    "unary": _emit_unary,
+    "negative": _emit_negative,
+    "copy": _emit_copy,
+    "astype": _emit_astype,
+    "sum": _emit_sum,
+    "mean": _emit_mean,
+    "redminmax": _emit_redminmax,
+    "prod": _emit_prod,
+    "getitem": _emit_getitem,
+    "index_update": _emit_index_update,
+    "index_add": _emit_index_add,
+    "where": _emit_where,
+    "matmul": _emit_matmul,
+    "matmul_probe": _emit_matmul_probe,
+    "matmul_multirhs": _emit_matmul_multirhs,
+    "reshape": _emit_reshape,
+    "transpose": _emit_transpose,
+    "swapaxes": _emit_swapaxes,
+    "moveaxis": _emit_moveaxis,
+    "broadcast_to": _emit_broadcast_to,
+    "squeeze": _emit_squeeze,
+    "expand_dims": _emit_expand_dims,
+    "flip": _emit_flip,
+    "roll": _emit_roll,
+    "roll_flat": _emit_roll_flat,
+    "pad_zero": _emit_pad_zero,
+    "concat": _emit_concat,
+    "stack": _emit_stack,
+}
+
+
+# ---------------------------------------------------------------------------
+# shape-specialised singleton kernels (pass-gated)
+# ---------------------------------------------------------------------------
+#
+# When the pass pipeline ran (``plan_optimize="fuse"``) the IR's static
+# geometry can be trusted at emit time: every cotangent entering a VJP
+# carries the instruction's own shape (seeds are broadcast to slot shape,
+# every rule hands back operand node shapes).  The hottest singleton kinds
+# are then re-emitted with the dynamically-checked identity calls
+# (``_unbroadcast`` / ``_probe_restore``) dropped where the spec proves
+# them no-ops -- on matching shapes both return their input unchanged, so
+# eliding them is bit-preserving by construction -- and with the reduction
+# VJPs writing through a preallocated buffer instead of allocating one per
+# replay (safe: each instruction's VJP fires at most once per replay, and
+# ``_collect`` defensively copies every non-owned leaf cotangent before it
+# leaves the plan).  Each factory returns ``None`` when its static
+# conditions do not hold and the generic emitter serves the instruction
+# unchanged; ``plan_optimize="off"`` never consults this table.
+
+def _ew_identity_gate(spec: tuple, node: Instr) -> tuple | None:
+    """Shared static gate of the lifted binary families (a_tr, b_tr) or
+    ``None`` when a traced operand needs runtime unbroadcast/restore."""
+    (_, _p1, a_tr, b_tr, _ac, _bc, a_shape, b_shape, a_lift, b_lift) = spec
+    out_shape = tuple(node.shape)
+    if a_tr and not (tuple(a_lift) == out_shape
+                     and tuple(a_shape) == tuple(a_lift)):
+        return None
+    if b_tr and not (tuple(b_lift) == out_shape
+                     and tuple(b_shape) == tuple(b_lift)):
+        return None
+    return a_tr, b_tr
+
+
+def _spec_ewbinary(spec: tuple, node: Instr) -> Callable | None:
+    gate = _ew_identity_gate(spec, node)
+    if gate is None:
+        return None
+    a_tr, b_tr = gate
+    a_const, b_const = spec[4], spec[5]
+    compute, grad_a, grad_b = _ops_mod().EW_BINARY_RULES[spec[1]]
+
+    if a_tr and b_tr:
+        def kernel(vals: list) -> tuple:
+            av, bv = vals
+            out = compute(av, bv)
+
+            def vjp(g: np.ndarray) -> tuple:
+                return (grad_a(g, av, bv), grad_b(g, av, bv))
+
+            return out, vjp
+    elif a_tr:
+        def kernel(vals: list) -> tuple:
+            av = vals[0]
+            out = compute(av, b_const)
+
+            def vjp(g: np.ndarray) -> tuple:
+                return (grad_a(g, av, b_const),)
+
+            return out, vjp
+    else:
+        def kernel(vals: list) -> tuple:
+            bv = vals[0]
+            out = compute(a_const, bv)
+
+            def vjp(g: np.ndarray) -> tuple:
+                return (grad_b(g, a_const, bv),)
+
+            return out, vjp
+    return kernel
+
+
+def _spec_minmax(spec: tuple, node: Instr) -> Callable | None:
+    gate = _ew_identity_gate(spec, node)
+    if gate is None:
+        return None
+    a_tr, b_tr = gate
+    a_const, b_const = spec[4], spec[5]
+    compute, mask_of = _ops_mod().MINMAX_RULES[spec[1]]
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = vals[i] if b_tr else b_const
+        out = compute(av, bv)
+        mask_a = mask_of(av, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            if a_tr and b_tr:
+                return (g * mask_a, g * ~mask_a)
+            if a_tr:
+                return (g * mask_a,)
+            return (g * ~mask_a,)
+
+        return out, vjp
+
+    return kernel
+
+
+def _spec_where(spec: tuple, node: Instr) -> Callable | None:
+    gate = _ew_identity_gate(spec, node)
+    if gate is None:
+        return None
+    a_tr, b_tr = gate
+    cv, a_const, b_const = spec[1], spec[4], spec[5]
+    inv_cv = ~cv   # static condition: invert once at emit time
+
+    def kernel(vals: list) -> tuple:
+        i = 0
+        if a_tr:
+            av = vals[i]
+            i += 1
+        else:
+            av = a_const
+        bv = vals[i] if b_tr else b_const
+        out = np.where(cv, av, bv)
+
+        def vjp(g: np.ndarray) -> tuple:
+            if a_tr and b_tr:
+                return (g * cv, g * inv_cv)
+            if a_tr:
+                return (g * cv,)
+            return (g * inv_cv,)
+
+        return out, vjp
+
+    return kernel
+
+
+def _reduction_expanded_shape(out_shape: tuple, axis, keepdims
+                              ) -> tuple[int, ...]:
+    """The keepdims-style shape a reduction cotangent reshapes into."""
+    if axis is None or keepdims:
+        return tuple(out_shape)
+    return np.expand_dims(np.empty(out_shape, dtype=np.bool_),
+                          axis=axis).shape
+
+
+def _spec_sum(spec: tuple, node: Instr) -> Callable | None:
+    _, axis, keepdims, in_shape = spec
+    if np.dtype(node.dtype) != np.float64:
+        return None
+    expanded = _reduction_expanded_shape(node.shape, axis, keepdims)
+    buf = np.empty(in_shape, dtype=np.float64)
+
+    def vjp(g: np.ndarray) -> tuple:
+        # broadcast-copy into the retained buffer: the same bits
+        # broadcast_to(..).copy() produces, without the per-replay
+        # allocation (expand_dims is itself only a reshape)
+        np.copyto(buf, np.reshape(g, expanded))
+        return (buf,)
+
+    def kernel(vals: list) -> tuple:
+        # the exact reduction np.sum dispatches to for a float64 ndarray
+        # (same pairwise loop, same bits), minus the python wrapper
+        return np.add.reduce(vals[0], axis=axis, keepdims=keepdims), vjp
+
+    return kernel
+
+
+def _spec_mean(spec: tuple, node: Instr) -> Callable | None:
+    _, axis, keepdims, count, in_shape = spec
+    if np.dtype(node.dtype) != np.float64:
+        return None
+    expanded = _reduction_expanded_shape(node.shape, axis, keepdims)
+    buf = np.empty(in_shape, dtype=np.float64)
+
+    def vjp(g: np.ndarray) -> tuple:
+        np.copyto(buf, np.reshape(np.asarray(g) / count, expanded))
+        return (buf,)
+
+    def kernel(vals: list) -> tuple:
+        return np.mean(vals[0], axis=axis, keepdims=keepdims), vjp
+
+    return kernel
+
+
+def _spec_getitem(spec: tuple, node: Instr) -> Callable | None:
+    _, idx, advanced, contig, in_shape = spec
+    if np.dtype(node.dtype) != np.float64:
+        return None
+    buf = np.zeros(in_shape, dtype=np.float64)
+    if advanced:
+        def vjp(g: np.ndarray) -> tuple:
+            # zero-fill + scatter into the retained buffer: the bits of a
+            # fresh np.zeros scatter, without the per-replay allocation
+            buf.fill(0.0)
+            np.add.at(buf, idx, g)
+            return (buf,)
+    else:
+        # basic indexing scatters into exactly this view; the region
+        # outside it was zeroed at emit time and is never written, so a
+        # single ufunc call reproduces fill+scatter-add (g + 0.0 carries
+        # the same bits as 0.0 + g, -0.0 and NaN payloads included)
+        view = buf[idx]
+        if isinstance(view, np.ndarray) and np.shares_memory(view, buf):
+            def vjp(g: np.ndarray) -> tuple:
+                np.add(g, 0.0, out=view)
+                return (buf,)
+        else:
+            # a scalar selection yields no writable view
+            def vjp(g: np.ndarray) -> tuple:
+                buf.fill(0.0)
+                buf[idx] += g
+                return (buf,)
+
+    def kernel(vals: list) -> tuple:
+        out = vals[0][idx]
+        if contig:
+            out = np.ascontiguousarray(out)
+        return out, vjp
+
+    return kernel
+
+
+def _spec_index_update(spec: tuple, node: Instr) -> Callable | None:
+    (_, idx, a_tr, b_tr, _a_const, _b_const, b_shape, batched,
+     _lift_shape) = spec
+    if not a_tr or np.dtype(node.dtype) != np.float64:
+        return None
+    if b_tr:
+        # the update cotangent g[idx] must statically carry the operand's
+        # node shape for the keep-probe restore to be the identity
+        if np.empty(node.shape, dtype=np.bool_)[idx].shape \
+                != tuple(b_shape):
+            return None
+    abuf = np.empty(node.shape, dtype=np.float64)
+
+    def vjp(g: np.ndarray) -> tuple:
+        np.copyto(abuf, g)
+        abuf[idx] = 0.0
+        if b_tr:
+            return (abuf, np.asarray(g)[idx])
+        return (abuf,)
+
+    def kernel(vals: list) -> tuple:
+        out = np.array(vals[0], copy=True)
+        out[idx] = vals[1] if b_tr else _b_const
+        return out, vjp
+
+    return kernel
+
+
+def _spec_matmul(spec: tuple, node: Instr, ir: PlanIR) -> Callable | None:
+    _, a_tr, b_tr, a_const, _b_const = spec
+    if a_tr or not b_tr:
+        return None
+    av = np.asarray(a_const)
+    b_sh = tuple(ir.instrs[node.parents[0]].shape)
+    if av.ndim != 2 or len(b_sh) != 1 or b_sh != (av.shape[1],) \
+            or np.dtype(node.dtype) != np.float64:
+        return None
+    a_t = np.swapaxes(av, -1, -2)   # transpose once at emit time (a view)
+
+    def vjp(g: np.ndarray) -> tuple:
+        # same gemv as _matmul_grad_b's expand/matmul/squeeze path
+        return (np.matmul(a_t, np.asarray(g)[..., None])[..., 0],)
+
+    def kernel(vals: list) -> tuple:
+        return np.matmul(av, vals[0]), vjp
+
+    return kernel
+
+
+def _spec_matmul_probe(spec: tuple, node: Instr,
+                       ir: PlanIR) -> Callable | None:
+    _, a_tr, b_tr, a_const, b_const, la, lb = spec
+    if not (a_tr and b_tr and la == 1 and lb == 1):
+        return None
+    a_sh = tuple(ir.instrs[node.parents[0]].shape)
+    b_sh = tuple(ir.instrs[node.parents[1]].shape)
+    if a_sh != b_sh or np.dtype(node.dtype) != np.float64:
+        return None
+
+    # the probe dot product: both operands share one (optionally
+    # probe-batched) vector shape, so the generic VJP's rank-1 matmuls
+    # compute exactly one multiply per element -- the elementwise products
+    # below are those same multiplies without the expand/swap/reshape
+    # dance, and the keep-probe restore is statically the identity
+    def kernel(vals: list) -> tuple:
+        av, bv = vals
+        out = np.matmul(av[..., None, :], bv[..., :, None])[..., 0, 0]
+
+        def vjp(g: np.ndarray) -> tuple:
+            g_c = np.asarray(g)[..., None]
+            return (g_c * bv, av * g_c)
+
+        return out, vjp
+
+    return kernel
+
+
+#: pass-gated singleton specialisations (consulted only when the layout
+#: says the optimisation pipeline ran; ``None`` from a factory falls back
+#: to the generic emitter above).  Factories receive the full IR so they
+#: can read parent geometry when their gate needs it.
+_SPECIALIZED: dict[str, Callable] = {
+    "ewbinary": lambda spec, node, ir: _spec_ewbinary(spec, node),
+    "minmax": lambda spec, node, ir: _spec_minmax(spec, node),
+    "where": lambda spec, node, ir: _spec_where(spec, node),
+    "sum": lambda spec, node, ir: _spec_sum(spec, node),
+    "mean": lambda spec, node, ir: _spec_mean(spec, node),
+    "getitem": lambda spec, node, ir: _spec_getitem(spec, node),
+    "index_update": lambda spec, node, ir: _spec_index_update(spec, node),
+    "matmul": _spec_matmul,
+    "matmul_probe": _spec_matmul_probe,
+}
+
+
+# ---------------------------------------------------------------------------
+# fused-chain codegen (interp executor)
+# ---------------------------------------------------------------------------
+#
+# A fusion group (from repro.ad.passes) is a run of elementwise/unary
+# instructions whose interiors are each consumed exactly once, by the next
+# member.  The group compiles to ONE generated kernel: a straight-line
+# function evaluating the chain in slot order (same numpy calls as the
+# per-op kernels, with preallocated ``out=`` buffers wherever a ufunc is
+# available) plus one generated VJP walking the chain in reverse.  The VJP
+# emits per-operand gradient expressions in exactly the order the unfused
+# reverse sweep would evaluate them -- externals in descending-op order
+# (matching the outer sweep's zip accumulation), interiors chained through
+# locals with the same set-then-add sequence -- so the fused gradients are
+# bit-for-bit the unfused ones.
+
+#: elementwise-binary rule name -> the ufunc the lambda's operator
+#: dispatches to for ndarrays (same loop, same bits)
+_EW_UFUNCS = {
+    "add": np.add,
+    "subtract": np.subtract,
+    "multiply": np.multiply,
+    "divide": np.true_divide,
+    "power": np.power,
+}
+
+#: min-max rule name -> the comparison ufunc behind its mask lambda
+_MINMAX_MASK_UFUNCS = {
+    "maximum": np.greater_equal,
+    "minimum": np.less_equal,
+}
+
+
+class _Operand:
+    """One operand of a fused chain member (traced slot or constant)."""
+
+    __slots__ = ("traced", "slot", "const", "lift", "shape", "interior",
+                 "vidx", "reshape")
+
+    def __init__(self, traced: bool, slot: int | None, const: Any,
+                 lift: tuple | None, shape: tuple | None,
+                 interior: bool) -> None:
+        self.traced = traced
+        self.slot = slot
+        self.const = const
+        self.lift = None if lift is None else tuple(lift)
+        self.shape = None if shape is None else tuple(shape)
+        self.interior = interior
+        self.vidx: int | None = None
+        self.reshape = (traced and lift is not None and shape is not None
+                        and tuple(lift) != tuple(shape))
+
+
+def _parse_group(ir: PlanIR, group: Sequence[int]) -> dict[int, list[_Operand]]:
+    """Per-member operand records, in the emitter's (a, b) order."""
+    interior = set(group[:-1])
+    recs: dict[int, list[_Operand]] = {}
+    for slot in group:
+        instr = ir.instrs[slot]
+        spec = instr.spec
+        operands: list[_Operand] = []
+        if instr.kind in ("ewbinary", "minmax"):
+            (_, _op, a_tr, b_tr, a_c, b_c, a_sh, b_sh, a_lf, b_lf) = spec
+            parents = list(instr.parents)
+            pi = 0
+            for tr, c, sh, lf in ((a_tr, a_c, a_sh, a_lf),
+                                  (b_tr, b_c, b_sh, b_lf)):
+                if tr:
+                    p = parents[pi]
+                    pi += 1
+                    operands.append(_Operand(True, p, None, lf, sh,
+                                             p in interior))
+                else:
+                    operands.append(_Operand(False, None, c, None, None,
+                                             False))
+        else:  # unary / negative: one traced operand, no lift bookkeeping
+            p = instr.parents[0]
+            operands.append(_Operand(True, p, None, None, None,
+                                     p in interior))
+        recs[slot] = operands
+    return recs
+
+
+def _fused_parents(group: Sequence[int],
+                   recs: dict[int, list[_Operand]]) -> tuple[int, ...]:
+    """External parent slots in descending-op, per-op operand order.
+
+    This is the order the *unfused* reverse sweep accumulates the group's
+    contributions into external gradients (the sweep walks slots downward
+    and zips each op's parents with its VJP outputs), so handing the outer
+    sweep this tuple -- duplicates included -- preserves the accumulation
+    order bit for bit.
+    """
+    ext: list[int] = []
+    for slot in reversed(list(group)):
+        for o in recs[slot]:
+            if o.traced and not o.interior:
+                o.vidx = len(ext)
+                ext.append(o.slot)
+    return tuple(ext)
+
+
+def _operand_expr(o: _Operand, env: dict, slot: int, tag: str) -> str:
+    if not o.traced:
+        name = f"_c{slot}{tag}"
+        env[name] = o.const
+        return name
+    base = f"v{o.slot}" if o.interior else f"vals[{o.vidx}]"
+    if o.reshape:
+        return f"{base}.reshape({o.lift!r})"
+    return base
+
+
+def _build_fused_kernel(ir: PlanIR, group: Sequence[int],
+                        out_bufs: dict[int, np.ndarray],
+                        numba=None) -> tuple[Callable, tuple[int, ...]]:
+    """One generated kernel for a fusion group.
+
+    ``out_bufs`` maps group slots to preallocated output buffers (absent =
+    allocate per call, used for slots whose value escapes the plan).
+    ``numba`` is the imported numba module when the numba executor is
+    active; qualifying chains then replace the whole forward with one
+    jitted ufunc (see :func:`_numba_chain`), everything else keeps the
+    interpreter forward.
+    """
+    ops = _ops_mod()
+    instrs = ir.instrs
+    recs = _parse_group(ir, group)
+    ext = _fused_parents(group, recs)
+    last = group[-1]
+    numba_forward = None
+    if numba is not None and last in out_bufs:
+        numba_forward = _numba_chain(ir, group, recs, numba)
+
+    env: dict[str, Any] = {"np": np, "_ub": ops._unbroadcast,
+                           "_pr": ops._probe_restore}
+    fwd: list[str] = []
+    rev: list[str] = []
+    outs: list[str] = [""] * len(ext)
+
+    if numba_forward is not None:
+        env["_nb"] = numba_forward
+        env["_o_last"] = out_bufs[last]
+        fwd.append(f"v{last} = _nb(*vals, out=_o_last)")
+    else:
+        for slot in group:
+            instr = instrs[slot]
+            spec = instr.spec
+            operands = recs[slot]
+            if instr.kind in ("ewbinary", "minmax"):
+                a_expr = _operand_expr(operands[0], env, slot, "a")
+                b_expr = _operand_expr(operands[1], env, slot, "b")
+                fwd.append(f"a{slot} = {a_expr}")
+                fwd.append(f"b{slot} = {b_expr}")
+                if instr.kind == "ewbinary":
+                    compute, _ga, _gb = ops.EW_BINARY_RULES[spec[1]]
+                    uf = _EW_UFUNCS.get(spec[1])
+                else:
+                    compute, _mask = ops.MINMAX_RULES[spec[1]]
+                    uf = compute
+                buf = out_bufs.get(slot)
+                if uf is not None and buf is not None:
+                    env[f"_u{slot}"], env[f"_o{slot}"] = uf, buf
+                    fwd.append(f"v{slot} = _u{slot}(a{slot}, b{slot}, "
+                               f"out=_o{slot})")
+                else:
+                    env[f"_f{slot}"] = compute
+                    fwd.append(f"v{slot} = _f{slot}(a{slot}, b{slot})")
+                if instr.kind == "minmax":
+                    mask_uf = _MINMAX_MASK_UFUNCS[spec[1]]
+                    mbuf = np.empty(instr.shape, dtype=bool)
+                    env[f"_mu{slot}"], env[f"_mo{slot}"] = mask_uf, mbuf
+                    fwd.append(f"m{slot} = _mu{slot}(a{slot}, b{slot}, "
+                               f"out=_mo{slot})")
+            elif instr.kind == "unary":
+                a_expr = _operand_expr(operands[0], env, slot, "a")
+                fwd.append(f"a{slot} = {a_expr}")
+                name = spec[1]
+                compute, dydx = ops.UNARY_RULES[name]
+                env[f"_dy{slot}"] = dydx
+                buf = out_bufs.get(slot)
+                if buf is not None and name == "square":
+                    env[f"_o{slot}"] = buf
+                    fwd.append(f"v{slot} = np.multiply(a{slot}, a{slot}, "
+                               f"out=_o{slot})")
+                elif buf is not None and name == "reciprocal":
+                    env[f"_o{slot}"] = buf
+                    fwd.append(f"v{slot} = np.true_divide(1.0, a{slot}, "
+                               f"out=_o{slot})")
+                elif buf is not None and isinstance(compute, np.ufunc):
+                    env[f"_u{slot}"], env[f"_o{slot}"] = compute, buf
+                    fwd.append(f"v{slot} = _u{slot}(a{slot}, out=_o{slot})")
+                else:
+                    env[f"_f{slot}"] = compute
+                    fwd.append(f"v{slot} = _f{slot}(a{slot})")
+            else:  # negative
+                a_expr = _operand_expr(operands[0], env, slot, "a")
+                fwd.append(f"a{slot} = {a_expr}")
+                buf = out_bufs.get(slot)
+                if buf is not None:
+                    env[f"_o{slot}"] = buf
+                    fwd.append(f"v{slot} = np.negative(a{slot}, "
+                               f"out=_o{slot})")
+                else:
+                    fwd.append(f"v{slot} = np.negative(a{slot})")
+
+    # reverse pass: descending, exactly the unfused sweep's evaluation and
+    # accumulation order
+    seeded: set[int] = set()
+    rev.append(f"g{last} = g")
+    for slot in reversed(list(group)):
+        instr = instrs[slot]
+        spec = instr.spec
+        operands = recs[slot]
+        contribs: list[tuple[_Operand, str]] = []
+        if instr.kind == "ewbinary":
+            _compute, grad_a, grad_b = ops.EW_BINARY_RULES[spec[1]]
+            for is_b, (o, gf, gn) in enumerate(
+                    ((operands[0], grad_a, f"_ga{slot}"),
+                     (operands[1], grad_b, f"_gb{slot}"))):
+                if not o.traced:
+                    continue
+                if numba_forward is not None:
+                    # qualifying chains are add/subtract/negative only:
+                    # their rules are pure sign selections of g, inlined
+                    # so the VJP needs no retained intermediates
+                    raw = f"-g{slot}" if (is_b and spec[1] == "subtract") \
+                        else f"g{slot}"
+                else:
+                    env[gn] = gf
+                    raw = f"{gn}(g{slot}, a{slot}, b{slot})"
+                # the cotangent of slot always carries the member's own
+                # shape, so when the operand was never lifted or broadcast
+                # the _pr(_ub(..)) pair is statically the identity (both
+                # return their input unchanged on matching shapes) and the
+                # generated code drops the two calls outright
+                if (o.lift == tuple(instr.shape) and o.shape == o.lift):
+                    contribs.append((o, raw))
+                else:
+                    contribs.append(
+                        (o, f"_pr(_ub({raw}, {o.lift!r}), {o.shape!r})"))
+        elif instr.kind == "minmax":
+            for o, mexpr in ((operands[0], f"m{slot}"),
+                             (operands[1], f"~m{slot}")):
+                if not o.traced:
+                    continue
+                if (o.lift == tuple(instr.shape) and o.shape == o.lift):
+                    contribs.append((o, f"g{slot} * {mexpr}"))
+                else:
+                    contribs.append(
+                        (o, f"_pr(_ub(g{slot} * {mexpr}, {o.lift!r}), "
+                            f"{o.shape!r})"))
+        elif instr.kind == "unary":
+            contribs.append(
+                (operands[0], f"g{slot} * _dy{slot}(a{slot}, v{slot})"))
+        else:  # negative
+            contribs.append((operands[0], f"-g{slot}"))
+        for o, expr in contribs:
+            if o.interior:
+                if o.slot in seeded:
+                    rev.append(f"g{o.slot} = g{o.slot} + {expr}")
+                else:
+                    rev.append(f"g{o.slot} = {expr}")
+                    seeded.add(o.slot)
+            else:
+                outs[o.vidx] = expr
+    for i, expr in enumerate(outs):
+        rev.append(f"o{i} = {expr}")
+    ret = ", ".join(f"o{i}" for i in range(len(outs)))
+    if len(outs) == 1:
+        ret += ","
+    body = "\n".join(f"    {line}" for line in fwd)
+    rbody = "\n".join(f"        {line}" for line in rev)
+    src = (f"def _kernel(vals):\n{body}\n"
+           f"    def _vjp(g):\n{rbody}\n"
+           f"        return ({ret})\n"
+           f"    return v{last}, _vjp\n")
+    exec(compile(src, f"<fused-plan-{group[0]}-{last}>", "exec"), env)
+    return env["_kernel"], ext
+
+
+# ---------------------------------------------------------------------------
+# numba forward-chain codegen (optional executor)
+# ---------------------------------------------------------------------------
+
+def _numba_chain(ir: PlanIR, group: Sequence[int],
+                 recs: dict[int, list[_Operand]], numba) -> Callable | None:
+    """A ``numba.vectorize``-compiled ufunc for one qualifying chain.
+
+    Qualifying means: add/subtract/negative members only (the subset whose
+    scalar evaluation order matches the array chain exactly -- no multiply,
+    so LLVM cannot FMA-contract; VJPs need no retained intermediates),
+    float64 throughout, every traced operand unlifted and exactly the
+    member's shape (no broadcasting), constants finite python/numpy
+    scalars.  Returns ``None`` when the group does not qualify or the JIT
+    fails; the caller falls back to the interpreter kernel.
+    """
+    lines = []
+    n_ext = 0
+    for slot in group:
+        instr = ir.instrs[slot]
+        if np.dtype(instr.dtype) != np.float64:
+            return None
+        if instr.kind == "negative":
+            lines.append((slot, "neg", recs[slot]))
+        elif instr.kind == "ewbinary" and instr.spec[1] in ("add",
+                                                           "subtract"):
+            lines.append((slot, instr.spec[1], recs[slot]))
+        else:
+            return None
+        for o in recs[slot]:
+            if o.traced:
+                if o.reshape or (o.shape is not None
+                                 and o.shape != instr.shape):
+                    return None
+                if not o.interior:
+                    n_ext += 1
+            else:
+                c = o.const
+                if isinstance(c, np.ndarray) and c.ndim == 0:
+                    c = c[()]
+                if not isinstance(c, (int, float, np.integer, np.floating)):
+                    return None
+                if not np.isfinite(float(c)):
+                    return None
+    # scalar args are named by each operand's position in the fused
+    # parents tuple (assigned by _fused_parents), so ``_nb(*vals)`` binds
+    # every occurrence -- duplicates included -- to the right input
+    src_lines = []
+    for slot, opname, operands in lines:
+        exprs = []
+        for o in operands:
+            if not o.traced:
+                exprs.append(repr(float(o.const)))
+            elif o.interior:
+                exprs.append(f"t{o.slot}")
+            else:
+                exprs.append(f"x{o.vidx}")
+        if opname == "neg":
+            src_lines.append(f"t{slot} = -{exprs[0]}")
+        elif opname == "add":
+            src_lines.append(f"t{slot} = {exprs[0]} + {exprs[1]}")
+        else:
+            src_lines.append(f"t{slot} = {exprs[0]} - {exprs[1]}")
+    args = ", ".join(f"x{i}" for i in range(n_ext))
+    body = "\n".join(f"    {line}" for line in src_lines)
+    src = (f"def _scalar({args}):\n{body}\n    return t{group[-1]}\n")
+    env: dict[str, Any] = {}
+    try:
+        exec(compile(src, "<numba-chain>", "exec"), env)
+        sig = "float64(" + ", ".join(["float64"] * n_ext) + ")"
+        return numba.vectorize([sig], nopython=True)(env["_scalar"])
+    except Exception:  # pragma: no cover - depends on numba internals
+        return None
+
+
+# ---------------------------------------------------------------------------
+# executable program assembly
+# ---------------------------------------------------------------------------
+
+def build_ops(ir: PlanIR, layout,
+              executor: str = DEFAULT_EXECUTOR
+              ) -> tuple[list[tuple[int, tuple[int, ...], Callable]], str]:
+    """The executable op list for ``ir`` under ``layout``.
+
+    Returns ``(ops, executor_kind)`` where ``ops`` is the ordered list of
+    ``(slot, parents, kernel)`` triples a plan's forward pass runs, and
+    ``executor_kind`` names the executor that actually serves the plan
+    (``"interp"`` when the numba request silently degraded).
+    """
+    kind = resolve_executor(executor)
+    numba = _numba_module() if kind == "numba" else None
+
+    group_of_last = {g[-1]: g for g in layout.groups}
+    interiors = {s for g in layout.groups for s in g[:-1]}
+    # shared packed buffers for fused outputs whose lifetimes the packing
+    # pass proved disjoint; everything else gets a dedicated buffer below
+    pools: dict[Any, np.ndarray] = {}
+    for slot, pool_id in layout.buffer_of.items():
+        if pool_id not in pools:
+            instr = ir.instrs[slot]
+            pools[pool_id] = np.empty(instr.shape,
+                                      dtype=np.dtype(instr.dtype))
+
+    ops: list[tuple[int, tuple[int, ...], Callable]] = []
+    for instr in ir.instrs:
+        slot = instr.slot
+        if instr.kind == "leaf" or not layout.live[slot] \
+                or slot in interiors:
+            continue
+        group = group_of_last.get(slot)
+        if group is None:
+            kernel = None
+            if layout.optimized:
+                specialize = _SPECIALIZED.get(instr.kind)
+                if specialize is not None:
+                    kernel = specialize(instr.spec, instr, ir)
+            if kernel is None:
+                emitter = _EMITTERS.get(instr.kind)
+                if emitter is None:
+                    raise KeyError(
+                        f"no emitter for spec kind {instr.kind!r}")
+                kernel = emitter(instr.spec, instr)
+            ops.append((slot, instr.parents, kernel))
+            continue
+        out_bufs: dict[int, np.ndarray] = {}
+        for s in group:
+            if s in layout.buffer_of:
+                out_bufs[s] = pools[layout.buffer_of[s]]
+            elif s not in layout.no_out_buffer:
+                gi = ir.instrs[s]
+                out_bufs[s] = np.empty(gi.shape, dtype=np.dtype(gi.dtype))
+        kernel, parents = _build_fused_kernel(ir, group, out_bufs, numba)
+        ops.append((slot, parents, kernel))
+    return ops, kind

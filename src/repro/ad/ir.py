@@ -1,0 +1,303 @@
+"""Typed instruction IR for compiled replay plans.
+
+The middle layer of the capture -> IR -> passes -> executor pipeline
+(:mod:`repro.ad.plan` captures, :mod:`repro.ad.passes` optimises,
+:mod:`repro.ad.exec` runs).  A :class:`PlanIR` is a *typed, validated,
+serialisable* description of one captured program: a flat list of
+:class:`Instr` in topological (slot) order plus the program-level wiring
+(leaf slots, seed slots, output slot, next-state assembly rules).
+
+Keeping the IR as plain data -- no closures, no numpy scalars hidden in
+tuples -- is what allows the downstream layers to stay honest:
+
+* the optimisation passes can reason about producers/consumers without
+  executing anything;
+* the activity transfer (:mod:`repro.ad.activity`) derives read/move masks
+  from the same instruction list the executor runs, so the two can never
+  drift apart;
+* a plan can be round-tripped through :func:`to_payload` /
+  :func:`from_payload` (dict-of-JSON-plus-tagged-arrays), which pins the
+  "serialisable" claim in the tests and opens the door to cross-process
+  plan shipping later.
+
+Slot numbering is **identical** to the captured tape's node numbering and
+is never renumbered by any pass: the monolithic activity walk and the
+dead-slot analysis both key off original slot indices, so eliminating an
+instruction removes it from the executable list while every surviving
+reference stays stable.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Instr", "PlanIR", "lower_program", "validate_ir",
+           "to_payload", "from_payload", "IRValidationError"]
+
+
+class IRValidationError(ValueError):
+    """A structurally inconsistent :class:`PlanIR`."""
+
+
+class Instr:
+    """One typed instruction: ``slot <- kind(parents...; spec)``.
+
+    Attributes
+    ----------
+    slot:
+        Output slot (== the captured tape node index).
+    kind:
+        Spec kind (``"ewbinary"``, ``"leaf"``, ``"reshape"``, ...); the key
+        into the executor's emitter table.
+    parents:
+        Input slots, in the operand order the emitter expects.
+    spec:
+        The full captured spec tuple (kind first), carrying constants and
+        geometry decisions.  Opaque to the IR, typed by ``kind``.
+    shape, dtype:
+        Output geometry (dtype as a numpy dtype str, e.g. ``"<f8"``).
+    """
+
+    __slots__ = ("slot", "kind", "parents", "spec", "shape", "dtype")
+
+    def __init__(self, slot: int, kind: str, parents: tuple[int, ...],
+                 spec: tuple, shape: tuple[int, ...], dtype: str) -> None:
+        self.slot = slot
+        self.kind = kind
+        self.parents = parents
+        self.spec = spec
+        self.shape = shape
+        self.dtype = dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"Instr({self.slot}, {self.kind!r}, parents={self.parents}, "
+                f"shape={self.shape})")
+
+
+class PlanIR:
+    """One lowered program: typed instructions plus program wiring.
+
+    Attributes
+    ----------
+    kind:
+        ``"step"`` or ``"output"`` (which replay entry points apply).
+    n_probes:
+        Probe-batch count of the captured trace (``None`` = unbatched).
+    watch:
+        The chained state keys, in sweep order.
+    leaf_slots:
+        ``watch[i]`` feeds ``leaf_slots[i]``.
+    instrs:
+        All instructions in slot order, **including** leaves and dead
+        slots; ``instrs[i].slot == i`` always holds.
+    out_slot:
+        Traced scalar output slot (output kind; ``None`` = untraced).
+    seed_slots:
+        Chain key -> producing slot (step kind; ``None`` = untraced entry).
+    concrete:
+        Next-state assembly rules of the concrete replay (``None`` =
+        concrete replay unsafe), verbatim from ``plan._concrete_rules``.
+    """
+
+    __slots__ = ("kind", "n_probes", "watch", "leaf_slots", "instrs",
+                 "out_slot", "seed_slots", "concrete")
+
+    def __init__(self, kind: str, n_probes: int | None,
+                 watch: tuple[str, ...], leaf_slots: tuple[int, ...],
+                 instrs: list[Instr], out_slot: int | None,
+                 seed_slots: dict[str, int | None],
+                 concrete: list[tuple] | None) -> None:
+        self.kind = kind
+        self.n_probes = n_probes
+        self.watch = watch
+        self.leaf_slots = leaf_slots
+        self.instrs = instrs
+        self.out_slot = out_slot
+        self.seed_slots = seed_slots
+        self.concrete = concrete
+
+    @property
+    def n_slots(self) -> int:
+        """Total slot count (== captured tape length)."""
+        return len(self.instrs)
+
+    def consumers(self) -> list[list[int]]:
+        """Per-slot list of consuming instruction slots (in slot order)."""
+        uses: list[list[int]] = [[] for _ in range(self.n_slots)]
+        for instr in self.instrs:
+            for p in instr.parents:
+                uses[p].append(instr.slot)
+        return uses
+
+
+def lower_program(program, concrete: list[tuple] | None) -> PlanIR:
+    """Lower one agreed :class:`~repro.ad.plan.CaptureProgram` to IR."""
+    instrs = [Instr(slot, node.spec[0], node.parents, node.spec,
+                    node.shape, node.dtype)
+              for slot, node in enumerate(program.nodes)]
+    seed_slots: dict[str, int | None] = {}
+    if program.kind == "step":
+        for key in program.watch:
+            tag, payload = program.out_entries.get(key, ("const", None))
+            seed_slots[key] = payload if tag == "slot" else None
+    ir = PlanIR(program.kind, program.n_probes, tuple(program.watch),
+                tuple(program.leaf_slots), instrs, program.out_slot,
+                seed_slots, concrete)
+    validate_ir(ir)
+    return ir
+
+
+def validate_ir(ir: PlanIR) -> None:
+    """Raise :class:`IRValidationError` on structural inconsistencies.
+
+    Checks exactly the invariants the passes and executors rely on: dense
+    slot numbering, topological parent order (single assignment comes for
+    free from density), leaf integrity, and in-range program wiring.
+    """
+    n = ir.n_slots
+    if ir.kind not in ("step", "output"):
+        raise IRValidationError(f"unknown program kind {ir.kind!r}")
+    if len(ir.watch) != len(ir.leaf_slots):
+        raise IRValidationError(
+            f"{len(ir.watch)} watch keys but {len(ir.leaf_slots)} leaf slots")
+    leaf_set = set(ir.leaf_slots)
+    for i, instr in enumerate(ir.instrs):
+        if instr.slot != i:
+            raise IRValidationError(
+                f"instruction {i} declares slot {instr.slot} "
+                f"(slots must be dense and ordered)")
+        if instr.spec[0] != instr.kind:
+            raise IRValidationError(
+                f"slot {i}: kind {instr.kind!r} disagrees with spec tag "
+                f"{instr.spec[0]!r}")
+        if instr.kind == "leaf":
+            if instr.parents:
+                raise IRValidationError(f"leaf slot {i} has parents")
+        elif i in leaf_set:
+            raise IRValidationError(
+                f"slot {i} is a watched leaf but has kind {instr.kind!r}")
+        for p in instr.parents:
+            if not 0 <= p < i:
+                raise IRValidationError(
+                    f"slot {i} consumes slot {p}, violating topological "
+                    f"order")
+    for slot in ir.leaf_slots:
+        if not 0 <= slot < n:
+            raise IRValidationError(f"leaf slot {slot} out of range")
+    if ir.out_slot is not None and not 0 <= ir.out_slot < n:
+        raise IRValidationError(f"out slot {ir.out_slot} out of range")
+    for key, slot in ir.seed_slots.items():
+        if slot is not None and not 0 <= slot < n:
+            raise IRValidationError(
+                f"seed slot {slot} of chain key {key!r} out of range")
+
+
+# ---------------------------------------------------------------------------
+# serialisation
+# ---------------------------------------------------------------------------
+#
+# Spec payloads hold python scalars, tuples, slices, strings, None and
+# (rarely) ndarrays / numpy scalars.  Everything is encoded into a tagged
+# JSON-compatible tree; ndarrays go through base64 of the raw bytes, which
+# keeps the round trip bitwise (-0.0 and NaN payloads survive).
+
+def _encode(obj: Any) -> Any:
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # NaN/inf are not valid JSON scalars; tag every float so the
+        # decoder can rebuild non-finite and signed-zero values bitwise
+        return {"__t": "f", "v": np.float64(obj).tobytes().hex()}
+    if isinstance(obj, np.ndarray):
+        return {"__t": "nd", "dtype": obj.dtype.str,
+                "shape": list(obj.shape),
+                "data": base64.b64encode(
+                    np.ascontiguousarray(obj).tobytes()).decode("ascii")}
+    if isinstance(obj, np.generic):
+        return {"__t": "ns", "dtype": obj.dtype.str,
+                "data": base64.b64encode(obj.tobytes()).decode("ascii")}
+    if isinstance(obj, tuple):
+        return {"__t": "t", "v": [_encode(x) for x in obj]}
+    if isinstance(obj, list):
+        return {"__t": "l", "v": [_encode(x) for x in obj]}
+    if isinstance(obj, slice):
+        return {"__t": "sl", "v": [_encode(obj.start), _encode(obj.stop),
+                                   _encode(obj.step)]}
+    if isinstance(obj, dict):
+        return {"__t": "d", "v": [[_encode(k), _encode(v)]
+                                  for k, v in obj.items()]}
+    if obj is Ellipsis:
+        # getitem specs use ``...`` for trailing-axis selections
+        return {"__t": "e"}
+    raise TypeError(f"cannot serialise spec payload of type {type(obj)!r}")
+
+
+def _decode(obj: Any) -> Any:
+    if not isinstance(obj, dict):
+        return obj
+    tag = obj["__t"]
+    if tag == "f":
+        return float(np.frombuffer(bytes.fromhex(obj["v"]),
+                                   dtype=np.float64)[0])
+    if tag == "nd":
+        arr = np.frombuffer(base64.b64decode(obj["data"]),
+                            dtype=np.dtype(obj["dtype"]))
+        return arr.reshape(tuple(obj["shape"])).copy()
+    if tag == "ns":
+        return np.frombuffer(base64.b64decode(obj["data"]),
+                             dtype=np.dtype(obj["dtype"]))[0]
+    if tag == "t":
+        return tuple(_decode(x) for x in obj["v"])
+    if tag == "l":
+        return [_decode(x) for x in obj["v"]]
+    if tag == "sl":
+        return slice(*(_decode(x) for x in obj["v"]))
+    if tag == "d":
+        return {_decode(k): _decode(v) for k, v in obj["v"]}
+    if tag == "e":
+        return Ellipsis
+    raise ValueError(f"unknown payload tag {tag!r}")
+
+
+def to_payload(ir: PlanIR) -> dict:
+    """JSON-compatible dict encoding of ``ir`` (bitwise round trip)."""
+    return {
+        "version": 1,
+        "kind": ir.kind,
+        "n_probes": ir.n_probes,
+        "watch": list(ir.watch),
+        "leaf_slots": list(ir.leaf_slots),
+        "out_slot": ir.out_slot,
+        "seed_slots": [[key, slot] for key, slot in ir.seed_slots.items()],
+        "concrete": None if ir.concrete is None
+        else [_encode(tuple(rule)) for rule in ir.concrete],
+        "instrs": [{"kind": instr.kind,
+                    "parents": list(instr.parents),
+                    "spec": _encode(instr.spec),
+                    "shape": list(instr.shape),
+                    "dtype": instr.dtype}
+                   for instr in ir.instrs],
+    }
+
+
+def from_payload(payload: Mapping[str, Any]) -> PlanIR:
+    """Rebuild a validated :class:`PlanIR` from :func:`to_payload` output."""
+    if payload.get("version") != 1:
+        raise ValueError(f"unknown plan IR payload version "
+                         f"{payload.get('version')!r}")
+    instrs = [Instr(slot, rec["kind"], tuple(rec["parents"]),
+                    _decode(rec["spec"]), tuple(rec["shape"]), rec["dtype"])
+              for slot, rec in enumerate(payload["instrs"])]
+    concrete = payload["concrete"]
+    if concrete is not None:
+        concrete = [tuple(_decode(rule)) for rule in concrete]
+    ir = PlanIR(payload["kind"], payload["n_probes"],
+                tuple(payload["watch"]), tuple(payload["leaf_slots"]),
+                instrs, payload["out_slot"],
+                {key: slot for key, slot in payload["seed_slots"]},
+                concrete)
+    validate_ir(ir)
+    return ir

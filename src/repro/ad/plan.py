@@ -90,11 +90,19 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from .exec import (DEFAULT_EXECUTOR, EXECUTORS, _EMITTERS,  # noqa: F401
+                   build_ops, resolve_executor)
+from .ir import lower_program
+from .passes import DEFAULT_PLAN_OPTIMIZE, PLAN_OPTIMIZES, optimize_ir
 from .tensor import ADArray, value_of
 
 __all__ = [
     "TRACE_CACHES",
     "DEFAULT_TRACE_CACHE",
+    "PLAN_OPTIMIZES",
+    "DEFAULT_PLAN_OPTIMIZE",
+    "EXECUTORS",
+    "DEFAULT_EXECUTOR",
     "PlanCache",
     "CompiledPlan",
     "coarse_signature",
@@ -113,7 +121,8 @@ _MAX_PENDING_CAPTURES = 64
 #: compiled fine-tier plans retained per cache entry; each plan owns a
 #: state-sized arena, so an unbounded map would quietly reintroduce the
 #: O(steps x state) residency the snapshot schedules exist to avoid
-#: (oldest-first eviction; evicted iterations simply re-trace)
+#: (LRU eviction, counted in ``PlanCache.fine_evictions``; evicted
+#: iterations simply re-trace and re-learn)
 _MAX_FINE_PLANS = 64
 
 
@@ -412,717 +421,6 @@ def _concrete_rules(p1: CaptureProgram,
 
 
 # ---------------------------------------------------------------------------
-# kernel emitters (compiled per captured node)
-# ---------------------------------------------------------------------------
-#
-# Every emitter receives one node's spec and returns a *kernel*: a closure
-# over the spec's constants mapping the parent slot values to ``(value,
-# vjp)``.  Kernels execute exactly the numpy expressions the corresponding
-# ops-layer primitive executes -- the elementwise/unary/min-max families
-# share their rule tables with :mod:`repro.ad.ops` outright, the rest
-# mirror the primitive line for line (and reuse the ops helpers
-# ``_unbroadcast`` / ``_unbroadcast_keep_probe`` / ``_matmul_grad_*``) --
-# so a replayed value or cotangent is bitwise what a fresh trace produces.
-
-
-def _ops_mod():
-    from . import ops  # deferred: ops imports this module at load time
-
-    return ops
-
-
-def _emit_ewbinary(spec: tuple, node: _NodeRec) -> Callable:
-    ops = _ops_mod()
-    (_, op, a_tr, b_tr, a_const, b_const,
-     a_shape, b_shape, a_lift, b_lift) = spec
-    compute, grad_a, grad_b = ops.EW_BINARY_RULES[op]
-    unbroadcast, restore = ops._unbroadcast, ops._probe_restore
-    a_re = a_tr and tuple(a_lift) != tuple(a_shape)
-    b_re = b_tr and tuple(b_lift) != tuple(b_shape)
-
-    def kernel(vals: list) -> tuple:
-        i = 0
-        if a_tr:
-            av = vals[i].reshape(a_lift) if a_re else vals[i]
-            i += 1
-        else:
-            av = a_const
-        bv = (vals[i].reshape(b_lift) if b_re else vals[i]) if b_tr \
-            else b_const
-        out = compute(av, bv)
-
-        def vjp(g: np.ndarray) -> tuple:
-            grads = []
-            if a_tr:
-                grads.append(restore(unbroadcast(grad_a(g, av, bv), a_lift),
-                                     a_shape))
-            if b_tr:
-                grads.append(restore(unbroadcast(grad_b(g, av, bv), b_lift),
-                                     b_shape))
-            return tuple(grads)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_minmax(spec: tuple, node: _NodeRec) -> Callable:
-    ops = _ops_mod()
-    (_, op, a_tr, b_tr, a_const, b_const,
-     a_shape, b_shape, a_lift, b_lift) = spec
-    compute, mask_of = ops.MINMAX_RULES[op]
-    unbroadcast, restore = ops._unbroadcast, ops._probe_restore
-    a_re = a_tr and tuple(a_lift) != tuple(a_shape)
-    b_re = b_tr and tuple(b_lift) != tuple(b_shape)
-
-    def kernel(vals: list) -> tuple:
-        i = 0
-        if a_tr:
-            av = vals[i].reshape(a_lift) if a_re else vals[i]
-            i += 1
-        else:
-            av = a_const
-        bv = (vals[i].reshape(b_lift) if b_re else vals[i]) if b_tr \
-            else b_const
-        out = compute(av, bv)
-        mask_a = mask_of(av, bv)
-
-        def vjp(g: np.ndarray) -> tuple:
-            grads = []
-            if a_tr:
-                grads.append(restore(unbroadcast(g * mask_a, a_lift),
-                                     a_shape))
-            if b_tr:
-                grads.append(restore(unbroadcast(g * ~mask_a, b_lift),
-                                     b_shape))
-            return tuple(grads)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_unary(spec: tuple, node: _NodeRec) -> Callable:
-    compute, dydx = _ops_mod().UNARY_RULES[spec[1]]
-
-    def kernel(vals: list) -> tuple:
-        av = vals[0]
-        out = compute(av)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (g * dydx(av, out),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_negative(spec: tuple, node: _NodeRec) -> Callable:
-    def kernel(vals: list) -> tuple:
-        return -vals[0], lambda g: (-g,)
-
-    return kernel
-
-
-def _emit_copy(spec: tuple, node: _NodeRec) -> Callable:
-    def kernel(vals: list) -> tuple:
-        return np.array(vals[0], copy=True), lambda g: (g,)
-
-    return kernel
-
-
-def _emit_astype(spec: tuple, node: _NodeRec) -> Callable:
-    _, dtype_str, src_str = spec
-    dtype, src = np.dtype(dtype_str), np.dtype(src_str)
-
-    def kernel(vals: list) -> tuple:
-        out = vals[0].astype(dtype)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (np.asarray(g, dtype=src),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_sum(spec: tuple, node: _NodeRec) -> Callable:
-    _, axis, keepdims, in_shape = spec
-
-    def kernel(vals: list) -> tuple:
-        av = vals[0]
-        out = np.sum(av, axis=axis, keepdims=keepdims)
-
-        def vjp(g: np.ndarray) -> tuple:
-            g = np.asarray(g)
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-            return (np.broadcast_to(g, in_shape).copy(),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_mean(spec: tuple, node: _NodeRec) -> Callable:
-    _, axis, keepdims, count, in_shape = spec
-
-    def kernel(vals: list) -> tuple:
-        av = vals[0]
-        out = np.mean(av, axis=axis, keepdims=keepdims)
-
-        def vjp(g: np.ndarray) -> tuple:
-            g = np.asarray(g) / count
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-            return (np.broadcast_to(g, in_shape).copy(),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_redminmax(spec: tuple, node: _NodeRec) -> Callable:
-    _, op, axis, keepdims, in_shape = spec
-    reduce_fn = np.max if op == "max" else np.min
-
-    def kernel(vals: list) -> tuple:
-        av = vals[0]
-        out = reduce_fn(av, axis=axis, keepdims=keepdims)
-
-        def vjp(g: np.ndarray) -> tuple:
-            g = np.asarray(g)
-            out_k = out
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-                out_k = np.expand_dims(out, axis=axis)
-            mask = (av == out_k)
-            denom = mask.sum(axis=axis, keepdims=True) if axis is not None \
-                else mask.sum()
-            return (mask * g / denom,)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_prod(spec: tuple, node: _NodeRec) -> Callable:
-    _, axis, keepdims, in_shape = spec
-
-    def kernel(vals: list) -> tuple:
-        av = vals[0]
-        out = np.prod(av, axis=axis, keepdims=keepdims)
-
-        def vjp(g: np.ndarray) -> tuple:
-            g = np.asarray(g)
-            out_k = out
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-                out_k = np.expand_dims(out, axis=axis)
-            safe = np.where(av == 0, 1.0, av)
-            return (g * out_k / safe,)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_getitem(spec: tuple, node: _NodeRec) -> Callable:
-    _, idx, advanced, contig, in_shape = spec
-
-    def kernel(vals: list) -> tuple:
-        av = vals[0]
-        out = av[idx]
-        if contig:
-            out = np.ascontiguousarray(out)
-
-        def vjp(g: np.ndarray) -> tuple:
-            grad = np.zeros(in_shape, dtype=np.result_type(g, np.float64))
-            if advanced:
-                np.add.at(grad, idx, g)
-            else:
-                grad[idx] += g
-            return (grad,)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_index_update(spec: tuple, node: _NodeRec) -> Callable:
-    ops = _ops_mod()
-    (_, idx, a_tr, b_tr, a_const, b_const, b_shape, batched,
-     lift_shape) = spec
-    keep_probe = ops._unbroadcast_keep_probe
-    lifted_const = None
-    if not a_tr and lift_shape is not None:
-        lifted_const = np.broadcast_to(a_const, lift_shape)
-
-    def kernel(vals: list) -> tuple:
-        i = 0
-        if a_tr:
-            out = np.array(vals[i], copy=True)
-            i += 1
-        elif lifted_const is not None:
-            out = np.array(lifted_const, copy=True, order="C")
-        else:
-            out = np.array(a_const, copy=True)
-        bv = vals[i] if b_tr else b_const
-        out[idx] = bv
-
-        def vjp(g: np.ndarray) -> tuple:
-            grads = []
-            if a_tr:
-                ga = np.array(g, copy=True)
-                ga[idx] = 0.0
-                grads.append(ga)
-            if b_tr:
-                gb = np.asarray(g)[idx]
-                grads.append(keep_probe(gb, b_shape, batched))
-            return tuple(grads)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_index_add(spec: tuple, node: _NodeRec) -> Callable:
-    ops = _ops_mod()
-    (_, idx, a_tr, b_tr, a_const, b_const, b_shape, batched,
-     lift_shape) = spec
-    keep_probe = ops._unbroadcast_keep_probe
-    lifted_const = None
-    if not a_tr and lift_shape is not None:
-        lifted_const = np.broadcast_to(a_const, lift_shape)
-
-    def kernel(vals: list) -> tuple:
-        i = 0
-        if a_tr:
-            out = np.array(vals[i], copy=True)
-            i += 1
-        elif lifted_const is not None:
-            out = np.array(lifted_const, copy=True, order="C")
-        else:
-            out = np.array(a_const, copy=True)
-        bv = vals[i] if b_tr else b_const
-        np.add.at(out, idx, bv)
-
-        def vjp(g: np.ndarray) -> tuple:
-            grads = []
-            if a_tr:
-                grads.append(np.asarray(g))
-            if b_tr:
-                gb = np.asarray(g)[idx]
-                grads.append(keep_probe(gb, b_shape, batched))
-            return tuple(grads)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_where(spec: tuple, node: _NodeRec) -> Callable:
-    ops = _ops_mod()
-    (_, cv, a_tr, b_tr, a_const, b_const,
-     a_shape, b_shape, a_lift, b_lift) = spec
-    unbroadcast, restore = ops._unbroadcast, ops._probe_restore
-    a_re = a_tr and tuple(a_lift) != tuple(a_shape)
-    b_re = b_tr and tuple(b_lift) != tuple(b_shape)
-
-    def kernel(vals: list) -> tuple:
-        i = 0
-        if a_tr:
-            av = vals[i].reshape(a_lift) if a_re else vals[i]
-            i += 1
-        else:
-            av = a_const
-        bv = (vals[i].reshape(b_lift) if b_re else vals[i]) if b_tr \
-            else b_const
-        out = np.where(cv, av, bv)
-
-        def vjp(g: np.ndarray) -> tuple:
-            grads = []
-            if a_tr:
-                grads.append(restore(unbroadcast(g * cv, a_lift), a_shape))
-            if b_tr:
-                grads.append(restore(unbroadcast(g * (~cv), b_lift),
-                                     b_shape))
-            return tuple(grads)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_matmul(spec: tuple, node: _NodeRec) -> Callable:
-    ops = _ops_mod()
-    _, a_tr, b_tr, a_const, b_const = spec
-    grad_a, grad_b = ops._matmul_grad_a, ops._matmul_grad_b
-
-    def kernel(vals: list) -> tuple:
-        i = 0
-        if a_tr:
-            av = vals[i]
-            i += 1
-        else:
-            av = a_const
-        bv = vals[i] if b_tr else b_const
-        out = np.matmul(av, bv)
-
-        def vjp(g: np.ndarray) -> tuple:
-            g = np.asarray(g)
-            grads = []
-            if a_tr:
-                grads.append(grad_a(g, av, bv))
-            if b_tr:
-                grads.append(grad_b(g, av, bv))
-            return tuple(grads)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_matmul_probe(spec: tuple, node: _NodeRec) -> Callable:
-    ops = _ops_mod()
-    _, a_tr, b_tr, a_const, b_const, la, lb = spec
-    keep_probe = ops._unbroadcast_keep_probe
-
-    def kernel(vals: list) -> tuple:
-        i = 0
-        if a_tr:
-            av = vals[i]
-            i += 1
-        else:
-            av = a_const
-        bv = vals[i] if b_tr else b_const
-        av_m = av[..., None, :] if la == 1 else av
-        bv_m = bv[..., :, None] if lb == 1 else bv
-        out_m = np.matmul(av_m, bv_m)
-        if la == 1 and lb == 1:
-            out = out_m[..., 0, 0]
-        elif la == 1:
-            out = out_m[..., 0, :]
-        elif lb == 1:
-            out = out_m[..., :, 0]
-        else:
-            out = out_m
-
-        def vjp(g: np.ndarray) -> tuple:
-            g = np.asarray(g)
-            if la == 1 and lb == 1:
-                g_m = g[..., None, None]
-            elif la == 1:
-                g_m = g[..., None, :]
-            elif lb == 1:
-                g_m = g[..., :, None]
-            else:
-                g_m = g
-            grads = []
-            if a_tr:
-                ga = np.matmul(g_m, np.swapaxes(bv_m, -1, -2))
-                grads.append(keep_probe(ga, av_m.shape,
-                                        True).reshape(av.shape))
-            if b_tr:
-                gb = np.matmul(np.swapaxes(av_m, -1, -2), g_m)
-                grads.append(keep_probe(gb, bv_m.shape,
-                                        True).reshape(bv.shape))
-            return tuple(grads)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_matmul_multirhs(spec: tuple, node: _NodeRec) -> Callable:
-    _, a_const = spec
-    a_t = np.swapaxes(a_const, -1, -2)
-
-    def kernel(vals: list) -> tuple:
-        out = np.matmul(vals[0], a_t)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (np.matmul(np.asarray(g), a_const),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_reshape(spec: tuple, node: _NodeRec) -> Callable:
-    _, out_shape, in_shape = spec
-
-    def kernel(vals: list) -> tuple:
-        out = np.reshape(vals[0], out_shape)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (np.reshape(g, in_shape),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_transpose(spec: tuple, node: _NodeRec) -> Callable:
-    _, axes, inv_axes = spec
-
-    def kernel(vals: list) -> tuple:
-        out = np.transpose(vals[0], axes)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (np.transpose(g, inv_axes),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_swapaxes(spec: tuple, node: _NodeRec) -> Callable:
-    _, ax1, ax2 = spec
-
-    def kernel(vals: list) -> tuple:
-        out = np.swapaxes(vals[0], ax1, ax2)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (np.swapaxes(g, ax1, ax2),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _moveaxis_order(src: Any, dst: Any, ndim: int) -> tuple[int, ...]:
-    """The axis permutation ``np.moveaxis(a, src, dst)`` applies.
-
-    Mirrors numpy's own implementation (normalize, remove sources, insert
-    at destinations in ascending order); precomputing it lets the compiled
-    kernel run one C-level ``transpose`` instead of re-normalising the
-    axes on every replay -- same view, same bits.
-    """
-    src_t = tuple(ax % ndim for ax in
-                  (src if isinstance(src, (tuple, list)) else (src,)))
-    dst_t = tuple(ax % ndim for ax in
-                  (dst if isinstance(dst, (tuple, list)) else (dst,)))
-    order = [ax for ax in range(ndim) if ax not in src_t]
-    for d, s in sorted(zip(dst_t, src_t)):
-        order.insert(d, s)
-    return tuple(order)
-
-
-def _emit_moveaxis(spec: tuple, node: _NodeRec) -> Callable:
-    _, src, dst = spec
-    ndim = len(node.shape)
-    fwd = _moveaxis_order(src, dst, ndim)
-    rev = _moveaxis_order(dst, src, ndim)
-
-    def kernel(vals: list) -> tuple:
-        out = vals[0].transpose(fwd)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (np.asarray(g).transpose(rev),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_broadcast_to(spec: tuple, node: _NodeRec) -> Callable:
-    ops = _ops_mod()
-    _, out_shape, in_shape = spec
-    unbroadcast = ops._unbroadcast
-
-    def kernel(vals: list) -> tuple:
-        out = np.array(np.broadcast_to(vals[0], out_shape))
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (unbroadcast(g, in_shape),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_squeeze(spec: tuple, node: _NodeRec) -> Callable:
-    _, axis, in_shape = spec
-
-    def kernel(vals: list) -> tuple:
-        out = np.squeeze(vals[0], axis=axis)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (np.reshape(g, in_shape),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_expand_dims(spec: tuple, node: _NodeRec) -> Callable:
-    _, axis, in_shape = spec
-
-    def kernel(vals: list) -> tuple:
-        out = np.expand_dims(vals[0], axis)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (np.reshape(g, in_shape),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_flip(spec: tuple, node: _NodeRec) -> Callable:
-    _, axis = spec
-
-    def kernel(vals: list) -> tuple:
-        out = np.flip(vals[0], axis=axis)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (np.flip(g, axis=axis),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_roll(spec: tuple, node: _NodeRec) -> Callable:
-    _, shift, axis = spec
-    neg = -np.asarray(shift) if np.ndim(shift) else -shift
-
-    def kernel(vals: list) -> tuple:
-        out = np.roll(vals[0], shift, axis=axis)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (np.roll(g, neg, axis=axis),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_roll_flat(spec: tuple, node: _NodeRec) -> Callable:
-    _, shift, flat_shape, in_shape = spec
-    neg = -np.asarray(shift) if np.ndim(shift) else -shift
-
-    def kernel(vals: list) -> tuple:
-        av = vals[0]
-        out = np.roll(av.reshape(flat_shape), shift, axis=1).reshape(in_shape)
-
-        def vjp(g: np.ndarray) -> tuple:
-            g2 = np.asarray(g).reshape(flat_shape)
-            return (np.roll(g2, neg, axis=1).reshape(in_shape),)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_pad_zero(spec: tuple, node: _NodeRec) -> Callable:
-    _, norm_pad, in_shape = spec
-    pad = np.asarray(norm_pad)
-    index = tuple(slice(before, before + size)
-                  for (before, _after), size in zip(pad, in_shape))
-
-    def kernel(vals: list) -> tuple:
-        out = np.pad(vals[0], pad, mode="constant")
-
-        def vjp(g: np.ndarray) -> tuple:
-            return (g[index],)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_concat(spec: tuple, node: _NodeRec) -> Callable:
-    _, axis, parts, offsets = spec
-    traced_spans = [(start, stop)
-                    for (tag, payload), start, stop
-                    in zip(parts, offsets[:-1], offsets[1:]) if tag == "t"]
-
-    def kernel(vals: list) -> tuple:
-        seq = []
-        i = 0
-        for tag, payload in parts:
-            if tag == "t":
-                seq.append(vals[i])
-                i += 1
-            else:
-                seq.append(payload)
-        out = np.concatenate(seq, axis=axis)
-
-        def vjp(g: np.ndarray) -> tuple:
-            grads = []
-            for start, stop in traced_spans:
-                index = [slice(None)] * g.ndim
-                index[axis] = slice(start, stop)
-                grads.append(g[tuple(index)])
-            return tuple(grads)
-
-        return out, vjp
-
-    return kernel
-
-
-def _emit_stack(spec: tuple, node: _NodeRec) -> Callable:
-    _, axis, parts = spec
-    traced_pos = [i for i, (tag, _payload) in enumerate(parts)
-                  if tag == "t"]
-
-    def kernel(vals: list) -> tuple:
-        seq = []
-        i = 0
-        for tag, payload in parts:
-            if tag == "t":
-                seq.append(vals[i])
-                i += 1
-            else:
-                seq.append(payload)
-        out = np.stack(seq, axis=axis)
-
-        def vjp(g: np.ndarray) -> tuple:
-            return tuple(np.take(g, i, axis=axis) for i in traced_pos)
-
-        return out, vjp
-
-    return kernel
-
-
-#: spec kind -> emitter
-_EMITTERS: dict[str, Callable] = {
-    "ewbinary": _emit_ewbinary,
-    "minmax": _emit_minmax,
-    "unary": _emit_unary,
-    "negative": _emit_negative,
-    "copy": _emit_copy,
-    "astype": _emit_astype,
-    "sum": _emit_sum,
-    "mean": _emit_mean,
-    "redminmax": _emit_redminmax,
-    "prod": _emit_prod,
-    "getitem": _emit_getitem,
-    "index_update": _emit_index_update,
-    "index_add": _emit_index_add,
-    "where": _emit_where,
-    "matmul": _emit_matmul,
-    "matmul_probe": _emit_matmul_probe,
-    "matmul_multirhs": _emit_matmul_multirhs,
-    "reshape": _emit_reshape,
-    "transpose": _emit_transpose,
-    "swapaxes": _emit_swapaxes,
-    "moveaxis": _emit_moveaxis,
-    "broadcast_to": _emit_broadcast_to,
-    "squeeze": _emit_squeeze,
-    "expand_dims": _emit_expand_dims,
-    "flip": _emit_flip,
-    "roll": _emit_roll,
-    "roll_flat": _emit_roll_flat,
-    "pad_zero": _emit_pad_zero,
-    "concat": _emit_concat,
-    "stack": _emit_stack,
-}
-
-
-# ---------------------------------------------------------------------------
 # compiled plans
 # ---------------------------------------------------------------------------
 
@@ -1141,39 +439,46 @@ class CompiledPlan:
     """
 
     def __init__(self, program: CaptureProgram,
-                 concrete: list[tuple] | None) -> None:
+                 concrete: list[tuple] | None,
+                 optimize: str = DEFAULT_PLAN_OPTIMIZE,
+                 executor: str = DEFAULT_EXECUTOR) -> None:
         self.kind = program.kind
         self.watch = program.watch
-        self.n_slots = len(program.nodes)
-        self._shapes = [node.shape for node in program.nodes]
-        self._parents = [node.parents for node in program.nodes]
-        #: per-slot capture specs, kept as plain data so derived analyses
-        #: (the activity transfer of :mod:`repro.ad.activity`) can read op
-        #: identity, operand roles and index expressions without a tape
-        self._specs = [node.spec for node in program.nodes]
+        #: the typed, validated lowering of the captured program; derived
+        #: analyses (the activity transfer of :mod:`repro.ad.activity`)
+        #: walk ``ir.instrs`` instead of a tape
+        self.ir = lower_program(program, concrete)
+        self.n_slots = self.ir.n_slots
+        self._shapes = [instr.shape for instr in self.ir.instrs]
+        self._parents = [instr.parents for instr in self.ir.instrs]
         #: lazily derived activity transfer (see activity.plan_transfer)
         self._activity_transfer = None
-        self._leaf_slots = program.leaf_slots
-        self._out_slot = program.out_slot
+        self._leaf_slots = self.ir.leaf_slots
+        self._out_slot = self.ir.out_slot
         #: chain key -> producing slot (``None`` = untraced next-state entry)
-        self._seed_slots = {}
-        if program.kind == "step":
-            for key in program.watch:
-                tag, payload = program.out_entries.get(key, ("const", None))
-                self._seed_slots[key] = payload if tag == "slot" else None
+        self._seed_slots = dict(self.ir.seed_slots)
         self._concrete = concrete
         #: gradient-buffer footprint estimate, same meter as ``Tape.nbytes``
         self.nbytes_estimate = sum(
             int(np.prod(shape, dtype=np.int64)) * 8 for shape in self._shapes)
 
-        self._ops: list[tuple[int, tuple[int, ...], Callable]] = []
-        for slot, node in enumerate(program.nodes):
-            if node.spec[0] == "leaf":
-                continue
-            emitter = _EMITTERS.get(node.spec[0])
-            if emitter is None:
-                raise KeyError(f"no emitter for spec kind {node.spec[0]!r}")
-            self._ops.append((slot, node.parents, emitter(node.spec, node)))
+        layout = optimize_ir(self.ir, optimize)
+        self._ops, self.executor_kind = build_ops(self.ir, layout, executor)
+        #: pass telemetry (folded into PlanCache / SweepStats maxima)
+        self.fused_ops = layout.fused_ops
+        self.eliminated_slots = layout.eliminated_slots
+        self.nbytes_estimate_packed = layout.nbytes_packed
+        #: per-slot parent tuples as the reverse sweep sees them: a fused
+        #: group's last slot owns the group's external parents (duplicates
+        #: included, in the fused VJP's emission order)
+        self._sweep_parents = list(self._parents)
+        for slot, parents, _kernel in self._ops:
+            self._sweep_parents[slot] = parents
+        #: executable slots, descending: the only slots the reverse sweep
+        #: must visit (leaves keep their cotangents stashed for collection;
+        #: dead slots and fused interiors never receive one)
+        self._sweep_order = [slot for slot, _parents, _kernel
+                             in reversed(self._ops)]
 
         # the reusable arena: slot tables + preallocated leaf buffers
         self._values: list = [None] * self.n_slots
@@ -1181,6 +486,17 @@ class CompiledPlan:
         self._leaf_bufs = {slot: np.empty(self._shapes[slot],
                                           dtype=np.float64)
                            for slot in self._leaf_slots}
+        #: optimised plans also seed chained cotangents through retained
+        #: buffers.  A seed buffer may flow down the sweep unowned (every
+        #: accumulation onto it allocates; ``_collect`` copies), so reuse
+        #: across replays is safe -- except when the seed slot *is* a leaf
+        #: slot (identity chain entry): its owned seed would be handed to
+        #: the caller, so those keep the per-replay copy.
+        leaf_set = set(self._leaf_slots)
+        self._seed_bufs = {} if not layout.optimized else {
+            slot: np.empty(self._shapes[slot], dtype=np.float64)
+            for slot in set(self._seed_slots.values())
+            if slot is not None and slot not in leaf_set}
 
     @property
     def concrete_ok(self) -> bool:
@@ -1208,14 +524,16 @@ class CompiledPlan:
 
     # -- reverse execution (mirrors repro.ad.reverse bit for bit) --------
     def _sweep(self, grads: list, owned: bytearray, start: int) -> None:
-        parents_of, vjps = self._parents, self._vjps
-        for idx in range(start, -1, -1):
+        parents_of, vjps = self._sweep_parents, self._vjps
+        for idx in self._sweep_order:
+            if idx > start:
+                continue
             g = grads[idx]
             if g is None:
                 continue
             parents = parents_of[idx]
             if not parents:
-                continue  # leaf: gradient stays stashed for collection
+                continue
             grads[idx] = None
             owned[idx] = 0
             for p, pg in zip(parents, vjps[idx](g)):
@@ -1254,18 +572,29 @@ class CompiledPlan:
         grads: list = [None] * self.n_slots
         owned = bytearray(self.n_slots)
         start = -1
+        seed_bufs = self._seed_bufs
         for key in self.watch:
             slot = self._seed_slots[key]
             if slot is None:
                 continue  # untraced next-state entry: its cotangent dies
-            seed = np.broadcast_to(
-                np.asarray(cotangents[key], dtype=np.float64),
-                self._shapes[slot])
+            seed = np.asarray(cotangents[key], dtype=np.float64)
             if grads[slot] is not None:
-                grads[slot] = grads[slot] + seed
+                # a second chained key feeding the same slot: the first
+                # contribution is owned by now, so accumulate in place
+                # (ufunc broadcasting matches the broadcast_to the
+                # out-of-place path applied)
+                grads[slot] += seed
             else:
-                grads[slot] = np.array(seed, dtype=np.float64, copy=True)
-            owned[slot] = 1
+                buf = seed_bufs.get(slot)
+                if buf is not None:
+                    np.copyto(buf, seed)   # broadcast-copy, exact bits
+                    grads[slot] = buf
+                else:
+                    if seed.shape != self._shapes[slot]:
+                        seed = np.broadcast_to(seed, self._shapes[slot])
+                    grads[slot] = np.array(seed, dtype=np.float64,
+                                           copy=True)
+                owned[slot] = 1
             if slot > start:
                 start = slot
         self._sweep(grads, owned, start)
@@ -1346,7 +675,17 @@ class PlanCache:
     and probe-batched plans never collide.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, plan_optimize: str = DEFAULT_PLAN_OPTIMIZE,
+                 executor: str = DEFAULT_EXECUTOR) -> None:
+        if plan_optimize not in PLAN_OPTIMIZES:
+            raise ValueError(f"unknown plan_optimize {plan_optimize!r}; "
+                             f"choose from {PLAN_OPTIMIZES}")
+        self._plan_optimize = plan_optimize
+        self._executor = executor
+        #: the executor that will actually serve this cache's plans
+        #: (``"interp"`` when a numba request silently degraded); raises
+        #: for unknown executor names
+        self.executor_kind = resolve_executor(executor)
         self._entries: dict[tuple, _Entry] = {}
         #: replayed traced segments
         self.hits = 0
@@ -1358,10 +697,18 @@ class PlanCache:
         self.rejects = 0
         #: concrete forward steps served by a plan instead of ``bench.run``
         self.forward_replays = 0
+        #: fine-tier plans evicted by the LRU bound (_MAX_FINE_PLANS)
+        self.fine_evictions = 0
         #: largest slot count of any compiled plan's arena
         self.arena_slots = 0
         #: largest gradient-buffer footprint estimate of any compiled plan
         self.arena_nbytes = 0
+        #: largest liveness-packed footprint estimate of any compiled plan
+        self.arena_nbytes_packed = 0
+        #: most primitives any compiled plan runs inside fused kernels
+        self.fused_ops = 0
+        #: most dead instructions eliminated from any compiled plan
+        self.eliminated_slots = 0
 
     def planner(self, bench, kind: str, watch: Sequence[str],
                 n_probes: int | None = None) -> "Planner":
@@ -1372,7 +719,8 @@ class PlanCache:
         """Snapshot of the additive telemetry counters (for delta folds)."""
         return {"hits": self.hits, "misses": self.misses,
                 "compiles": self.compiles, "rejects": self.rejects,
-                "forward_replays": self.forward_replays}
+                "forward_replays": self.forward_replays,
+                "fine_evictions": self.fine_evictions}
 
     def _entry(self, key: tuple) -> _Entry:
         entry = self._entries.get(key)
@@ -1384,7 +732,9 @@ class PlanCache:
     def _compiled(self, entry: _Entry, program: CaptureProgram,
                   other: CaptureProgram) -> CompiledPlan | None:
         try:
-            plan = CompiledPlan(program, _concrete_rules(program, other))
+            plan = CompiledPlan(program, _concrete_rules(program, other),
+                                optimize=self._plan_optimize,
+                                executor=self._executor)
         except Exception as exc:  # noqa: BLE001 - compile must never fail a run
             entry.rejected = True
             entry.reason = f"compile failed: {type(exc).__name__}: {exc}"
@@ -1393,6 +743,11 @@ class PlanCache:
         self.compiles += 1
         self.arena_slots = max(self.arena_slots, plan.n_slots)
         self.arena_nbytes = max(self.arena_nbytes, plan.nbytes_estimate)
+        self.arena_nbytes_packed = max(self.arena_nbytes_packed,
+                                       plan.nbytes_estimate_packed)
+        self.fused_ops = max(self.fused_ops, plan.fused_ops)
+        self.eliminated_slots = max(self.eliminated_slots,
+                                    plan.eliminated_slots)
         return plan
 
     def learn(self, key: tuple, fine: tuple,
@@ -1424,8 +779,12 @@ class PlanCache:
             if programs_equal(prev, program):
                 plan = self._compiled(entry, program, prev)
                 if plan is not None:
+                    # LRU bound: replay hits refresh a plan's recency
+                    # (_lookup / advance move it to the dict's end), so the
+                    # front is always the least recently used plan
                     while len(entry.fine_plans) >= _MAX_FINE_PLANS:
                         entry.fine_plans.pop(next(iter(entry.fine_plans)))
+                        self.fine_evictions += 1
                     entry.fine_plans[fine] = plan
                     del entry.captures[fine]
             else:
@@ -1461,7 +820,11 @@ class Planner:
         if entry.coarse_plan is not None:
             return key, entry, None, entry.coarse_plan
         fine = fine_signature(state)
-        return key, entry, fine, entry.fine_plans.get(fine)
+        plan = entry.fine_plans.get(fine)
+        if plan is not None:
+            # refresh LRU recency: re-insert at the dict's end
+            entry.fine_plans[fine] = entry.fine_plans.pop(fine)
+        return key, entry, fine, plan
 
     def _poison(self, key: tuple, entry: _Entry, exc: Exception) -> None:
         entry.rejected = True
@@ -1664,7 +1027,11 @@ class Planner:
         if plan is None:
             if not entry.fine_plans:
                 return self.bench.run(state, 1)
-            plan = entry.fine_plans.get(fine_signature(state))
+            fine = fine_signature(state)
+            plan = entry.fine_plans.get(fine)
+            if plan is not None:
+                # refresh LRU recency (see _lookup)
+                entry.fine_plans[fine] = entry.fine_plans.pop(fine)
         if plan is not None and plan.concrete_ok:
             self.cache.forward_replays += 1
             return plan.replay_concrete(state)

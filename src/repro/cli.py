@@ -130,6 +130,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "every segment -- the escape hatch for custom "
                              "kernels whose traced structure depends on "
                              "state values")
+    parser.add_argument("--plan-optimize", default="fuse",
+                        choices=("fuse", "off"),
+                        help="optimisation level of the compiled replay "
+                             "plans: 'fuse' (default) fuses elementwise/"
+                             "unary chains, eliminates dead slots and "
+                             "packs the value arena by liveness; 'off' "
+                             "replays the raw instruction list one op at "
+                             "a time (bitwise-identical masks either way; "
+                             "requires --sweep segmented with "
+                             "--trace-cache plan)")
+    parser.add_argument("--executor", default="interp",
+                        choices=("interp", "numba"),
+                        help="backend that runs the lowered plans: "
+                             "'interp' (default) interprets the "
+                             "instruction stream with preallocated "
+                             "buffers; 'numba' JIT-compiles eligible "
+                             "fused chains when numba is importable and "
+                             "silently falls back to the interpreter "
+                             "otherwise (requires --sweep segmented with "
+                             "--trace-cache plan)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the per-benchmark "
                              "analyses (1 = in-process, the default)")
@@ -205,7 +225,9 @@ def _make_runner(args: argparse.Namespace,
                             snapshot_schedule=args.snapshot_schedule,
                             snapshot_budget=args.snapshot_budget,
                             spill_dir=args.spill_dir,
-                            trace_cache=args.trace_cache)
+                            trace_cache=args.trace_cache,
+                            plan_optimize=args.plan_optimize,
+                            executor=args.executor)
 
 
 def _run_analyze(args: argparse.Namespace) -> int:
@@ -246,6 +268,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--spill-dir requires --snapshot-schedule spill")
     if args.trace_cache != "plan" and args.sweep != "segmented":
         parser.error("--trace-cache off only affects --sweep segmented")
+    if args.plan_optimize != "fuse" and (args.sweep != "segmented"
+                                         or args.trace_cache != "plan"):
+        parser.error("--plan-optimize off requires --sweep segmented "
+                     "with --trace-cache plan")
+    if args.executor != "interp" and (args.sweep != "segmented"
+                                      or args.trace_cache != "plan"):
+        parser.error("--executor numba requires --sweep segmented "
+                     "with --trace-cache plan")
     if args.method == "activity" and args.probes != 1:
         parser.error("--method activity is value-independent; "
                      "--probes must be 1")

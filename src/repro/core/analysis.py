@@ -18,7 +18,8 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from repro.core.criticality import (DEFAULT_PROBE_SCALE,
+from repro.core.criticality import (DEFAULT_EXECUTOR, DEFAULT_PLAN_OPTIMIZE,
+                                    DEFAULT_PROBE_SCALE,
                                     DEFAULT_SNAPSHOT_SCHEDULE,
                                     DEFAULT_TRACE_CACHE,
                                     CriticalityAnalyzer, VariableCriticality)
@@ -178,7 +179,9 @@ def scrutinize(bench, step: int | None = None,
                snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
                snapshot_budget: int | None = None,
                spill_dir: str | None = None,
-               trace_cache: str = DEFAULT_TRACE_CACHE) -> ScrutinyResult:
+               trace_cache: str = DEFAULT_TRACE_CACHE,
+               plan_optimize: str = DEFAULT_PLAN_OPTIMIZE,
+               executor: str = DEFAULT_EXECUTOR) -> ScrutinyResult:
     """Run the full element-level analysis of one benchmark.
 
     Parameters
@@ -194,7 +197,8 @@ def scrutinize(bench, step: int | None = None,
     state:
         Explicit checkpoint state; overrides ``step`` when given.
     method, n_probes, steps, rng, sweep, probe_scale, probe_batching, \
-    snapshot_schedule, snapshot_budget, spill_dir, trace_cache:
+    snapshot_schedule, snapshot_budget, spill_dir, trace_cache, \
+    plan_optimize, executor:
         Forwarded to :class:`~repro.core.criticality.CriticalityAnalyzer`;
         ``sweep="segmented"`` bounds the AD tape memory to one main-loop
         iteration (bitwise-identical masks), ``probe_batching="batched"``
@@ -207,7 +211,13 @@ def scrutinize(bench, step: int | None = None,
         bitwise-identical masks.  ``trace_cache="plan"`` (the default)
         compiles each segmented step structure to a replay plan and
         replays it instead of re-tracing (:mod:`repro.ad.plan`);
-        ``"off"`` re-traces every segment.  The sweep knobs apply to the
+        ``"off"`` re-traces every segment.  ``plan_optimize`` picks the
+        plan lowering level (``"fuse"`` runs the pass pipeline of
+        :mod:`repro.ad.passes`, ``"off"`` replays the raw instruction
+        list) and ``executor`` the plan backend (``"interp"`` or
+        ``"numba"`` with silent interpreter fallback); both require
+        ``sweep="segmented"`` with ``trace_cache="plan"`` and both
+        preserve bitwise-identical masks.  The sweep knobs apply to the
         ``"ad"`` *and* ``"activity"`` methods: a segmented activity
         analysis chains per-iteration read masks across boundaries
         (:func:`repro.ad.activity.segmented_read_masks`) with the same
@@ -235,7 +245,9 @@ def scrutinize(bench, step: int | None = None,
                                    snapshot_schedule=snapshot_schedule,
                                    snapshot_budget=snapshot_budget,
                                    spill_dir=spill_dir,
-                                   trace_cache=trace_cache)
+                                   trace_cache=trace_cache,
+                                   plan_optimize=plan_optimize,
+                                   executor=executor)
     variables = analyzer.analyze(bench, state=state, step=analysis_step)
     return ScrutinyResult(
         benchmark=bench.name,

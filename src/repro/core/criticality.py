@@ -60,7 +60,9 @@ import numpy as np
 
 from repro.ad import activity as activity_mod
 from repro.ad import probes as probes_mod
-from repro.ad.plan import DEFAULT_TRACE_CACHE, TRACE_CACHES, PlanCache
+from repro.ad.plan import (DEFAULT_EXECUTOR, DEFAULT_PLAN_OPTIMIZE,
+                           DEFAULT_TRACE_CACHE, EXECUTORS, PLAN_OPTIMIZES,
+                           TRACE_CACHES, PlanCache)
 from repro.ad.reverse import backward
 from repro.ad.schedule import DEFAULT_SNAPSHOT_SCHEDULE, SNAPSHOT_SCHEDULES
 from repro.ad.segmented import (cast_gradient, gradient_dtype,
@@ -283,6 +285,22 @@ class CriticalityAnalyzer:
         plans learned by earlier probes.  Applies to the "ad" and
         "activity" methods with ``sweep="segmented"``; ignored by the
         monolithic sweep and the "tangent"/"rule" methods.
+    plan_optimize:
+        Optimisation level applied when a recorded step is lowered to a
+        replay plan (:mod:`repro.ad.passes`): ``"fuse"`` (default) runs
+        the full pass pipeline -- elementwise/unary chain fusion,
+        dead-slot elimination, liveness-driven arena packing -- and
+        ``"off"`` replays the raw instruction list one op at a time.
+        Both produce bitwise-identical gradients and masks (pinned in
+        ``tests/ad/test_passes.py``); requires ``sweep="segmented"`` and
+        ``trace_cache="plan"``.
+    executor:
+        Backend that runs the lowered plan (:mod:`repro.ad.exec`):
+        ``"interp"`` (default) interprets the instruction stream with
+        preallocated output buffers, ``"numba"`` JIT-compiles eligible
+        fused chains when numba is importable and silently falls back to
+        the interpreter otherwise.  Requires ``sweep="segmented"`` and
+        ``trace_cache="plan"``.
     """
 
     def __init__(self, method: str = "ad", n_probes: int = 1,
@@ -294,7 +312,9 @@ class CriticalityAnalyzer:
                  snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
                  snapshot_budget: int | None = None,
                  spill_dir: str | None = None,
-                 trace_cache: str = DEFAULT_TRACE_CACHE) -> None:
+                 trace_cache: str = DEFAULT_TRACE_CACHE,
+                 plan_optimize: str = DEFAULT_PLAN_OPTIMIZE,
+                 executor: str = DEFAULT_EXECUTOR) -> None:
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
         if n_probes < 1:
@@ -324,6 +344,24 @@ class CriticalityAnalyzer:
             # would do nothing while still forking the result-cache key
             raise ValueError("trace_cache='off' only affects "
                              "sweep='segmented'")
+        if plan_optimize not in PLAN_OPTIMIZES:
+            raise ValueError(f"unknown plan_optimize {plan_optimize!r}; "
+                             f"choose from {PLAN_OPTIMIZES}")
+        if executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; "
+                             f"choose from {EXECUTORS}")
+        # plan_optimize/executor configure the compiled replay plans, which
+        # only exist under the segmented sweep's "plan" trace cache; a
+        # non-default value anywhere else would be silently ignored while
+        # still forking the result-cache key
+        if plan_optimize != DEFAULT_PLAN_OPTIMIZE and (
+                sweep != "segmented" or trace_cache != "plan"):
+            raise ValueError("plan_optimize='off' requires sweep='segmented' "
+                             "and trace_cache='plan'")
+        if executor != DEFAULT_EXECUTOR and (
+                sweep != "segmented" or trace_cache != "plan"):
+            raise ValueError(f"executor={executor!r} requires "
+                             "sweep='segmented' and trace_cache='plan'")
         # inapplicable knobs would be silently ignored by the sweep while
         # still forking the result-cache key (the CLI repeats these checks
         # for a friendlier argparse error); every entry point -- scrutinize,
@@ -351,6 +389,8 @@ class CriticalityAnalyzer:
             else int(snapshot_budget)
         self.spill_dir = spill_dir
         self.trace_cache = trace_cache
+        self.plan_optimize = plan_optimize
+        self.executor = executor
 
     # ------------------------------------------------------------------
     # public API
@@ -460,8 +500,10 @@ class CriticalityAnalyzer:
         # one replay-plan cache per analysis: every segmented sweep of this
         # analysis (all probes, batched or per-probe) shares the compiled
         # plans, which is where trace-once/replay-many pays off
-        plan_cache = PlanCache() if (self.trace_cache == "plan"
-                                     and self.sweep == "segmented") else None
+        plan_cache = PlanCache(plan_optimize=self.plan_optimize,
+                               executor=self.executor) \
+            if (self.trace_cache == "plan"
+                and self.sweep == "segmented") else None
 
         stacked = None
         if self.probe_batching == "batched" and len(states) > 1:
@@ -644,7 +686,9 @@ class CriticalityAnalyzer:
             # (or compiled transfer) at a time, chained across boundaries;
             # a fresh per-analysis plan cache keeps repeated analyses of
             # one analyzer honest about what each call costs
-            plan_cache = PlanCache() if self.trace_cache == "plan" else None
+            plan_cache = PlanCache(plan_optimize=self.plan_optimize,
+                                   executor=self.executor) \
+                if self.trace_cache == "plan" else None
             activity = activity_mod.segmented_read_masks(
                 bench, state, watch=list(watch), steps=self.steps,
                 snapshot_schedule=self.snapshot_schedule,

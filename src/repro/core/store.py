@@ -24,10 +24,11 @@ encoding of the key parameters -- content-addressed, so two stores built
 with the same package version agree on addresses and a parameter change
 (method, n_probes, version bump, ...) can never alias an old entry.  The
 sweep knobs (``sweep``, ``snapshot_schedule``/``snapshot_budget``,
-``trace_cache``) key *every* method they apply to -- since repro 1.6.0
-that includes ``method="activity"``, whose entries from earlier versions
-(when those knobs were silently ignored) are invalidated by the version
-field rather than aliased.
+``trace_cache``, and since repro 1.7.0 ``plan_optimize``/``executor``)
+key *every* method they apply to -- since repro 1.6.0 that includes
+``method="activity"``, whose entries from earlier versions (when those
+knobs were silently ignored) are invalidated by the version field rather
+than aliased.
 
 The ``.npz`` member names are namespaced:
 
@@ -57,7 +58,8 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.core.analysis import ScrutinyResult
-from repro.core.criticality import (DEFAULT_PROBE_SCALE,
+from repro.core.criticality import (DEFAULT_EXECUTOR, DEFAULT_PLAN_OPTIMIZE,
+                                    DEFAULT_PROBE_SCALE,
                                     DEFAULT_SNAPSHOT_SCHEDULE,
                                     DEFAULT_TRACE_CACHE,
                                     VariableCriticality)
@@ -85,6 +87,8 @@ def cache_key(*, benchmark: str, problem_class: str, method: str,
               snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
               snapshot_budget: int | None = None,
               trace_cache: str = DEFAULT_TRACE_CACHE,
+              plan_optimize: str = DEFAULT_PLAN_OPTIMIZE,
+              executor: str = DEFAULT_EXECUTOR,
               version: str | None = None) -> str:
     """Content address of one analysis configuration.
 
@@ -113,6 +117,8 @@ def cache_key(*, benchmark: str, problem_class: str, method: str,
         "snapshot_budget": None if snapshot_budget is None
         else int(snapshot_budget),
         "trace_cache": str(trace_cache),
+        "plan_optimize": str(plan_optimize),
+        "executor": str(executor),
         "step": None if step is None else int(step),
         "steps": None if steps is None else int(steps),
         "sweep": str(sweep),
@@ -182,7 +188,9 @@ class ResultStore:
             probe_batching: str = "batched",
             snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
             snapshot_budget: int | None = None,
-            trace_cache: str = DEFAULT_TRACE_CACHE) -> str:
+            trace_cache: str = DEFAULT_TRACE_CACHE,
+            plan_optimize: str = DEFAULT_PLAN_OPTIMIZE,
+            executor: str = DEFAULT_EXECUTOR) -> str:
         """Cache key of one analysis configuration under this store."""
         return cache_key(benchmark=benchmark, problem_class=problem_class,
                          method=method, n_probes=n_probes, step=step,
@@ -191,6 +199,8 @@ class ResultStore:
                          snapshot_schedule=snapshot_schedule,
                          snapshot_budget=snapshot_budget,
                          trace_cache=trace_cache,
+                         plan_optimize=plan_optimize,
+                         executor=executor,
                          version=self.version)
 
     def _paths(self, benchmark: str, key: str) -> tuple[Path, Path]:
@@ -331,7 +341,9 @@ class ResultStore:
               probe_batching: str = "batched",
               snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
               snapshot_budget: int | None = None,
-              trace_cache: str = DEFAULT_TRACE_CACHE
+              trace_cache: str = DEFAULT_TRACE_CACHE,
+              plan_optimize: str = DEFAULT_PLAN_OPTIMIZE,
+              executor: str = DEFAULT_EXECUTOR
               ) -> ScrutinyResult | None:
         """``load`` keyed directly by analysis parameters."""
         key = self.key(benchmark=benchmark, problem_class=problem_class,
@@ -340,7 +352,9 @@ class ResultStore:
                        probe_batching=probe_batching,
                        snapshot_schedule=snapshot_schedule,
                        snapshot_budget=snapshot_budget,
-                       trace_cache=trace_cache)
+                       trace_cache=trace_cache,
+                       plan_optimize=plan_optimize,
+                       executor=executor)
         return self.load(benchmark, key)
 
     def put(self, result: ScrutinyResult, *, n_probes: int,
@@ -350,7 +364,9 @@ class ResultStore:
             probe_batching: str = "batched",
             snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
             snapshot_budget: int | None = None,
-            trace_cache: str = DEFAULT_TRACE_CACHE) -> Path:
+            trace_cache: str = DEFAULT_TRACE_CACHE,
+            plan_optimize: str = DEFAULT_PLAN_OPTIMIZE,
+            executor: str = DEFAULT_EXECUTOR) -> Path:
         """``save`` keyed by the parameters that produced ``result``.
 
         ``step`` is the *requested* checkpoint step (``None`` for the
@@ -364,7 +380,9 @@ class ResultStore:
                        probe_batching=probe_batching,
                        snapshot_schedule=snapshot_schedule,
                        snapshot_budget=snapshot_budget,
-                       trace_cache=trace_cache)
+                       trace_cache=trace_cache,
+                       plan_optimize=plan_optimize,
+                       executor=executor)
         self.save(key, result)
         return self._paths(result.benchmark, key)[0]
 

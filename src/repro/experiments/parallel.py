@@ -32,7 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.analysis import ScrutinyResult, scrutinize
-from repro.core.criticality import (DEFAULT_PROBE_SCALE,
+from repro.core.criticality import (DEFAULT_EXECUTOR, DEFAULT_PLAN_OPTIMIZE,
+                                    DEFAULT_PROBE_SCALE,
                                     DEFAULT_SNAPSHOT_SCHEDULE,
                                     DEFAULT_TRACE_CACHE)
 from repro.core.store import ResultStore
@@ -46,7 +47,8 @@ class ScrutinyJob:
     """One unit of analysis work; picklable and usable as a dict key.
 
     The sweep knobs (``sweep``, ``snapshot_schedule``/``snapshot_budget``,
-    ``trace_cache``) parameterise the ``"ad"`` and ``"activity"`` methods
+    ``trace_cache``, ``plan_optimize``/``executor``) parameterise the
+    ``"ad"`` and ``"activity"`` methods
     alike -- a segmented activity job chains read masks across boundaries
     and replays compiled plan transfers, bitwise-identical to the
     monolithic walk -- and all join :meth:`key_params`, so jobs differing
@@ -65,6 +67,8 @@ class ScrutinyJob:
     snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE
     snapshot_budget: int | None = None
     trace_cache: str = DEFAULT_TRACE_CACHE
+    plan_optimize: str = DEFAULT_PLAN_OPTIMIZE
+    executor: str = DEFAULT_EXECUTOR
     #: scratch location of the "spill" schedule -- execution detail, not
     #: analysis identity, hence absent from :meth:`key_params` and from the
     #: job's equality/hash (jobs differing only in scratch location are the
@@ -89,6 +93,8 @@ class ScrutinyJob:
             "snapshot_schedule": self.snapshot_schedule,
             "snapshot_budget": self.snapshot_budget,
             "trace_cache": self.trace_cache,
+            "plan_optimize": self.plan_optimize,
+            "executor": self.executor,
         }
 
 
@@ -107,7 +113,9 @@ def run_job(job: ScrutinyJob) -> ScrutinyResult:
                       snapshot_schedule=job.snapshot_schedule,
                       snapshot_budget=job.snapshot_budget,
                       spill_dir=job.spill_dir,
-                      trace_cache=job.trace_cache)
+                      trace_cache=job.trace_cache,
+                      plan_optimize=job.plan_optimize,
+                      executor=job.executor)
 
 
 def default_workers() -> int:
@@ -184,7 +192,9 @@ class ParallelRunner:
                                        probe_batching=job.probe_batching,
                                        snapshot_schedule=job.snapshot_schedule,
                                        snapshot_budget=job.snapshot_budget,
-                                       trace_cache=job.trace_cache)
+                                       trace_cache=job.trace_cache,
+                                       plan_optimize=job.plan_optimize,
+                                       executor=job.executor)
                     except OSError:
                         # an unwritable store degrades to no persistence;
                         # it must never lose a computed result

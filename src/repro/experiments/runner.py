@@ -26,7 +26,8 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.core.analysis import ScrutinyResult, scrutinize
-from repro.core.criticality import (DEFAULT_PROBE_SCALE,
+from repro.core.criticality import (DEFAULT_EXECUTOR, DEFAULT_PLAN_OPTIMIZE,
+                                    DEFAULT_PROBE_SCALE,
                                     DEFAULT_SNAPSHOT_SCHEDULE,
                                     DEFAULT_TRACE_CACHE,
                                     VariableCriticality)
@@ -117,8 +118,15 @@ class ExperimentRunner:
         replay instead of re-tracing, :mod:`repro.ad.plan`) or ``"off"``
         (re-trace every segment).  Identical masks either way; part of the
         cache key.  The CLI's ``--trace-cache``.
+    plan_optimize, executor:
+        Plan lowering level (``"fuse"``/``"off"``, :mod:`repro.ad.passes`)
+        and plan backend (``"interp"``/``"numba"``, :mod:`repro.ad.exec`)
+        of the compiled replay plans; both require ``sweep="segmented"``
+        with ``trace_cache="plan"``, both preserve bitwise-identical
+        masks, and both join the cache key.  The CLI's
+        ``--plan-optimize``/``--executor``.
 
-    The ``sweep``/``snapshot_*``/``trace_cache`` knobs drive the
+    The ``sweep``/``snapshot_*``/``trace_cache``/plan knobs drive the
     ``"activity"`` method exactly as they drive ``"ad"`` (segmented
     chained read masks, plan-derived replays -- bitwise-identical masks);
     only ``"tangent"`` and ``"rule"`` ignore them.
@@ -136,7 +144,9 @@ class ExperimentRunner:
                  snapshot_schedule: str = DEFAULT_SNAPSHOT_SCHEDULE,
                  snapshot_budget: int | None = None,
                  spill_dir: str | None = None,
-                 trace_cache: str = DEFAULT_TRACE_CACHE) -> None:
+                 trace_cache: str = DEFAULT_TRACE_CACHE,
+                 plan_optimize: str = DEFAULT_PLAN_OPTIMIZE,
+                 executor: str = DEFAULT_EXECUTOR) -> None:
         self.problem_class = problem_class
         self.method = method
         self.n_probes = int(n_probes)
@@ -150,6 +160,8 @@ class ExperimentRunner:
             else int(snapshot_budget)
         self.spill_dir = spill_dir
         self.trace_cache = trace_cache
+        self.plan_optimize = plan_optimize
+        self.executor = executor
         self.workers = max(1, int(workers))
         store = None
         if cache_dir is not None and use_cache and rng is None:
@@ -227,7 +239,9 @@ class ExperimentRunner:
                                      snapshot_schedule=self.snapshot_schedule,
                                      snapshot_budget=self.snapshot_budget,
                                      spill_dir=self.spill_dir,
-                                     trace_cache=self.trace_cache)
+                                     trace_cache=self.trace_cache,
+                                     plan_optimize=self.plan_optimize,
+                                     executor=self.executor)
                     for name in names}
         jobs = [ScrutinyJob(benchmark=name, problem_class=self.problem_class,
                             method=self.method, n_probes=self.n_probes,
@@ -237,6 +251,8 @@ class ExperimentRunner:
                             snapshot_schedule=self.snapshot_schedule,
                             snapshot_budget=self.snapshot_budget,
                             spill_dir=self.spill_dir,
-                            trace_cache=self.trace_cache)
+                            trace_cache=self.trace_cache,
+                            plan_optimize=self.plan_optimize,
+                            executor=self.executor)
                 for name in names]
         return dict(zip(names, self.engine.run(jobs)))

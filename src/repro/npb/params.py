@@ -28,8 +28,8 @@ __all__ = [
 #: recognised problem classes; "S" reproduces the paper, "T" is a reduced
 #: size for fast unit testing, "A" is the enlarged scenario unlocked by the
 #: segmented reverse sweep (registered for the benchmarks where the larger
-#: size is interesting: CG, FT and MG scale their arrays, EP and IS their
-#: main-loop length)
+#: size is interesting: CG, FT, MG and SP scale their arrays, EP and IS
+#: their main-loop length)
 CLASSES = ("T", "S", "A")
 
 
@@ -290,6 +290,14 @@ _A_PARAMS = {
     # tape regime the segmented sweep and the chained activity analysis
     # are for
     "MG": MGParams(problem_class="A", nx=16, levels=4, nr=7400, niter=8),
+    # SP is the first ADI port with a class A: a 16**3 grid (past the
+    # class-S 12**3, with the same one-plane jmax/imax padding) and a
+    # 2.5x class-T iteration count -- per-iteration tapes dense enough
+    # that the compiled replay plans' fusion/packing passes have real
+    # elementwise chains to work on.  (BT stays class S/T only, keeping
+    # the params_for error path for unregistered classes exercised.)
+    "SP": SPParams(problem_class="A", grid_points=16, kmax=16, jmax=17,
+                   imax=17, niter=20),
     # the two simple ports scale by loop length, not array size: EP's
     # class A doubles the class-S batch count (smaller batches keep the
     # per-iteration cost test-friendly), IS quadruples the ranked key

@@ -368,3 +368,58 @@ class TestArenaIsolation:
         planner.advance(dict(one))
         # replaying again must not mutate the state handed out earlier
         _assert_bitwise(frozen, one["x"], "concrete next state")
+
+
+# ---------------------------------------------------------------------------
+# fine-tier LRU bound
+# ---------------------------------------------------------------------------
+
+class TestFinePlanLRUBound:
+    """The fine tier (per-fine-signature plans for counter-dependent
+    structures) is LRU-bounded so a long-lived analyzer can never grow
+    memory without bound; evictions are counted and surfaced through
+    :class:`SweepStats`, and an evicted plan simply recompiles on the next
+    agreeing pair of visits -- gradients stay bitwise-identical."""
+
+    def test_fine_plans_bounded_and_evictions_counted(self, monkeypatch):
+        from repro.ad import plan as plan_mod
+
+        monkeypatch.setattr(plan_mod, "_MAX_FINE_PLANS", 2)
+        bench = _ParityBench(steps=6)
+        state = bench.initial_state()
+        reference = segmented_gradients(bench, state, trace_cache="off")
+
+        cache = PlanCache()
+        stats = SweepStats()
+        for sweep in range(4):
+            got = segmented_gradients(bench, state, plan_cache=cache,
+                                      stats=stats)
+            for key in reference:
+                _assert_bitwise(reference[key], got[key],
+                                f"lru[{key}] sweep {sweep}")
+        # six distinct step signatures through a two-slot cache must evict
+        assert cache.fine_evictions > 0
+        assert stats.plan_fine_evictions == cache.fine_evictions
+        assert "fine_evictions" in cache.counters()
+        for entry in cache._entries.values():
+            assert len(entry.fine_plans) <= 2
+
+    def test_unbounded_run_records_no_evictions(self):
+        bench = _ParityBench(steps=4)
+        state = bench.initial_state()
+        cache = PlanCache()
+        for _ in range(3):
+            segmented_gradients(bench, state, plan_cache=cache)
+        assert cache.fine_evictions == 0
+
+    def test_replay_refreshes_lru_recency(self, monkeypatch):
+        from repro.ad import plan as plan_mod
+
+        monkeypatch.setattr(plan_mod, "_MAX_FINE_PLANS", 2)
+        bench = _ParityBench(steps=2)
+        state = bench.initial_state()
+        cache = PlanCache()
+        for _ in range(3):   # capture, compile, replay both step plans
+            segmented_gradients(bench, state, plan_cache=cache)
+        assert cache.fine_evictions == 0   # both plans fit and stay hot
+        assert cache.hits > 0

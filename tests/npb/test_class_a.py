@@ -23,7 +23,7 @@ class TestClassARegistration:
     def test_class_a_is_a_known_class(self):
         assert "A" in CLASSES
 
-    @pytest.mark.parametrize("name", ["CG", "FT", "MG", "EP", "IS"])
+    @pytest.mark.parametrize("name", ["CG", "FT", "MG", "SP", "EP", "IS"])
     def test_class_a_params_registered(self, name):
         params = params_for(name, "A")
         assert params.problem_class == "A"
@@ -44,6 +44,16 @@ class TestClassARegistration:
         assert a.niter > t.niter
         assert a.levels > t.levels
         assert a.used_elements <= a.nr
+
+    def test_class_a_sp_is_larger_than_class_s(self):
+        # SP's class A grows the ADI grid past class S (same one-plane
+        # padding layout) and keeps a longer loop than class T
+        a = params_for("SP", "A")
+        s = params_for("SP", "S")
+        t = params_for("SP", "T")
+        assert a.grid_points > s.grid_points
+        assert a.jmax == a.grid_points + 1 and a.imax == a.grid_points + 1
+        assert a.niter > t.niter
 
     def test_class_a_simple_ports_have_longer_loops(self):
         # EP and IS scale by main-loop length (the snapshot-schedule
@@ -139,6 +149,38 @@ class TestClassAEndToEnd:
         seg_result = scrutinize(seg, state=dict(state), steps=2,
                                 method="activity", sweep="segmented",
                                 trace_cache=trace_cache)
+        for name, crit in mono_result.variables.items():
+            np.testing.assert_array_equal(
+                crit.mask, seg_result.variables[name].mask, err_msg=name)
+
+    def test_sp_class_a_segmented_scrutiny(self):
+        """SP's ADI class A under the segmented sweep (analysis depth
+        limited to keep the suite fast; the padding planes are
+        step-independent)."""
+        bench = registry.create("SP", "A")
+        assert bench.total_steps == 20
+        state = bench.checkpoint_state(bench.total_steps - 2)
+        result = scrutinize(bench, state=state, steps=2, sweep="segmented")
+        assert result.problem_class == "A"
+        p = bench.params
+        mask = result.variables["u"].mask.reshape(p.u_shape)
+        # the class-S/T structural finding survives the resize: the one
+        # jmax/imax padding plane past the used grid is never read
+        assert not mask[:, p.grid_points:, :, :].any()
+        assert not mask[:, :, p.grid_points:, :].any()
+        assert mask[: p.grid_points, : p.grid_points,
+                    : p.grid_points, :].all()
+
+    def test_sp_class_a_segmented_activity_matches_monolithic(self):
+        """The chained activity sweep on the ADI class A: bitwise the same
+        read masks as the monolithic tape walk, with plan replay on."""
+        mono = registry.create("SP", "A")
+        state = mono.checkpoint_state(mono.total_steps - 2)
+        mono_result = scrutinize(mono, state=dict(state), steps=2,
+                                 method="activity")
+        seg = registry.create("SP", "A")
+        seg_result = scrutinize(seg, state=dict(state), steps=2,
+                                method="activity", sweep="segmented")
         for name, crit in mono_result.variables.items():
             np.testing.assert_array_equal(
                 crit.mask, seg_result.variables[name].mask, err_msg=name)
