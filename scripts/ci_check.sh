@@ -30,7 +30,12 @@ python -m pytest -q tests/ad/test_segmented.py \
 
 echo "== snapshot schedules: bitwise equivalence =="
 python -m pytest -q tests/ad/test_schedule.py \
+    tests/ad/test_schedule_faults.py \
     tests/experiments/test_schedule_plumbing.py
+
+echo "== fault tolerance: retries, quarantine, chaos, resumable batches =="
+python -m pytest -q tests/experiments/test_faults.py \
+    tests/experiments/test_chaos.py tests/core/test_store.py
 
 echo "== batched probe sweep: per-probe equivalence =="
 python -m pytest -q tests/ad/test_probes.py \
@@ -98,5 +103,27 @@ python -m repro.cli --class T --sweep segmented --plan-optimize off \
 echo "== CLI smoke: explicit interp executor =="
 python -m repro.cli --class T --sweep segmented --executor interp \
     analyze CG >/dev/null
+
+echo "== CLI smoke: chaos harness (worker kills + cache corruption) =="
+# a chaos-injected batch must complete, quarantine nothing (the CLI exits
+# non-zero otherwise) and print the same report as a fault-free run
+chaos_cache="$(mktemp -d)"
+plain_out="$(mktemp)"; chaos_out="$(mktemp)"; warm_out="$(mktemp)"
+trap 'rm -rf "$cache_dir" "$chaos_cache" "$plain_out" "$chaos_out" "$warm_out"' EXIT
+python -m repro.cli --class T verify --benchmarks CG EP IS > "$plain_out"
+python -m repro.cli --class T --workers 2 --cache-dir "$chaos_cache" \
+    --chaos worker-kill,corrupt-cache verify --benchmarks CG EP IS \
+    > "$chaos_out"
+grep -Eq "[1-9][0-9]* worker death" "$chaos_out"
+grep -q "chaos-corrupted file" "$chaos_out"
+diff <(grep -v '^$' "$plain_out") \
+     <(sed '/^fault-tolerance:/,$d' "$chaos_out" | grep -v '^$')
+# the warm re-run hits the chaos-corrupted cache entries: they must be
+# quarantined and recomputed, with the report again unchanged
+python -m repro.cli --class T --cache-dir "$chaos_cache" \
+    verify --benchmarks CG EP IS > "$warm_out" 2>/dev/null
+grep -q "corrupt entr" "$warm_out"
+diff <(grep -v '^$' "$plain_out") \
+     <(sed '/^fault-tolerance:/,$d' "$warm_out" | grep -v '^$')
 
 echo "ci_check: OK"

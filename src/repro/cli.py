@@ -49,6 +49,7 @@ from repro.core.criticality import DEFAULT_PROBE_SCALE
 from repro.experiments import (ExperimentRunner, ablation, figures,
                                incremental, precision, table1, table2,
                                table3, verify)
+from repro.experiments.faults import FaultPolicy, parse_chaos
 from repro.npb import registry
 from repro.viz import describe_mask, legend, render_mask_1d
 
@@ -155,9 +156,47 @@ def build_parser() -> argparse.ArgumentParser:
                              "analyses (1 = in-process, the default)")
     parser.add_argument("--cache-dir", default=None,
                         help="persist scrutiny results in this directory "
-                             "so repeated runs skip the AD sweeps")
+                             "so repeated runs skip the AD sweeps; also "
+                             "holds the batch journal that makes "
+                             "interrupted runs resumable")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir and recompute everything")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="failed attempts a job may accumulate before "
+                             "it is quarantined as poisoned (default 2)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="wall-clock seconds one job attempt may run "
+                             "before the engine recycles the worker pool "
+                             "and requeues it (default: no timeout; "
+                             "requires --workers > 1 -- an in-process job "
+                             "cannot be preempted)")
+    parser.add_argument("--retry-backoff", type=float, default=0.05,
+                        help="base of the exponential backoff between "
+                             "retry attempts, in seconds (deterministic "
+                             "jitter is added on top; default 0.05)")
+    parser.add_argument("--on-failure", default="raise",
+                        choices=("raise", "record"),
+                        help="what a poisoned job (retries exhausted) does "
+                             "to the batch: 'raise' (default) re-raises "
+                             "its exception; 'record' completes the batch "
+                             "and reports the structured failure in the "
+                             "fault summary")
+    parser.add_argument("--no-journal", action="store_true",
+                        help="do not record per-job completion in the "
+                             "cache directory's journal.jsonl (journalled "
+                             "runs resume after a kill without re-running "
+                             "finished jobs)")
+    parser.add_argument("--chaos", default=None, metavar="MODES",
+                        help="deterministic fault injection for CI "
+                             "smokes: comma-separated subset of "
+                             "worker-kill, hang, transient, corrupt-cache "
+                             "(each injected fault strikes a job's first "
+                             "attempt only, so retries recover and the "
+                             "results stay bitwise identical to a "
+                             "fault-free run)")
+    parser.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed decorrelating --chaos targeting "
+                             "across runs (default 0)")
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -214,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _make_runner(args: argparse.Namespace,
                  step: int | None = None) -> ExperimentRunner:
+    policy = FaultPolicy(max_retries=args.max_retries,
+                         timeout=args.job_timeout,
+                         backoff=args.retry_backoff)
+    chaos = None
+    if args.chaos is not None:
+        chaos = parse_chaos(args.chaos, seed=args.chaos_seed)
     return ExperimentRunner(problem_class=args.problem_class,
                             method=args.method, n_probes=args.probes,
                             step=step, workers=args.workers,
@@ -227,21 +272,34 @@ def _make_runner(args: argparse.Namespace,
                             spill_dir=args.spill_dir,
                             trace_cache=args.trace_cache,
                             plan_optimize=args.plan_optimize,
-                            executor=args.executor)
+                            executor=args.executor,
+                            fault_policy=policy,
+                            on_failure=args.on_failure,
+                            journal=not args.no_journal,
+                            chaos=chaos)
+
+
+def _print_fault_summary(runner: ExperimentRunner) -> None:
+    """Surface failure/retry/quarantine telemetry after a command."""
+    stats = runner.fault_stats
+    if stats.eventful():
+        print()
+        print(stats.summary())
 
 
 def _run_analyze(args: argparse.Namespace) -> int:
     runner = _make_runner(args, step=args.step)
     result = runner.result(args.benchmark)
     print(result.describe())
-    if args.show_masks:
+    if args.show_masks and result.ok:
         print()
         print(legend())
         for name, crit in result.variables.items():
             print(f"\n{crit.variable}:")
             print(render_mask_1d(crit.mask))
             print(describe_mask(crit.mask))
-    return 0
+    _print_fault_summary(runner)
+    return 0 if result.ok else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -279,6 +337,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.method == "activity" and args.probes != 1:
         parser.error("--method activity is value-independent; "
                      "--probes must be 1")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be non-negative")
+    if args.retry_backoff < 0:
+        parser.error("--retry-backoff must be non-negative")
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        parser.error("--job-timeout must be positive")
+    if args.job_timeout is not None and args.workers <= 1:
+        parser.error("--job-timeout requires --workers > 1 (an in-process "
+                     "job cannot be preempted)")
+    if args.chaos is None and args.chaos_seed != 0:
+        parser.error("--chaos-seed requires --chaos")
+    if args.chaos is not None:
+        try:
+            parse_chaos(args.chaos, seed=args.chaos_seed)
+        except ValueError as exc:
+            parser.error(str(exc))
+    if args.no_journal and args.cache_dir is None:
+        parser.error("--no-journal only applies with --cache-dir (the "
+                     "journal lives next to the result store)")
 
     if args.command == "analyze":
         return _run_analyze(args)
@@ -334,7 +411,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     for report in reports:
         print(report.text)
         print()
-    return 0 if all(r.matches_paper for r in reports) else 1
+    _print_fault_summary(runner)
+    ok = all(r.matches_paper for r in reports) \
+        and runner.fault_stats.quarantined == 0
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI convenience

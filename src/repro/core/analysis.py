@@ -49,6 +49,13 @@ class ScrutinyResult:
     state:
         The concrete checkpoint state the analysis was run on (kept so the
         checkpoint library can immediately write a pruned checkpoint of it).
+    failure:
+        ``None`` for a genuine analysis.  When the fault-tolerant engine
+        gives up on a job (``on_failure="record"``) it returns a *failure
+        marker* instead: an otherwise-empty result carrying the structured
+        :class:`~repro.experiments.faults.JobFailure` here, so the batch
+        completes and the caller can see exactly what was lost.  Failure
+        markers are never persisted in the result store.
     """
 
     benchmark: str
@@ -57,6 +64,12 @@ class ScrutinyResult:
     method: str
     variables: dict[str, VariableCriticality]
     state: dict[str, Any] = field(default_factory=dict, repr=False)
+    failure: Any = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """True for a real analysis, False for a failure marker."""
+        return self.failure is None
 
     # -- per-variable views -----------------------------------------------
     def masks(self) -> dict[str, np.ndarray]:
@@ -156,6 +169,10 @@ class ScrutinyResult:
 
     def describe(self) -> str:
         """Multi-line human-readable summary."""
+        if self.failure is not None:
+            return (f"{self.benchmark} (class {self.problem_class}), "
+                    f"method {self.method!r}: ANALYSIS FAILED -- "
+                    f"{self.failure.describe()}")
         lines = [f"{self.benchmark} (class {self.problem_class}), checkpoint "
                  f"at step {self.step}, method {self.method!r}"]
         for crit in self.variables.values():

@@ -44,14 +44,26 @@ The JSON file is written *after* the ``.npz`` (both atomically via a
 temporary file and ``os.replace``), so its presence marks a complete entry;
 a torn write leaves at worst an orphaned ``.npz`` that is never read.
 Corrupt or partially deleted entries load as cache misses, never as errors.
+
+Corruption detection: the metadata records the SHA-256 of the ``.npz``
+bytes (``digest``), verified on every load, so silent bit rot is caught
+even when the zip container still parses.  A corrupt entry (digest
+mismatch, torn zip, bad JSON, an orphaned half of the pair) is counted in
+:attr:`ResultStore.corrupt_entries`, reported once per store instance via
+a single :class:`RuntimeWarning`, and *quarantined*: both files are
+renamed aside to ``<name>.corrupt-<n>`` -- content preserved for
+post-mortem -- so the entry re-misses cleanly (and is recomputed) instead
+of failing the same way forever.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -69,6 +81,10 @@ __all__ = ["ResultStore", "cache_key"]
 
 #: bump when the serialisation layout changes incompatibly
 _FORMAT = 1
+
+
+class _CorruptEntryError(RuntimeError):
+    """Internal marker: an entry's content failed digest verification."""
 
 
 def _package_version() -> str:
@@ -177,6 +193,11 @@ class ResultStore:
         #: cache-efficiency counters (observable by tests and the CLI)
         self.hits = 0
         self.misses = 0
+        #: corrupt entries detected (and quarantined) by :meth:`load`
+        self.corrupt_entries = 0
+        #: rename-aside destinations of every quarantined file
+        self.quarantined_paths: list[Path] = []
+        self._warned_corrupt = False
 
     # ------------------------------------------------------------------
     # addressing
@@ -217,6 +238,11 @@ class ResultStore:
     # ------------------------------------------------------------------
     def save(self, key: str, result: ScrutinyResult) -> Path:
         """Persist ``result`` under ``key``; returns the metadata path."""
+        if getattr(result, "failure", None) is not None:
+            raise ValueError(
+                "refusing to cache a failure-marker result "
+                f"({result.failure.describe()}); only genuine analyses "
+                "belong in the store")
         meta_path, data_path = self._paths(result.benchmark, key)
         meta_path.parent.mkdir(parents=True, exist_ok=True)
 
@@ -243,6 +269,7 @@ class ResultStore:
             state_meta[state_key] = _state_tag(value)
             arrays[f"state::{state_key}"] = np.asarray(value)
 
+        self._write_atomic(data_path, lambda fh: np.savez(fh, **arrays))
         meta = {
             "format": _FORMAT,
             "key": key,
@@ -250,11 +277,12 @@ class ResultStore:
             "problem_class": result.problem_class,
             "step": result.step,
             "method": result.method,
+            # content digest of the array file, verified on every load --
+            # catches silent bit rot the zip container would tolerate
+            "digest": hashlib.sha256(data_path.read_bytes()).hexdigest(),
             "variables": variables_meta,
             "state": state_meta,
         }
-
-        self._write_atomic(data_path, lambda fh: np.savez(fh, **arrays))
         self._write_atomic(
             meta_path,
             lambda fh: fh.write(json.dumps(meta, indent=1).encode("ascii")))
@@ -281,24 +309,70 @@ class ResultStore:
     def load(self, benchmark: str, key: str) -> ScrutinyResult | None:
         """The cached result under ``key``, or ``None`` on a miss.
 
-        Corrupt entries (torn writes, stray files, format bumps) count as
-        misses: a cache must never be able to fail a run.
+        Corrupt entries (torn writes, digest mismatches, stray files)
+        count as misses -- a cache must never be able to fail a run -- but
+        not *silent* misses: each one bumps :attr:`corrupt_entries`, the
+        first raises a single :class:`RuntimeWarning`, and the damaged
+        files are renamed aside (content preserved for post-mortem) so the
+        key re-misses cleanly and is recomputed.  An absent entry or a
+        format/version bump stays a plain, uncounted miss.
         """
         meta_path, data_path = self._paths(benchmark, key)
+        if not meta_path.exists():
+            # never written (or only an orphaned .npz from a torn save,
+            # which the write ordering makes unreadable by design)
+            self.misses += 1
+            return None
         try:
             meta = json.loads(meta_path.read_text())
             if meta.get("format") != _FORMAT:
                 self.misses += 1
                 return None
-            with np.load(data_path) as data:
+            raw = data_path.read_bytes()
+            digest = meta.get("digest")
+            if digest is not None \
+                    and hashlib.sha256(raw).hexdigest() != digest:
+                raise _CorruptEntryError(
+                    f"array-file digest mismatch for {data_path}")
+            with np.load(io.BytesIO(raw)) as data:
                 result = self._reconstruct(meta, data)
-        except Exception:
-            # torn zip members, bad JSON, missing arrays, shape drift, ...
-            # -- every corruption mode is a miss, never an error
+        except Exception as exc:
+            # torn zip members, bad JSON, missing arrays, shape drift,
+            # digest mismatch, ... -- every corruption mode is a miss,
+            # never an error; but it is counted, warned about once and
+            # the wreckage quarantined for post-mortem
+            self._quarantine_entry(benchmark, key, exc)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine_entry(self, benchmark: str, key: str,
+                          exc: Exception) -> None:
+        """Move a corrupt entry's files aside and account for it."""
+        self.corrupt_entries += 1
+        meta_path, data_path = self._paths(benchmark, key)
+        for path in (meta_path, data_path):
+            if not path.exists():
+                continue
+            for counter in range(10000):
+                aside = path.with_name(f"{path.name}.corrupt-{counter}")
+                if not aside.exists():
+                    break
+            try:
+                os.replace(path, aside)
+                self.quarantined_paths.append(aside)
+            except OSError:  # pragma: no cover - read-only store
+                pass
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            warnings.warn(
+                f"result store {self.root}: corrupt cache entry "
+                f"{benchmark}/{key} quarantined ({type(exc).__name__}: "
+                f"{exc}); it will be recomputed -- further corrupt "
+                f"entries are counted in ResultStore.corrupt_entries "
+                f"without repeating this warning", RuntimeWarning,
+                stacklevel=3)
 
     @staticmethod
     def _reconstruct(meta: Mapping[str, Any], data) -> ScrutinyResult:

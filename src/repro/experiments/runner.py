@@ -34,6 +34,7 @@ from repro.core.criticality import (DEFAULT_EXECUTOR, DEFAULT_PLAN_OPTIMIZE,
 from repro.core.store import ResultStore
 from repro.npb import registry
 
+from .faults import BatchJournal, ChaosConfig, FaultPolicy, parse_chaos
 from .parallel import ParallelRunner, ScrutinyJob
 
 __all__ = ["ExperimentRunner", "ExperimentReport"]
@@ -125,6 +126,27 @@ class ExperimentRunner:
         with ``trace_cache="plan"``, both preserve bitwise-identical
         masks, and both join the cache key.  The CLI's
         ``--plan-optimize``/``--executor``.
+    fault_policy:
+        Retry/timeout policy of the fault-tolerant engine
+        (:class:`~repro.experiments.faults.FaultPolicy`); ``None`` uses
+        the default (two retries, no watchdog).  Assembled by the CLI
+        from ``--max-retries``/``--job-timeout``/``--retry-backoff``.
+    on_failure:
+        ``"raise"`` (default: a poisoned job re-raises, the legacy
+        semantics) or ``"record"`` (the batch completes; the poisoned
+        job's slot carries a failure-marker result).  The CLI's
+        ``--on-failure``.
+    journal:
+        ``True`` (default) records per-job completion in a
+        ``journal.jsonl`` next to the persistent store (when one is
+        configured), making killed batch runs resumable; ``False``
+        disables journalling.  The CLI's ``--no-journal``.
+    chaos:
+        Deterministic fault injection for tests/CI: a
+        :class:`~repro.experiments.faults.ChaosConfig`, or a CLI-style
+        mode string such as ``"worker-kill,corrupt-cache"``.  ``None``
+        (default) injects nothing.  The CLI's ``--chaos``/
+        ``--chaos-seed``.
 
     The ``sweep``/``snapshot_*``/``trace_cache``/plan knobs drive the
     ``"activity"`` method exactly as they drive ``"ad"`` (segmented
@@ -146,7 +168,11 @@ class ExperimentRunner:
                  spill_dir: str | None = None,
                  trace_cache: str = DEFAULT_TRACE_CACHE,
                  plan_optimize: str = DEFAULT_PLAN_OPTIMIZE,
-                 executor: str = DEFAULT_EXECUTOR) -> None:
+                 executor: str = DEFAULT_EXECUTOR,
+                 fault_policy: FaultPolicy | None = None,
+                 on_failure: str = "raise",
+                 journal: bool = True,
+                 chaos: ChaosConfig | str | None = None) -> None:
         self.problem_class = problem_class
         self.method = method
         self.n_probes = int(n_probes)
@@ -167,9 +193,21 @@ class ExperimentRunner:
         if cache_dir is not None and use_cache and rng is None:
             store = ResultStore(cache_dir)
         self.store = store
-        self.engine = ParallelRunner(workers=self.workers, store=store)
+        if isinstance(chaos, str):
+            chaos = parse_chaos(chaos)
+        batch_journal = BatchJournal(Path(cache_dir) / "journal.jsonl") \
+            if store is not None and journal else None
+        self.engine = ParallelRunner(workers=self.workers, store=store,
+                                     fault_policy=fault_policy,
+                                     on_failure=on_failure,
+                                     journal=batch_journal, chaos=chaos)
         self._benchmarks: dict[str, object] = {}
         self._results: dict[str, ScrutinyResult] = {}
+
+    @property
+    def fault_stats(self):
+        """The engine's :class:`~repro.experiments.faults.FaultStats`."""
+        return self.engine.stats
 
     # ------------------------------------------------------------------
     # caching accessors

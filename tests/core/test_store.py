@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import warnings
 
 import numpy as np
 import pytest
@@ -125,20 +126,23 @@ class TestMissBehaviour:
         key = store.key(**KEY_PARAMS)
         meta_path = store.save(key, bt_t_result)
         meta_path.write_text("{ not json")
-        assert store.load("BT", key) is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load("BT", key) is None
 
     def test_missing_array_file_is_a_miss(self, store, bt_t_result):
         key = store.key(**KEY_PARAMS)
         store.save(key, bt_t_result)
         (store.root / "BT" / f"{key}.npz").unlink()
-        assert store.load("BT", key) is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load("BT", key) is None
 
     def test_truncated_array_file_is_a_miss(self, store, bt_t_result):
         key = store.key(**KEY_PARAMS)
         store.save(key, bt_t_result)
         npz_path = store.root / "BT" / f"{key}.npz"
         npz_path.write_bytes(npz_path.read_bytes()[:100])
-        assert store.load("BT", key) is None
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load("BT", key) is None
 
     def test_unwritable_store_does_not_lose_results(self, tmp_path):
         # cache dir path occupied by a regular file: computation must
@@ -156,6 +160,112 @@ class TestMissBehaviour:
         meta["format"] = 999
         meta_path.write_text(json.dumps(meta))
         assert store.load("BT", key) is None
+
+
+class TestCorruptionQuarantine:
+    """Corrupt entries are counted, warned about once and renamed aside."""
+
+    def _entry(self, store, bt_t_result):
+        key = store.key(**KEY_PARAMS)
+        store.save(key, bt_t_result)
+        return key, store.root / "BT" / f"{key}.json", \
+            store.root / "BT" / f"{key}.npz"
+
+    def _flip_byte(self, path):
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+    def test_digest_mismatch_counts_warns_and_quarantines(
+            self, store, bt_t_result):
+        key, meta_path, npz_path = self._entry(store, bt_t_result)
+        self._flip_byte(npz_path)
+        damaged = npz_path.read_bytes()
+
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.load("BT", key) is None
+        assert store.corrupt_entries == 1
+        # both files renamed aside, content preserved for post-mortem
+        assert not meta_path.exists() and not npz_path.exists()
+        aside = npz_path.with_name(f"{npz_path.name}.corrupt-0")
+        assert aside.read_bytes() == damaged
+        assert aside in store.quarantined_paths
+        assert meta_path.with_name(f"{meta_path.name}.corrupt-0").is_file()
+        # the key now re-misses cleanly and can be re-populated
+        assert store.load("BT", key) is None
+        assert store.corrupt_entries == 1
+        store.save(key, bt_t_result)
+        assert store.load("BT", key) is not None
+
+    def test_warning_fires_once_counter_keeps_counting(
+            self, store, bt_t_result):
+        key1, _, npz1 = self._entry(store, bt_t_result)
+        key2 = store.key(**dict(KEY_PARAMS, n_probes=2))
+        store.save(key2, bt_t_result)
+        npz2 = store.root / "BT" / f"{key2}.npz"
+        self._flip_byte(npz1)
+        self._flip_byte(npz2)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert store.load("BT", key1) is None
+            assert store.load("BT", key2) is None
+        runtime = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+        assert store.corrupt_entries == 2
+
+    def test_quarantine_suffix_never_clobbers(self, store, bt_t_result):
+        key, _, npz_path = self._entry(store, bt_t_result)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for _ in range(2):
+                self._flip_byte(npz_path)
+                assert store.load("BT", key) is None
+                store.save(key, bt_t_result)
+        for counter in range(2):
+            assert npz_path.with_name(
+                f"{npz_path.name}.corrupt-{counter}").is_file()
+        assert store.corrupt_entries == 2
+
+    def test_truncation_and_bad_json_count_too(self, store, bt_t_result):
+        key, meta_path, npz_path = self._entry(store, bt_t_result)
+        npz_path.write_bytes(npz_path.read_bytes()[:100])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert store.load("BT", key) is None
+            store.save(key, bt_t_result)
+            meta_path.write_text("{ not json")
+            assert store.load("BT", key) is None
+        assert store.corrupt_entries == 2
+
+    def test_plain_misses_stay_uncounted(self, store, bt_t_result):
+        key = store.key(**KEY_PARAMS)
+        assert store.load("BT", key) is None          # absent entry
+        meta_path = store.save(key, bt_t_result)
+        meta = json.loads(meta_path.read_text())
+        meta["format"] = 999
+        meta_path.write_text(json.dumps(meta))
+        assert store.load("BT", key) is None          # format bump
+        store.save(key, bt_t_result)
+        (store.root / "BT" / f"{key}.npz").unlink()
+        meta_path.unlink()
+        assert store.load("BT", key) is None          # deleted entry
+        assert store.corrupt_entries == 0
+        assert store.quarantined_paths == []
+
+    def test_failure_marker_results_are_refused(self, store):
+        from repro.experiments.faults import failure_from_exception
+        from repro.experiments.parallel import (ScrutinyJob,
+                                                _failure_result, job_token)
+
+        job = ScrutinyJob("BT", "T")
+        failure = failure_from_exception(
+            benchmark="BT", job_token=job_token(job),
+            exc=ValueError("poisoned"), attempts=3)
+        with pytest.raises(ValueError, match="failure-marker"):
+            store.save(store.key(**KEY_PARAMS),
+                       _failure_result(job, failure))
 
 
 class TestRunnerIntegration:

@@ -35,6 +35,35 @@ class TestParser:
             ["--method", "activity", "table2"])
         assert args.method == "activity"
 
+    def test_fault_flags_parse(self):
+        args = cli.build_parser().parse_args(
+            ["--max-retries", "5", "--job-timeout", "30", "--workers", "2",
+             "--on-failure", "record", "--chaos", "worker-kill,transient",
+             "--chaos-seed", "7", "table2"])
+        assert args.max_retries == 5
+        assert args.job_timeout == 30.0
+        assert args.on_failure == "record"
+        assert args.chaos == "worker-kill,transient"
+        assert args.chaos_seed == 7
+
+
+class TestFaultFlagValidation:
+    @pytest.mark.parametrize("argv", [
+        ["--max-retries", "-1", "analyze", "CG"],
+        ["--retry-backoff", "-0.5", "analyze", "CG"],
+        ["--job-timeout", "0", "--workers", "2", "analyze", "CG"],
+        # the watchdog needs a pool to preempt
+        ["--job-timeout", "10", "analyze", "CG"],
+        ["--chaos-seed", "3", "analyze", "CG"],
+        ["--chaos", "explode", "analyze", "CG"],
+        ["--no-journal", "analyze", "CG"],
+    ], ids=["negative-retries", "negative-backoff", "zero-timeout",
+            "timeout-without-pool", "seed-without-chaos", "unknown-mode",
+            "journal-without-cache"])
+    def test_invalid_combinations_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            cli.main(argv)
+
 
 class TestMain:
     def test_analyze_prints_variable_summary(self, capsys):
@@ -74,3 +103,32 @@ class TestMain:
         code = cli.main(["--class", "T", "ablation", "probes"])
         assert code == 0
         assert "multi-probe" in capsys.readouterr().out
+
+    def test_analyze_chaos_transient_recovers(self, capsys):
+        code = cli.main(["--class", "T", "--chaos", "transient",
+                         "--retry-backoff", "0", "analyze", "CG"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "uncritical" in out
+        # the injected fault and its recovery show up in the epilogue
+        assert "fault-tolerance:" in out
+        assert "1 retr(ies)" in out
+        assert "0 quarantined" in out
+
+    def test_analyze_journal_written_and_confirmed(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert cli.main(["--class", "T", "--cache-dir", str(cache),
+                         "analyze", "CG"]) == 0
+        capsys.readouterr()
+        assert (cache / "journal.jsonl").is_file()
+        # the warm run is served from the store, confirmed by the journal
+        assert cli.main(["--class", "T", "--cache-dir", str(cache),
+                         "analyze", "CG"]) == 0
+        out = capsys.readouterr().out
+        assert "1 journal-confirmed" in out
+
+    def test_analyze_no_journal_flag(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert cli.main(["--class", "T", "--cache-dir", str(cache),
+                         "--no-journal", "analyze", "CG"]) == 0
+        assert not (cache / "journal.jsonl").exists()
